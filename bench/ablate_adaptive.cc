@@ -1,0 +1,76 @@
+// Ablation: the extension schemes' own knobs. HillClimb's epoch length
+// trades reaction speed against measurement noise (Choi & Yeung use
+// epochs long enough to amortise phase noise); its delta trades step size
+// against overshoot. UnreadyGate's threshold trades IQ-clog protection
+// against fetch starvation. Throughput vs Icount on the paper baseline.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "harness/presets.h"
+#include "policy/policy.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  std::vector<double> baseline;
+  {
+    core::SimConfig config = harness::paper_baseline();
+    config.policy = policy::PolicyKind::kIcount;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    baseline = bench::metric_of(
+        runner.run_suite(suite),
+        [](const harness::RunResult& r) { return r.throughput; });
+    std::fprintf(stderr, "done: Icount baseline\n");
+  }
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  auto run_config = [&](const core::SimConfig& config,
+                        const std::string& label) {
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    auto throughput = bench::metric_of(
+        runner.run_suite(suite),
+        [](const harness::RunResult& r) { return r.throughput; });
+    series.emplace_back(label, bench::ratio_of(throughput, baseline));
+    std::fprintf(stderr, "done: %s\n", label.c_str());
+  };
+
+  // HillClimb epoch sweep at the default delta (1/16).
+  for (Cycle epoch : {Cycle{2048}, Cycle{8192}, Cycle{32768}}) {
+    core::SimConfig config = harness::paper_baseline();
+    config.policy = policy::PolicyKind::kHillClimb;
+    config.policy_config.hillclimb_epoch = epoch;
+    run_config(config, "HC/e" + std::to_string(epoch / 1024) + "K");
+  }
+
+  // HillClimb delta sweep at a mid epoch (8K).
+  for (double delta : {1.0 / 32.0, 1.0 / 8.0}) {
+    core::SimConfig config = harness::paper_baseline();
+    config.policy = policy::PolicyKind::kHillClimb;
+    config.policy_config.hillclimb_epoch = 8192;
+    config.policy_config.hillclimb_delta = delta;
+    char label[32];
+    std::snprintf(label, sizeof label, "HC/d1:%d",
+                  static_cast<int>(1.0 / delta));
+    run_config(config, label);
+  }
+
+  // UnreadyGate threshold sweep (fraction of total IQ capacity).
+  for (double fraction : {0.125, 0.25, 0.5}) {
+    core::SimConfig config = harness::paper_baseline();
+    config.policy = policy::PolicyKind::kUnreadyGate;
+    config.policy_config.unready_gate_fraction = fraction;
+    char label[32];
+    std::snprintf(label, sizeof label, "UG@%.3f", fraction);
+    run_config(config, label);
+  }
+
+  bench::emit_category_table(
+      "Ablation — adaptive-scheme knobs (throughput vs Icount)", suite,
+      series, opt);
+  return 0;
+}

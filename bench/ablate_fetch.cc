@@ -1,0 +1,54 @@
+// Ablation: fetch selection policy. The paper fixes fetch selection to
+// "the thread with the lowest number of instructions in its queue" (§3) so
+// the rename selection policy always has a choice of threads; this bench
+// quantifies that decision against plain round-robin fetch, under both the
+// Icount baseline and the paper's final scheme (CDPRF). Expected shape:
+// fewest-in-queue >= round-robin everywhere, with the gap widening on
+// asymmetric (mix) workloads where one thread drains its queue faster.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "harness/presets.h"
+#include "policy/policy.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  std::vector<double> baseline;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+
+  for (policy::PolicyKind kind :
+       {policy::PolicyKind::kIcount, policy::PolicyKind::kCdprf}) {
+    for (frontend::FetchSelection selection :
+         {frontend::FetchSelection::kFewestInQueue,
+          frontend::FetchSelection::kRoundRobin}) {
+      core::SimConfig config = harness::paper_baseline();
+      config.policy = kind;
+      config.fetch_selection = selection;
+      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+      auto throughput = bench::metric_of(
+          runner.run_suite(suite),
+          [](const harness::RunResult& r) { return r.throughput; });
+      const bool is_baseline =
+          kind == policy::PolicyKind::kIcount &&
+          selection == frontend::FetchSelection::kFewestInQueue;
+      if (is_baseline) baseline = throughput;
+      const std::string label =
+          std::string(policy::policy_kind_name(kind)) +
+          (selection == frontend::FetchSelection::kFewestInQueue ? "/fewest"
+                                                                 : "/rr");
+      series.emplace_back(label, bench::ratio_of(throughput, baseline));
+      std::fprintf(stderr, "done: %s\n", label.c_str());
+    }
+  }
+
+  bench::emit_category_table(
+      "Ablation — fetch selection (throughput vs Icount + fewest-in-queue)",
+      suite, series, opt);
+  return 0;
+}

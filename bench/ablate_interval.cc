@@ -1,0 +1,44 @@
+// Ablation (paper §5.2 design choice): sensitivity of CDPRF to the RFOC
+// measurement interval. The paper picked 128K cycles "because it is a power
+// of 2 so that dividing the RFOC by the interval is a simple shift"; this
+// sweep shows the scheme is robust over a wide range.
+#include "bench_util.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::BenchOptions::parse(
+      argc, argv, /*default_cycles=*/200000, /*default_warmup=*/80000);
+  const auto suite = opt.suite();
+
+  std::vector<double> baseline;
+  {
+    core::SimConfig config = harness::rf_study_config(64);
+    config.policy = policy::PolicyKind::kIcount;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    baseline = bench::metric_of(runner.run_suite(suite),
+                                [](const auto& r) { return r.throughput; });
+    std::fprintf(stderr, "done: Icount baseline\n");
+  }
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (Cycle interval : {8192u, 32768u, 131072u, 524288u}) {
+    core::SimConfig config = harness::rf_study_config(64);
+    config.policy = policy::PolicyKind::kCdprf;
+    config.policy_config.cdprf_interval = interval;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    auto throughput =
+        bench::metric_of(runner.run_suite(suite),
+                         [](const auto& r) { return r.throughput; });
+    series.emplace_back("CDPRF@" + std::to_string(interval / 1024) + "K",
+                        bench::ratio_of(throughput, baseline));
+    std::fprintf(stderr, "done: interval %llu\n",
+                 static_cast<unsigned long long>(interval));
+  }
+
+  bench::emit_category_table(
+      "Ablation — CDPRF interval sweep (throughput vs Icount)", suite,
+      series, opt);
+  return 0;
+}

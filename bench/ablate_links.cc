@@ -1,0 +1,43 @@
+// Ablation (beyond the paper): sensitivity of the best scheme (CSSP) to
+// the inter-cluster interconnect — number of point-to-point links and their
+// latency. The paper argues communication cost is largely hidden by
+// multithreaded execution; this quantifies how far that holds.
+#include "bench_util.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  std::vector<double> baseline;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (int links : {1, 2, 4}) {
+    for (int latency : {1, 2, 4}) {
+      core::SimConfig config = harness::iq_study_config(32);
+      config.policy = policy::PolicyKind::kCssp;
+      config.num_links = links;
+      config.link_latency = latency;
+      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+      auto throughput = bench::metric_of(
+          runner.run_suite(suite),
+          [](const auto& r) { return r.throughput; });
+      if (links == 2 && latency == 1) baseline = throughput;
+      series.emplace_back(
+          std::to_string(links) + "links/" + std::to_string(latency) + "cyc",
+          throughput);
+      std::fprintf(stderr, "done: %d links, %d cycles\n", links, latency);
+    }
+  }
+  // Normalise to the Table 1 interconnect (2 links, 1 cycle).
+  for (auto& [label, values] : series) {
+    values = bench::ratio_of(values, baseline);
+  }
+
+  bench::emit_category_table(
+      "Ablation — interconnect sensitivity (CSSP, vs 2 links @ 1 cycle)",
+      suite, series, opt);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: how sensitive are the static partitions to their fractions?
+// The paper fixes CSSP/CISP at one half per thread and CSPSP's guarantee
+// at one quarter (Table 3). This bench sweeps both knobs. Expected shape:
+// CSSP peaks near 1/2 (its whole point is protecting both threads'
+// entries in both clusters), while CSPSP degrades gracefully toward
+// Icount as the guarantee shrinks to zero.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "harness/presets.h"
+#include "policy/policy.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  std::vector<double> baseline;  // Icount
+  {
+    core::SimConfig config = harness::iq_study_config(32);
+    config.policy = policy::PolicyKind::kIcount;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    baseline = bench::metric_of(
+        runner.run_suite(suite),
+        [](const harness::RunResult& r) { return r.throughput; });
+    std::fprintf(stderr, "done: Icount baseline\n");
+  }
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+
+  // CSSP partition-fraction sweep (paper value: 0.50).
+  for (double fraction : {0.375, 0.5, 0.625, 0.75}) {
+    core::SimConfig config = harness::iq_study_config(32);
+    config.policy = policy::PolicyKind::kCssp;
+    config.policy_config.partition_fraction = fraction;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    auto throughput = bench::metric_of(
+        runner.run_suite(suite),
+        [](const harness::RunResult& r) { return r.throughput; });
+    char label[32];
+    std::snprintf(label, sizeof label, "CSSP@%.3f", fraction);
+    series.emplace_back(label, bench::ratio_of(throughput, baseline));
+    std::fprintf(stderr, "done: %s\n", label);
+  }
+
+  // CSPSP guarantee sweep (paper value: 0.25).
+  for (double guarantee : {0.125, 0.25, 0.375, 0.5}) {
+    core::SimConfig config = harness::iq_study_config(32);
+    config.policy = policy::PolicyKind::kCspsp;
+    config.policy_config.cspsp_guarantee_fraction = guarantee;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    auto throughput = bench::metric_of(
+        runner.run_suite(suite),
+        [](const harness::RunResult& r) { return r.throughput; });
+    char label[32];
+    std::snprintf(label, sizeof label, "CSPSP@%.3f", guarantee);
+    series.emplace_back(label, bench::ratio_of(throughput, baseline));
+    std::fprintf(stderr, "done: %s\n", label);
+  }
+
+  bench::emit_category_table(
+      "Ablation — partition fractions (throughput vs Icount, 32-entry IQs)",
+      suite, series, opt);
+  return 0;
+}

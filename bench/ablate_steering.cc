@@ -1,0 +1,51 @@
+// Ablation (beyond the paper): how much does the dependence+balance
+// steering of [12] matter? Compares it against round-robin ([24]'s first
+// SMT-clustered evaluation) and pure least-loaded steering, under Icount
+// and CSSP.
+#include "bench_util.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  struct Variant {
+    const char* label;
+    steer::SteeringKind kind;
+  };
+  const Variant variants[] = {
+      {"dep+bal", steer::SteeringKind::kDependenceBalance},
+      {"round-robin", steer::SteeringKind::kRoundRobin},
+      {"least-loaded", steer::SteeringKind::kLeastLoaded},
+  };
+
+  std::vector<double> baseline;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (policy::PolicyKind kind :
+       {policy::PolicyKind::kIcount, policy::PolicyKind::kCssp}) {
+    for (const Variant& v : variants) {
+      core::SimConfig config = harness::iq_study_config(32);
+      config.policy = kind;
+      config.steering = v.kind;
+      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+      auto throughput = bench::metric_of(
+          runner.run_suite(suite),
+          [](const auto& r) { return r.throughput; });
+      if (baseline.empty()) baseline = throughput;
+      series.emplace_back(
+          std::string(policy::policy_kind_name(kind)) + "/" + v.label,
+          bench::ratio_of(throughput, baseline));
+      std::fprintf(stderr, "done: %s/%s\n",
+                   std::string(policy::policy_kind_name(kind)).c_str(),
+                   v.label);
+    }
+  }
+
+  bench::emit_category_table(
+      "Ablation — steering heuristics (throughput vs Icount/dep+bal)", suite,
+      series, opt);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared plumbing for the figure-reproduction benches: common CLI flags,
+// suite construction, grid running and table/CSV emission.
+//
+// Common flags (all benches):
+//   --cycles N    simulated cycles per run (default per bench)
+//   --full        run the full 120-workload suite (default: quick subset)
+//   --per-type N  quick-suite workloads per (category, type)   [default 1]
+//   --mixes N     quick-suite cross-category mixes             [default 4]
+//   --seed S      master workload seed                          [default 1]
+//   --csv PATH    also write the table as CSV
+//   --jobs N      host threads (default: all cores)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "harness/runner.h"
+#include "trace/workload.h"
+
+namespace clusmt::bench {
+
+struct BenchOptions {
+  Cycle cycles = 150000;
+  Cycle warmup = 50000;
+  bool full = false;
+  int per_type = 1;
+  int mixes = 8;
+  std::uint64_t seed = 1;
+  std::string csv_path;
+  std::size_t jobs = 0;
+
+  static BenchOptions parse(int argc, char** argv, Cycle default_cycles,
+                            Cycle default_warmup = 50000) {
+    const CliArgs args(argc, argv);
+    BenchOptions opt;
+    opt.cycles = static_cast<Cycle>(
+        args.get_int("cycles", static_cast<std::int64_t>(default_cycles)));
+    opt.warmup = static_cast<Cycle>(
+        args.get_int("warmup", static_cast<std::int64_t>(default_warmup)));
+    opt.full = args.get_bool("full", false);
+    opt.per_type = static_cast<int>(args.get_int("per-type", 1));
+    opt.mixes = static_cast<int>(args.get_int("mixes", 8));
+    opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opt.csv_path = args.get_string("csv", "");
+    opt.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+    return opt;
+  }
+
+  [[nodiscard]] std::vector<trace::WorkloadSpec> suite() const {
+    return full ? trace::build_full_suite(seed)
+                : trace::build_quick_suite(seed, per_type, mixes);
+  }
+};
+
+/// Per-category table: first column = category, one column per series.
+/// `series[s].second[i]` is the metric of workload i under series s.
+inline void emit_category_table(
+    const std::string& title, const std::vector<trace::WorkloadSpec>& suite,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const BenchOptions& opt, int precision = 3) {
+  std::vector<std::string> header = {"category"};
+  for (const auto& [label, _] : series) header.push_back(label);
+
+  TextTable table(header);
+  CsvWriter csv(header);
+
+  // Aggregate each series by category (display order + AVG).
+  std::vector<std::vector<std::pair<std::string, double>>> per_series;
+  per_series.reserve(series.size());
+  for (const auto& [label, metric] : series) {
+    per_series.push_back(harness::by_category(suite, metric));
+  }
+  const std::size_t rows = per_series.empty() ? 0 : per_series[0].size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> cells = {per_series[0][r].first};
+    for (const auto& s : per_series) {
+      cells.push_back(format_double(s[r].second, precision));
+    }
+    table.add_row(cells);
+    csv.add_row(cells);
+  }
+
+  std::printf(
+      "%s\n(workloads: %zu%s, %llu warmup + %llu measured cycles/run, "
+      "seed %llu)\n\n%s\n",
+      title.c_str(), suite.size(), opt.full ? " [full suite]" : "",
+      static_cast<unsigned long long>(opt.warmup),
+      static_cast<unsigned long long>(opt.cycles),
+      static_cast<unsigned long long>(opt.seed), table.render().c_str());
+  if (!opt.csv_path.empty()) {
+    if (csv.write_file(opt.csv_path)) {
+      std::printf("CSV written to %s\n", opt.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write CSV %s\n", opt.csv_path.c_str());
+    }
+  }
+}
+
+/// Extracts a per-workload metric vector from run results.
+template <typename Fn>
+[[nodiscard]] std::vector<double> metric_of(
+    const std::vector<harness::RunResult>& results, Fn&& fn) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(fn(r));
+  return out;
+}
+
+/// Element-wise ratio helper for normalised (speedup) series.
+[[nodiscard]] inline std::vector<double> ratio_of(
+    const std::vector<double>& num, const std::vector<double>& den) {
+  std::vector<double> out(num.size());
+  for (std::size_t i = 0; i < num.size(); ++i) {
+    out[i] = den[i] == 0.0 ? 0.0 : num[i] / den[i];
+  }
+  return out;
+}
+
+}  // namespace clusmt::bench

@@ -1,0 +1,67 @@
+// Extension experiment: energy efficiency of the resource-assignment
+// schemes. The paper motivates clustering with power budgets (§1) but
+// reports no energy numbers; this bench applies the activity-based model
+// of core/energy.h to every scheme on the paper's baseline machine.
+// Columns: energy per committed µop and energy-delay product, both
+// normalised per workload to Icount (lower is better).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/energy.h"
+#include "harness/presets.h"
+#include "policy/policy.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  const std::vector<policy::PolicyKind> schemes = {
+      policy::PolicyKind::kIcount, policy::PolicyKind::kStall,
+      policy::PolicyKind::kFlushPlus, policy::PolicyKind::kCssp,
+      policy::PolicyKind::kPrivateClusters, policy::PolicyKind::kCdprf,
+  };
+
+  std::vector<double> epu_base;
+  std::vector<double> edp_base;
+  std::vector<std::pair<std::string, std::vector<double>>> epu_series;
+  std::vector<std::pair<std::string, std::vector<double>>> edp_series;
+
+  for (policy::PolicyKind kind : schemes) {
+    core::SimConfig config = harness::paper_baseline();
+    config.policy = kind;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    const auto results = runner.run_suite(suite);
+
+    auto epu = bench::metric_of(results, [&](const harness::RunResult& r) {
+      return core::estimate_energy(r.stats, config).per_committed_uop(
+          r.stats);
+    });
+    auto edp = bench::metric_of(results, [&](const harness::RunResult& r) {
+      return core::estimate_energy(r.stats, config).edp(r.stats);
+    });
+    if (kind == policy::PolicyKind::kIcount) {
+      epu_base = epu;
+      edp_base = edp;
+    }
+    const std::string label{policy::policy_kind_name(kind)};
+    epu_series.emplace_back(label, bench::ratio_of(epu, epu_base));
+    edp_series.emplace_back(label, bench::ratio_of(edp, edp_base));
+    std::fprintf(stderr, "done: %s\n", label.c_str());
+  }
+
+  bench::BenchOptions edp_opt = opt;
+  if (!opt.csv_path.empty()) edp_opt.csv_path = opt.csv_path + ".edp";
+
+  bench::emit_category_table(
+      "Extension — energy per committed µop vs Icount (lower is better)",
+      suite, epu_series, opt);
+  std::printf("\n");
+  bench::emit_category_table(
+      "Extension — energy-delay product vs Icount (lower is better)", suite,
+      edp_series, edp_opt);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension experiment: the future-work schemes the paper names in §2/§6 —
+// DCRA [30], hill-climbing [32] and unready-count front-end gating [20] —
+// adapted to the clustered machine (policy/adaptive.h), beside the paper's
+// own Icount baseline, best static scheme (CSSP) and proposal (CDPRF).
+// Two tables: throughput speedup vs Icount, and the Figure-10 fairness
+// speedup vs Icount.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "harness/presets.h"
+#include "policy/policy.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  const std::vector<policy::PolicyKind> schemes = {
+      policy::PolicyKind::kIcount,    policy::PolicyKind::kCssp,
+      policy::PolicyKind::kCdprf,     policy::PolicyKind::kDcra,
+      policy::PolicyKind::kHillClimb, policy::PolicyKind::kUnreadyGate,
+  };
+
+  std::vector<double> throughput_base;
+  std::vector<double> fairness_base;
+  std::vector<std::pair<std::string, std::vector<double>>> throughput_series;
+  std::vector<std::pair<std::string, std::vector<double>>> fairness_series;
+
+  for (policy::PolicyKind kind : schemes) {
+    core::SimConfig config = harness::paper_baseline();
+    config.policy = kind;
+    // Epochs must fit the measured window a few times over.
+    config.policy_config.hillclimb_epoch = 4096;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    const auto results = runner.run_suite_with_fairness(suite);
+    auto throughput = bench::metric_of(
+        results, [](const harness::RunResult& r) { return r.throughput; });
+    auto fairness = bench::metric_of(
+        results, [](const harness::RunResult& r) { return r.fairness; });
+    if (kind == policy::PolicyKind::kIcount) {
+      throughput_base = throughput;
+      fairness_base = fairness;
+    }
+    const std::string label{policy::policy_kind_name(kind)};
+    throughput_series.emplace_back(label,
+                                   bench::ratio_of(throughput,
+                                                   throughput_base));
+    fairness_series.emplace_back(label,
+                                 bench::ratio_of(fairness, fairness_base));
+    std::fprintf(stderr, "done: %s\n", label.c_str());
+  }
+
+  bench::BenchOptions fairness_opt = opt;  // avoid double CSV writes
+  if (!opt.csv_path.empty()) fairness_opt.csv_path = opt.csv_path + ".fair";
+
+  bench::emit_category_table(
+      "Extension — future-work schemes (throughput vs Icount)", suite,
+      throughput_series, opt);
+  std::printf("\n");
+  bench::emit_category_table(
+      "Extension — future-work schemes (fairness speedup vs Icount)", suite,
+      fairness_series, fairness_opt);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 10: fairness improvement vs Icount for Stall, Flush+, CSSP and
+// CDPRF. Fairness is the Gabor/Luo metric (min ratio of thread slowdowns
+// relative to single-threaded execution); bars are fairness(scheme) /
+// fairness(Icount) per workload, averaged per category (paper §5.2).
+#include "bench_util.h"
+#include "common/cli.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::BenchOptions::parse(
+      argc, argv, /*default_cycles=*/200000, /*default_warmup=*/80000);
+  const CliArgs args(argc, argv);
+  const Cycle interval = static_cast<Cycle>(args.get_int("interval", 32768));
+  const auto suite = opt.suite();
+
+  auto fairness_of = [&](policy::PolicyKind kind) {
+    core::SimConfig config = harness::rf_study_config(64);
+    config.policy = kind;
+    config.policy_config.cdprf_interval = interval;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    const auto results = runner.run_suite_with_fairness(suite);
+    std::fprintf(stderr, "done: %s\n",
+                 std::string(policy::policy_kind_name(kind)).c_str());
+    return bench::metric_of(results,
+                            [](const auto& r) { return r.fairness; });
+  };
+
+  const std::vector<double> base = fairness_of(policy::PolicyKind::kIcount);
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (policy::PolicyKind kind :
+       {policy::PolicyKind::kStall, policy::PolicyKind::kFlushPlus,
+        policy::PolicyKind::kCssp, policy::PolicyKind::kCdprf}) {
+    series.emplace_back(std::string(policy::policy_kind_name(kind)),
+                        bench::ratio_of(fairness_of(kind), base));
+  }
+
+  bench::emit_category_table(
+      "Figure 10 — Fairness speedup vs Icount (64 regs/cluster)", suite,
+      series, opt);
+  return 0;
+}

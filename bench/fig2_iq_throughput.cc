@@ -1,0 +1,54 @@
+// Figure 2: throughput of the issue-queue management schemes (Icount,
+// Stall, Flush+, CISP, CSSP, CSPSP, PC) with 32 and 64 IQ entries per
+// cluster. Register files and ROB are unbounded to isolate IQ effects.
+// Values are speedups normalised, per workload, to Icount with 32 entries,
+// then averaged per category — the paper's Figure 2 layout.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/presets.h"
+#include "policy/policy.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  const std::vector<policy::PolicyKind> schemes = {
+      policy::PolicyKind::kIcount,       policy::PolicyKind::kStall,
+      policy::PolicyKind::kFlushPlus,    policy::PolicyKind::kCisp,
+      policy::PolicyKind::kCssp,         policy::PolicyKind::kCspsp,
+      policy::PolicyKind::kPrivateClusters,
+  };
+
+  // Baseline: Icount @ 32 entries.
+  std::vector<double> baseline;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+
+  for (int iq : {32, 64}) {
+    for (policy::PolicyKind kind : schemes) {
+      core::SimConfig config = harness::iq_study_config(iq);
+      config.policy = kind;
+      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+      const auto results = runner.run_suite(suite);
+      auto throughput = bench::metric_of(
+          results, [](const harness::RunResult& r) { return r.throughput; });
+      if (kind == policy::PolicyKind::kIcount && iq == 32) {
+        baseline = throughput;
+      }
+      std::string label = std::string(policy::policy_kind_name(kind)) + "@" +
+                          std::to_string(iq);
+      series.emplace_back(std::move(label),
+                          bench::ratio_of(throughput, baseline));
+      std::fprintf(stderr, "done: %s@%d\n",
+                   std::string(policy::policy_kind_name(kind)).c_str(), iq);
+    }
+  }
+
+  bench::emit_category_table(
+      "Figure 2 — Throughput speedup vs Icount@32 (unbounded RF/ROB)", suite,
+      series, opt);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 4: renaming stalls due to lack of issue-queue entries per retired
+// µop. A stall event is a µop that could not be placed in its *preferred*
+// cluster because the IQ was full or the scheme's cap was reached — whether
+// it was then re-steered (extra copies) or renaming blocked (paper §5.1).
+#include "bench_util.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+
+  const std::vector<policy::PolicyKind> schemes = {
+      policy::PolicyKind::kIcount,       policy::PolicyKind::kStall,
+      policy::PolicyKind::kFlushPlus,    policy::PolicyKind::kCisp,
+      policy::PolicyKind::kCssp,         policy::PolicyKind::kCspsp,
+      policy::PolicyKind::kPrivateClusters,
+  };
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (policy::PolicyKind kind : schemes) {
+    core::SimConfig config = harness::iq_study_config(32);
+    config.policy = kind;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    const auto results = runner.run_suite(suite);
+    series.emplace_back(std::string(policy::policy_kind_name(kind)),
+                        bench::metric_of(results, [](const auto& r) {
+                          return r.stats.iq_stalls_per_retired();
+                        }));
+    std::fprintf(stderr, "done: %s\n",
+                 std::string(policy::policy_kind_name(kind)).c_str());
+  }
+
+  bench::emit_category_table(
+      "Figure 4 — IQ stalls (#IQ_stalls / #retired)", suite, series, opt);
+  return 0;
+}

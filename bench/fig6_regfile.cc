@@ -1,0 +1,52 @@
+// Figure 6: throughput of the register-file schemes (CSSP without RF
+// limits, CSSPRF, CISPRF) with 64 and 128 physical registers of each class
+// per cluster, normalised per workload to Icount with 64 registers.
+// 32-entry IQs, 128-entry ROBs (paper §5.2).
+#include "bench_util.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/150000);
+  const auto suite = opt.suite();
+
+  const std::vector<policy::PolicyKind> schemes = {
+      policy::PolicyKind::kCssp, policy::PolicyKind::kCssprf,
+      policy::PolicyKind::kCisprf};
+
+  // Baseline: Icount with 64 registers per cluster.
+  std::vector<double> baseline;
+  {
+    core::SimConfig config = harness::rf_study_config(64);
+    config.policy = policy::PolicyKind::kIcount;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    baseline = bench::metric_of(runner.run_suite(suite),
+                                [](const auto& r) { return r.throughput; });
+    std::fprintf(stderr, "done: Icount@64 baseline\n");
+  }
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (int regs : {64, 128}) {
+    for (policy::PolicyKind kind : schemes) {
+      core::SimConfig config = harness::rf_study_config(regs);
+      config.policy = kind;
+      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+      const auto throughput = bench::metric_of(
+          runner.run_suite(suite),
+          [](const auto& r) { return r.throughput; });
+      series.emplace_back(std::string(policy::policy_kind_name(kind)) + "@" +
+                              std::to_string(regs),
+                          bench::ratio_of(throughput, baseline));
+      std::fprintf(stderr, "done: %s@%d\n",
+                   std::string(policy::policy_kind_name(kind)).c_str(), regs);
+    }
+  }
+
+  bench::emit_category_table(
+      "Figure 6 — Register-file schemes, throughput normalised to Icount@64 "
+      "regs/cluster",
+      suite, series, opt);
+  return 0;
+}

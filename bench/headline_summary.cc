@@ -1,0 +1,67 @@
+// Headline reproduction: the paper's abstract claims CDPRF achieves a
+// 17.6% average throughput speedup over Icount while improving fairness by
+// 24%. This bench measures both on the Table 1 baseline machine and prints
+// paper-vs-measured.
+#include "bench_util.h"
+#include "common/cli.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::BenchOptions::parse(
+      argc, argv, /*default_cycles=*/200000, /*default_warmup=*/80000);
+  const CliArgs args(argc, argv);
+  const Cycle interval = static_cast<Cycle>(args.get_int("interval", 32768));
+  const auto suite = opt.suite();
+
+  struct Outcome {
+    std::vector<double> throughput;
+    std::vector<double> fairness;
+  };
+  auto measure = [&](policy::PolicyKind kind) {
+    core::SimConfig config = harness::rf_study_config(64);
+    config.policy = kind;
+    config.policy_config.cdprf_interval = interval;
+    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
+    const auto results = runner.run_suite_with_fairness(suite);
+    Outcome out;
+    out.throughput = bench::metric_of(
+        results, [](const auto& r) { return r.throughput; });
+    out.fairness =
+        bench::metric_of(results, [](const auto& r) { return r.fairness; });
+    std::fprintf(stderr, "done: %s\n",
+                 std::string(policy::policy_kind_name(kind)).c_str());
+    return out;
+  };
+
+  const Outcome icount = measure(policy::PolicyKind::kIcount);
+  const Outcome cssp = measure(policy::PolicyKind::kCssp);
+  const Outcome cdprf = measure(policy::PolicyKind::kCdprf);
+
+  const double thr_cssp =
+      mean_of(bench::ratio_of(cssp.throughput, icount.throughput));
+  const double thr_cdprf =
+      mean_of(bench::ratio_of(cdprf.throughput, icount.throughput));
+  const double fair_cdprf =
+      mean_of(bench::ratio_of(cdprf.fairness, icount.fairness));
+  const double fair_cssp =
+      mean_of(bench::ratio_of(cssp.fairness, icount.fairness));
+
+  TextTable table({"claim", "paper", "measured"});
+  table.add_row({"CDPRF throughput speedup vs Icount", "+17.6%",
+                 format_double(100.0 * (thr_cdprf - 1.0), 1) + "%"});
+  table.add_row({"CDPRF fairness improvement vs Icount", "+24%",
+                 format_double(100.0 * (fair_cdprf - 1.0), 1) + "%"});
+  table.add_row({"CSSP throughput speedup vs Icount", "~+16%",
+                 format_double(100.0 * (thr_cssp - 1.0), 1) + "%"});
+  table.add_row({"CSSP fairness vs Icount", "(not headline)",
+                 format_double(100.0 * (fair_cssp - 1.0), 1) + "%"});
+
+  std::printf(
+      "Headline summary (%zu workloads, 64 regs/cluster, CDPRF interval "
+      "%llu)\n\n%s\n",
+      suite.size(), static_cast<unsigned long long>(interval),
+      table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Google-benchmark micro-benchmarks for the hot simulator components: the
+// per-cycle/per-µop costs that bound overall simulation speed, and the
+// per-cycle hardware cost proxies of each resource-assignment scheme
+// (Table 3/4 schemes are meant to be cheap enough for hardware; their
+// software-model cost here tracks their bookkeeping complexity).
+#include <benchmark/benchmark.h>
+
+#include "backend/issue_queue.h"
+#include "backend/ports.h"
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "frontend/branch_predictor.h"
+#include "harness/presets.h"
+#include "memory/cache.h"
+#include "policy/policy.h"
+#include "trace/synthetic.h"
+#include "trace/workload.h"
+
+using namespace clusmt;
+
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  memory::SetAssocCache cache(32 * 1024, 2, 64);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.bounded(1 << 20), false));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_GsharePredict(benchmark::State& state) {
+  frontend::BranchPredictor bp(frontend::BranchPredictorConfig{});
+  Xoshiro256 rng(2);
+  std::uint64_t pc = 0x400000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.predict_and_update_history(0, pc));
+    pc += 4 * (1 + (rng() & 0xF));
+  }
+}
+BENCHMARK(BM_GsharePredict);
+
+void BM_IssueQueueInsertRemove(benchmark::State& state) {
+  backend::IssueQueue iq(static_cast<int>(state.range(0)));
+  std::uint64_t seq = 0;
+  // Keep the queue half full and churn entries.
+  for (int i = 0; i < iq.capacity() / 2; ++i) {
+    iq.insert(backend::IqEntry{.tid = 0, .seq = seq++});
+  }
+  for (auto _ : state) {
+    const int slot = iq.insert(backend::IqEntry{.tid = 0, .seq = seq++});
+    iq.remove(slot);
+  }
+}
+BENCHMARK(BM_IssueQueueInsertRemove)->Arg(32)->Arg(64);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::TracePool pool(7);
+  trace::SyntheticTrace trace(
+      pool.get(trace::Category::kISpec00, trace::TraceKind::kIlp, 0).profile,
+      42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.next());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+/// Whole-simulator cycles/second under each scheme: the per-cycle model
+/// cost of the schemes' bookkeeping (CDPRF adds per-cycle counters).
+void BM_SimulatorCycle(benchmark::State& state) {
+  const auto kind = static_cast<policy::PolicyKind>(state.range(0));
+  trace::TracePool pool(1);
+  core::SimConfig config = harness::paper_baseline();
+  config.policy = kind;
+  core::Simulator sim(config);
+  sim.attach_thread(0, pool.get(trace::Category::kISpec00,
+                                trace::TraceKind::kIlp, 0));
+  sim.attach_thread(1, pool.get(trace::Category::kFSpec00,
+                                trace::TraceKind::kMem, 0));
+  sim.run(5000);  // prime
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetLabel(std::string(policy::policy_kind_name(kind)));
+  state.counters["uops/cycle"] = benchmark::Counter(
+      static_cast<double>(sim.stats().committed_total()) /
+      static_cast<double>(sim.stats().cycles));
+}
+BENCHMARK(BM_SimulatorCycle)
+    ->Arg(static_cast<int>(policy::PolicyKind::kIcount))
+    ->Arg(static_cast<int>(policy::PolicyKind::kFlushPlus))
+    ->Arg(static_cast<int>(policy::PolicyKind::kCssp))
+    ->Arg(static_cast<int>(policy::PolicyKind::kCdprf));
+
+void BM_PortBooking(benchmark::State& state) {
+  backend::PortSet ports;
+  for (auto _ : state) {
+    ports.new_cycle();
+    benchmark::DoNotOptimize(ports.try_book(trace::PortClass::kInt));
+    benchmark::DoNotOptimize(ports.try_book(trace::PortClass::kFpSimd));
+    benchmark::DoNotOptimize(ports.try_book(trace::PortClass::kMem));
+  }
+}
+BENCHMARK(BM_PortBooking);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table 1: baseline processor configuration. Prints the machine parameters
+// the simulator uses and verifies they match the paper's table.
+#include <cassert>
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main() {
+  const core::SimConfig c = harness::paper_baseline();
+
+  TextTable table({"Parameter", "Value", "Parameter", "Value"});
+  auto row = [&](const std::string& a, const std::string& av,
+                 const std::string& b, const std::string& bv) {
+    table.add_row({a, av, b, bv});
+  };
+  row("Fetch width", std::to_string(c.fetch_width), "Commit width",
+      std::to_string(c.commit_width));
+  row("Misprediction pipeline", std::to_string(c.mispredict_penalty),
+      "ROB size", std::to_string(c.rob_entries) + " per thread");
+  row("Indirect branch", std::to_string(c.predictor.indirect_entries),
+      "Gshare entries", std::to_string(c.predictor.gshare_entries));
+  row("Trace cache size",
+      std::to_string(c.trace_cache.capacity_uops / 1024) + "K uops",
+      "Issue ports/cluster", "P0:int,fp,simd P1:int,fp,simd P2:int,mem");
+  row("Issue queue size per cluster", std::to_string(c.iq_entries) + "-64",
+      "MOB", std::to_string(c.mob_entries));
+  row("Int physical registers", std::to_string(c.int_regs) + "-128 /cluster",
+      "FP/SSE physical registers",
+      std::to_string(c.fp_regs) + "-128 /cluster");
+  row("DTLB entries", std::to_string(c.memory.dtlb_entries), "DTLB assoc",
+      std::to_string(c.memory.dtlb_assoc));
+  row("L1 size", std::to_string(c.memory.l1_size / 1024) + "KB", "L1 assoc",
+      std::to_string(c.memory.l1_assoc));
+  row("L1 hit latency", std::to_string(c.memory.l1_latency) + " cycle",
+      "L1 ports", "2 read / 2 write");
+  row("L2 size", std::to_string(c.memory.l2_size / (1024 * 1024)) + "MB",
+      "L2 assoc", std::to_string(c.memory.l2_assoc));
+  row("L2 hit latency", std::to_string(c.memory.l2_latency) + " cycles",
+      "Memory latency", std::to_string(c.memory.memory_latency) + " cycles");
+  row("# Point-to-point links", std::to_string(c.num_links),
+      "Link latency", std::to_string(c.link_latency) + " cycle");
+  row("# Data buses (L1 to L2)", std::to_string(c.memory.num_l1_l2_buses),
+      "Clusters", std::to_string(c.num_clusters));
+
+  std::printf("Table 1 — Baseline processor configuration\n\n%s\n",
+              table.render().c_str());
+
+  // Verify the defaults actually match the paper.
+  bool ok = c.fetch_width == 6 && c.commit_width == 6 &&
+            c.mispredict_penalty == 14 && c.rob_entries == 128 &&
+            c.predictor.gshare_entries == 32 * 1024 &&
+            c.predictor.indirect_entries == 4096 &&
+            c.memory.l1_size == 32 * 1024 && c.memory.l1_assoc == 2 &&
+            c.memory.l2_size == 4 * 1024 * 1024 && c.memory.l2_assoc == 8 &&
+            c.memory.l2_latency == 12 && c.memory.memory_latency == 60 &&
+            c.memory.dtlb_entries == 1024 && c.memory.dtlb_assoc == 8 &&
+            c.num_links == 2 && c.link_latency == 1 &&
+            c.memory.num_l1_l2_buses == 2 && c.mob_entries == 128 &&
+            c.num_clusters == 2;
+  std::printf("Defaults match paper Table 1: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

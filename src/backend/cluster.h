@@ -1,0 +1,48 @@
+// One back-end cluster: issue queue, the two physical register files
+// (integer and FP/SIMD) and the three issue ports. The core's pipeline
+// stages orchestrate these structures; the cluster only owns state.
+#pragma once
+
+#include <memory>
+
+#include "backend/issue_queue.h"
+#include "backend/ports.h"
+#include "backend/regfile.h"
+#include "common/types.h"
+
+namespace clusmt::backend {
+
+struct ClusterConfig {
+  int iq_entries = 32;       // per-cluster issue queue (Table 1: 32-64)
+  int int_registers = 128;   // 0 = unbounded (Figure 2 methodology)
+  int fp_registers = 128;    // 0 = unbounded
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config)
+      : iq_(config.iq_entries),
+        int_rf_(config.int_registers),
+        fp_rf_(config.fp_registers) {}
+
+  [[nodiscard]] IssueQueue& iq() noexcept { return iq_; }
+  [[nodiscard]] const IssueQueue& iq() const noexcept { return iq_; }
+
+  [[nodiscard]] RegisterFile& rf(RegClass cls) noexcept {
+    return cls == RegClass::kInt ? int_rf_ : fp_rf_;
+  }
+  [[nodiscard]] const RegisterFile& rf(RegClass cls) const noexcept {
+    return cls == RegClass::kInt ? int_rf_ : fp_rf_;
+  }
+
+  [[nodiscard]] PortSet& ports() noexcept { return ports_; }
+  [[nodiscard]] const PortSet& ports() const noexcept { return ports_; }
+
+ private:
+  IssueQueue iq_;
+  RegisterFile int_rf_;
+  RegisterFile fp_rf_;
+  PortSet ports_;
+};
+
+}  // namespace clusmt::backend

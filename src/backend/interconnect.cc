@@ -1,0 +1,23 @@
+#include "backend/interconnect.h"
+
+#include <stdexcept>
+
+namespace clusmt::backend {
+
+Interconnect::Interconnect(int num_links, int latency_cycles)
+    : num_links_(num_links), latency_(latency_cycles) {
+  if (num_links < 1) throw std::invalid_argument("need at least one link");
+  if (latency_cycles < 0) throw std::invalid_argument("negative latency");
+}
+
+bool Interconnect::try_acquire() noexcept {
+  if (used_this_cycle_ >= num_links_) {
+    ++stats_.denied;
+    return false;
+  }
+  ++used_this_cycle_;
+  ++stats_.transfers;
+  return true;
+}
+
+}  // namespace clusmt::backend

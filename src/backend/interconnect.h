@@ -1,0 +1,40 @@
+// Inter-cluster interconnection network (paper Table 1): two point-to-point
+// links of one-cycle latency. Copy µops arbitrate for a link slot in their
+// issue cycle; link bandwidth is the global copies-per-cycle budget.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace clusmt::backend {
+
+struct InterconnectStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t denied = 0;  // copy ready but no link slot this cycle
+};
+
+class Interconnect {
+ public:
+  Interconnect(int num_links, int latency_cycles);
+
+  void new_cycle() noexcept { used_this_cycle_ = 0; }
+
+  /// Tries to reserve a link slot this cycle.
+  bool try_acquire() noexcept;
+
+  [[nodiscard]] int latency() const noexcept { return latency_; }
+  [[nodiscard]] int num_links() const noexcept { return num_links_; }
+  [[nodiscard]] const InterconnectStats& stats() const noexcept {
+    return stats_;
+  }
+  void reset_stats() noexcept { stats_ = InterconnectStats{}; }
+
+ private:
+  int num_links_;
+  int latency_;
+  int used_this_cycle_ = 0;
+  InterconnectStats stats_;
+};
+
+}  // namespace clusmt::backend

@@ -1,0 +1,63 @@
+#include "backend/issue_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace clusmt::backend {
+
+IssueQueue::IssueQueue(int capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("IQ capacity < 1");
+  slots_.resize(static_cast<std::size_t>(capacity));
+  free_slots_.reserve(static_cast<std::size_t>(capacity));
+  order_.reserve(static_cast<std::size_t>(capacity));
+  for (int i = capacity - 1; i >= 0; --i) free_slots_.push_back(i);
+}
+
+bool IssueQueue::older(int a, int b) const noexcept {
+  const IqEntry& ea = slots_[a].entry;
+  const IqEntry& eb = slots_[b].entry;
+  if (ea.seq != eb.seq) return ea.seq < eb.seq;
+  return ea.tid < eb.tid;
+}
+
+int IssueQueue::insert(const IqEntry& entry) {
+  assert(entry.tid >= 0 && entry.tid < kMaxThreads);
+  if (free_slots_.empty()) return -1;
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[slot].entry = entry;
+  slots_[slot].in_use = true;
+  ++occupancy_;
+  ++per_thread_[entry.tid];
+  // Insertions arrive in (nearly) program order, so the binary-searched
+  // position is almost always the back: amortised O(1).
+  auto pos = std::lower_bound(
+      order_.begin(), order_.end(), slot,
+      [this](int a, int b) { return older(a, b); });
+  order_.insert(pos, slot);
+  return slot;
+}
+
+void IssueQueue::remove(int slot) {
+  Slot& s = slots_.at(slot);
+  assert(s.in_use);
+  const auto pos = std::find(order_.begin(), order_.end(), slot);
+  assert(pos != order_.end());
+  order_.erase(pos);
+  s.in_use = false;
+  --occupancy_;
+  --per_thread_[s.entry.tid];
+  assert(per_thread_[s.entry.tid] >= 0);
+  free_slots_.push_back(slot);
+}
+
+const IqEntry& IssueQueue::entry(int slot) const {
+  const Slot& s = slots_.at(slot);
+  assert(s.in_use);
+  return s.entry;
+}
+
+bool IssueQueue::occupied(int slot) const { return slots_.at(slot).in_use; }
+
+}  // namespace clusmt::backend

@@ -1,0 +1,72 @@
+// Out-of-order issue queue of one cluster. Holds dispatched µops until
+// their source operands (physical registers in *this* cluster) are ready.
+// Selection is age-ordered among ready entries, subject to the cluster's
+// issue-port constraints (arbitrated by the core's issue stage).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/phys_ref.h"
+#include "common/types.h"
+#include "trace/uop.h"
+
+namespace clusmt::backend {
+
+/// Issue-queue entry. `rob_ref` is an opaque handle the core uses to map a
+/// granted entry back to its in-flight µop.
+struct IqEntry {
+  ThreadId tid = -1;
+  std::uint64_t seq = 0;  // per-thread age; ties broken by thread id
+  trace::UopClass cls = trace::UopClass::kIntAlu;
+  PhysRef src0;           // invalid => no register dependency
+  PhysRef src1;
+  std::uint64_t rob_ref = 0;
+};
+
+class IssueQueue {
+ public:
+  explicit IssueQueue(int capacity);
+
+  /// Inserts an entry; returns the slot index or -1 when full.
+  int insert(const IqEntry& entry);
+
+  /// Frees a slot (issue grant or squash).
+  void remove(int slot);
+
+  [[nodiscard]] const IqEntry& entry(int slot) const;
+  [[nodiscard]] bool occupied(int slot) const;
+
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  [[nodiscard]] int occupancy() const noexcept { return occupancy_; }
+  [[nodiscard]] int occupancy_of(ThreadId tid) const {
+    return per_thread_[tid];
+  }
+  [[nodiscard]] bool full() const noexcept { return occupancy_ == capacity_; }
+
+  /// Occupied slot indices sorted oldest-first (seq, then thread id),
+  /// maintained incrementally on insert/remove. The reference is
+  /// invalidated by insert/remove — callers that mutate while iterating
+  /// must take a copy.
+  [[nodiscard]] const std::vector<int>& slots_by_age() const noexcept {
+    return order_;
+  }
+
+ private:
+  struct Slot {
+    IqEntry entry;
+    bool in_use = false;
+  };
+
+  /// True when entry at slot `a` is older than the one at `b`.
+  [[nodiscard]] bool older(int a, int b) const noexcept;
+
+  std::vector<Slot> slots_;
+  std::vector<int> free_slots_;
+  std::vector<int> order_;  // occupied slots, oldest first
+  int capacity_;
+  int occupancy_ = 0;
+  int per_thread_[kMaxThreads] = {};
+};
+
+}  // namespace clusmt::backend

@@ -1,0 +1,44 @@
+#include "backend/ports.h"
+
+namespace clusmt::backend {
+
+bool PortSet::try_book(trace::PortClass cls) noexcept {
+  // Prefer the most restrictive compatible port first so integer µops do
+  // not needlessly consume the FP/SIMD-capable ports: for int, try port 2
+  // (shared with mem) last.
+  switch (cls) {
+    case trace::PortClass::kFpSimd:
+      for (int p : {0, 1}) {
+        if (!busy_[p]) {
+          busy_[p] = true;
+          return true;
+        }
+      }
+      return false;
+    case trace::PortClass::kMem:
+      if (!busy_[2]) {
+        busy_[2] = true;
+        return true;
+      }
+      return false;
+    case trace::PortClass::kInt:
+      for (int p : {0, 1, 2}) {
+        if (!busy_[p]) {
+          busy_[p] = true;
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+int PortSet::free_compatible(trace::PortClass cls) const noexcept {
+  int count = 0;
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (!busy_[p] && compatible(p, cls)) ++count;
+  }
+  return count;
+}
+
+}  // namespace clusmt::backend

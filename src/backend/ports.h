@@ -1,0 +1,49 @@
+// Issue-port model of one cluster (paper Table 1):
+//   Port 0: int, fp, simd     Port 1: int, fp, simd     Port 2: int, mem
+// Each port accepts one µop per cycle. Figure 5's workload-imbalance
+// accounting asks, per port class, whether a cluster had a free compatible
+// port after selection — exposed here via free_compatible().
+#pragma once
+
+#include <array>
+
+#include "trace/uop.h"
+
+namespace clusmt::backend {
+
+class PortSet {
+ public:
+  static constexpr int kNumPorts = 3;
+
+  /// Resets all ports to free (start of cycle).
+  void new_cycle() noexcept { busy_ = {}; }
+
+  /// Books a free port compatible with `cls`; false when none remains.
+  bool try_book(trace::PortClass cls) noexcept;
+
+  /// Number of free ports still compatible with `cls`.
+  [[nodiscard]] int free_compatible(trace::PortClass cls) const noexcept;
+
+  [[nodiscard]] bool port_busy(int port) const noexcept {
+    return busy_[port];
+  }
+
+  /// Static compatibility: can `port` execute µops of `cls`?
+  [[nodiscard]] static constexpr bool compatible(
+      int port, trace::PortClass cls) noexcept {
+    switch (cls) {
+      case trace::PortClass::kInt:
+        return true;  // all three ports execute integer µops
+      case trace::PortClass::kFpSimd:
+        return port == 0 || port == 1;
+      case trace::PortClass::kMem:
+        return port == 2;
+    }
+    return false;
+  }
+
+ private:
+  std::array<bool, kNumPorts> busy_ = {};
+};
+
+}  // namespace clusmt::backend

@@ -1,0 +1,51 @@
+#include "backend/regfile.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace clusmt::backend {
+
+namespace {
+// Pool size backing "unbounded" register files (paper Figure 2 isolates
+// issue-queue effects with unbounded RF/ROB). Large enough that a 2-thread
+// run with 4K-entry ROBs cannot exhaust it.
+constexpr int kUnboundedCapacity = 16384;
+}  // namespace
+
+RegisterFile::RegisterFile(int capacity)
+    : capacity_(capacity == 0 ? kUnboundedCapacity : capacity),
+      unbounded_(capacity == 0) {
+  if (capacity < 0) throw std::invalid_argument("negative RF capacity");
+  free_.reserve(capacity_);
+  for (int i = capacity_ - 1; i >= 0; --i) {
+    free_.push_back(static_cast<std::int16_t>(i));
+  }
+  ready_.assign(static_cast<std::size_t>(capacity_), 0);
+  owner_.assign(static_cast<std::size_t>(capacity_), -1);
+}
+
+int RegisterFile::allocate(ThreadId owner) {
+  assert(owner >= 0 && owner < kMaxThreads);
+  if (free_.empty()) {
+    ++stats_.alloc_failures;
+    return -1;
+  }
+  const std::int16_t index = free_.back();
+  free_.pop_back();
+  ready_[index] = 0;
+  owner_[index] = owner;
+  ++used_by_[owner];
+  ++stats_.allocations;
+  return index;
+}
+
+void RegisterFile::release(std::int16_t index) {
+  assert(index >= 0 && index < capacity_);
+  assert(owner_[index] >= 0 && "double free of physical register");
+  --used_by_[owner_[index]];
+  assert(used_by_[owner_[index]] >= 0);
+  owner_[index] = -1;
+  free_.push_back(index);
+}
+
+}  // namespace clusmt::backend

@@ -1,0 +1,36 @@
+// Tiny command-line flag parser shared by bench binaries and examples.
+// Supports --flag=value, --flag value, and boolean --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clusmt {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace clusmt

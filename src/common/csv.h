@@ -1,0 +1,30 @@
+// Minimal CSV writer; every bench binary mirrors its text table into a CSV
+// file so results can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clusmt {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Serialises the full document (header + rows), RFC-4180 quoting.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file; returns false (and leaves no partial file
+  /// guarantees) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clusmt

@@ -1,0 +1,79 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace clusmt {
+
+Histogram::Histogram(std::size_t num_buckets) : counts_(num_buckets, 0) {
+  if (num_buckets == 0) {
+    throw std::invalid_argument("Histogram needs at least one bucket");
+  }
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  const std::size_t bucket =
+      std::min<std::uint64_t>(value, counts_.size() - 1);
+  counts_[bucket] += weight;
+  total_ += weight;
+  weighted_sum_ += value * weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: bucket count mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  weighted_sum_ += other.weighted_sum_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  weighted_sum_ = 0;
+}
+
+std::uint64_t Histogram::count(std::size_t bucket) const {
+  return counts_.at(bucket);
+}
+
+double Histogram::mean() const noexcept {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(weighted_sum_) /
+                           static_cast<double>(total_);
+}
+
+std::size_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += static_cast<double>(counts_[i]);
+    if (running >= target) return i;
+  }
+  return counts_.size() - 1;
+}
+
+double Histogram::fraction(std::size_t bucket) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_.at(bucket)) /
+                           static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(int max_rows) const {
+  std::ostringstream out;
+  const std::size_t rows =
+      std::min<std::size_t>(counts_.size(), static_cast<std::size_t>(max_rows));
+  for (std::size_t i = 0; i < rows; ++i) {
+    out << i << ": " << counts_[i] << "\n";
+  }
+  if (rows < counts_.size()) out << "... (" << counts_.size() - rows
+                                 << " more buckets)\n";
+  return out.str();
+}
+
+}  // namespace clusmt

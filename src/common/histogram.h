@@ -1,0 +1,40 @@
+// Fixed-bucket integer histogram used for occupancy and latency profiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clusmt {
+
+/// Histogram over the integer range [0, num_buckets); samples beyond the
+/// last bucket are clamped into it (the "overflow" bucket).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_buckets);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
+  void merge(const Histogram& other);
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Smallest bucket b such that at least `q` (0..1) of the mass is <= b.
+  [[nodiscard]] std::size_t quantile(double q) const noexcept;
+  /// Fraction of mass in `bucket`; 0 when empty.
+  [[nodiscard]] double fraction(std::size_t bucket) const;
+
+  [[nodiscard]] std::string to_string(int max_rows = 16) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t weighted_sum_ = 0;
+};
+
+}  // namespace clusmt

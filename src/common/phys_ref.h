@@ -1,0 +1,23 @@
+// Reference to a physical register: (cluster, register file class, index).
+// Used across renaming, issue queues and the interconnect.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace clusmt {
+
+struct PhysRef {
+  std::int8_t cluster = -1;
+  RegClass cls = RegClass::kInt;
+  std::int16_t index = -1;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return index >= 0; }
+
+  friend constexpr bool operator==(const PhysRef&, const PhysRef&) = default;
+};
+
+inline constexpr PhysRef kNoPhysRef{};
+
+}  // namespace clusmt

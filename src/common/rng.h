@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator and trace generator flows from
+// one of these generators, seeded from a single 64-bit workload seed, so a
+// simulation is bit-reproducible across runs and platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace clusmt {
+
+/// SplitMix64: used to expand a single seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's method.
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Geometric draw: number of failures before first success, success
+  /// probability p in (0, 1]. Capped at `cap`.
+  [[nodiscard]] std::uint64_t geometric(double p, std::uint64_t cap) noexcept;
+
+  /// Derive an independent child generator (for splitting streams).
+  [[nodiscard]] Xoshiro256 fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Stable 64-bit hash combiner for deriving per-entity seeds
+/// (e.g. per-thread, per-category) from a master seed.
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a,
+                                         std::uint64_t b) noexcept;
+
+}  // namespace clusmt

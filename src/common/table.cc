@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace clusmt {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add_cell(std::string value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::add_cell(double value, int precision) {
+  return add_cell(format_double(value, precision));
+}
+
+TextTable& TextTable::add_cell(std::uint64_t value) {
+  return add_cell(std::to_string(value));
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << (c == 0 ? "" : "  ");
+      // Left-align the first column (labels), right-align the rest (numbers).
+      if (c == 0) {
+        out << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      } else {
+        out << std::right << std::setw(static_cast<int>(widths[c])) << cell;
+      }
+    }
+    out << "\n";
+  };
+
+  emit_row(header_);
+  std::size_t rule_len = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule_len, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace clusmt

@@ -1,0 +1,38 @@
+// Aligned plain-text table emitter. The benchmark harness uses it to print
+// the per-figure result tables in the same row/series layout as the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clusmt {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rows may be added incrementally; rendering computes
+/// column widths over the full contents.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_cell calls append to it.
+  TextTable& new_row();
+  TextTable& add_cell(std::string value);
+  TextTable& add_cell(double value, int precision = 3);
+  TextTable& add_cell(std::uint64_t value);
+
+  /// Convenience: append a full row at once.
+  TextTable& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed-precision double as string.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace clusmt

@@ -1,0 +1,46 @@
+// Core scalar types and machine-wide constants shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace clusmt {
+
+/// Simulated clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Hardware thread context index (SMT context). -1 means "no thread".
+using ThreadId = int;
+
+/// Back-end cluster index. -1 means "no cluster chosen yet".
+using ClusterId = int;
+
+/// Upper bounds used for fixed-size per-thread / per-cluster arrays.
+/// The paper evaluates 2 threads on 2 clusters; the simulator accepts any
+/// count up to these maxima.
+inline constexpr int kMaxThreads = 4;
+inline constexpr int kMaxClusters = 4;
+
+/// Register classes: each cluster implements one physical register file per
+/// class (the paper's "integer" and "floating point/SSE" files).
+enum class RegClass : std::uint8_t { kInt = 0, kFp = 1 };
+inline constexpr int kNumRegClasses = 2;
+
+/// Architectural register space. Integer registers occupy
+/// [0, kNumIntArchRegs); FP/SIMD registers occupy
+/// [kNumIntArchRegs, kNumArchRegs). This mirrors an x86-64-like ISA
+/// (16 integer registers, 32 FP/SSE registers).
+inline constexpr int kNumIntArchRegs = 16;
+inline constexpr int kNumFpArchRegs = 32;
+inline constexpr int kNumArchRegs = kNumIntArchRegs + kNumFpArchRegs;
+
+/// Register class of an architectural register index.
+[[nodiscard]] constexpr RegClass arch_reg_class(int arch) noexcept {
+  return arch < kNumIntArchRegs ? RegClass::kInt : RegClass::kFp;
+}
+
+/// True when `arch` names a real architectural register.
+[[nodiscard]] constexpr bool is_valid_arch_reg(int arch) noexcept {
+  return arch >= 0 && arch < kNumArchRegs;
+}
+
+}  // namespace clusmt

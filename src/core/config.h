@@ -1,0 +1,61 @@
+// Machine configuration (paper Table 1 defaults).
+#pragma once
+
+#include <cstdint>
+
+#include "frontend/fetch.h"
+#include "memory/hierarchy.h"
+#include "policy/policy.h"
+#include "steer/steering.h"
+
+namespace clusmt::core {
+
+struct SimConfig {
+  int num_threads = 2;
+  int num_clusters = 2;
+
+  // Front end.
+  int fetch_width = 6;   // Table 1: fetch width 6
+  int rename_width = 6;  // rename/steer bandwidth, one thread per cycle
+  int commit_width = 6;  // Table 1: commit width 6
+  int decode_queue_capacity = 24;
+  int mispredict_penalty = 14;  // Table 1: misprediction pipeline 14
+  frontend::FetchSelection fetch_selection =
+      frontend::FetchSelection::kFewestInQueue;  // paper §3
+  frontend::BranchPredictorConfig predictor;
+  frontend::TraceCacheConfig trace_cache;
+
+  // Back end (per cluster unless stated).
+  int rob_entries = 128;  // per thread; 0 = unbounded (Figure 2 methodology)
+  int iq_entries = 32;    // Table 1: 32-64 per cluster
+  int int_regs = 128;     // Table 1: 64-128 per cluster; 0 = unbounded
+  int fp_regs = 128;      // 0 = unbounded
+  int mob_entries = 128;  // shared
+  int num_links = 2;      // Table 1: 2 point-to-point links
+  int link_latency = 1;   // Table 1: 1 cycle
+  int l1_write_ports = 2;  // stores retiring per cycle (Table 1: 2 write)
+
+  // Memory hierarchy.
+  memory::HierarchyConfig memory;
+
+  // Steering.
+  steer::SteeringKind steering = steer::SteeringKind::kDependenceBalance;
+  int steer_imbalance_threshold = 6;
+
+  // Resource assignment scheme under evaluation.
+  policy::PolicyKind policy = policy::PolicyKind::kIcount;
+  policy::PolicyConfig policy_config;
+
+  /// Aborts the run if no µop commits for this many cycles (deadlock trap).
+  Cycle watchdog_cycles = 100000;
+
+  /// Effective per-thread ROB capacity (0 selects the unbounded mode).
+  [[nodiscard]] int effective_rob_entries() const noexcept {
+    return rob_entries == 0 ? 4096 : rob_entries;
+  }
+  [[nodiscard]] bool rf_unbounded() const noexcept {
+    return int_regs == 0 || fp_regs == 0;
+  }
+};
+
+}  // namespace clusmt::core

@@ -1,0 +1,102 @@
+// In-flight µop state and the per-thread reorder buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/phys_ref.h"
+#include "common/types.h"
+#include "frontend/rename_map.h"
+#include "trace/uop.h"
+
+namespace clusmt::core {
+
+enum class UopStage : std::uint8_t {
+  kDispatched = 0,  // renamed, sitting in an issue queue
+  kIssued,          // left the issue queue, executing
+  kDone,            // result produced; eligible to commit
+};
+
+struct DynUop {
+  trace::MicroOp op;
+  ThreadId tid = -1;
+  std::uint64_t seq = 0;   // per-thread program order (copies included)
+  std::uint64_t uid = 0;   // globally unique (guards stale events)
+  bool wrong_path = false;
+  bool mispredicted = false;  // branch that must squash at resolution
+  bool is_copy = false;
+  std::uint64_t history_checkpoint = 0;  // branches: history before predict
+  bool predicted_taken = false;
+
+  ClusterId cluster = -1;  // execution cluster
+  PhysRef dst;             // invalid when the µop writes no register
+  PhysRef srcs[2];         // invalid entries carry no dependency
+
+  // Rename undo log.
+  frontend::ReplicaSet prev_replicas;  // superseded mapping of op.dst
+  bool has_prev = false;
+  int copy_arch = -1;  // copies: which architectural register was replicated
+
+  int iq_slot = -1;   // while kDispatched
+  int mob_slot = -1;  // loads/stores until commit/squash
+
+  UopStage stage = UopStage::kDispatched;
+  bool l2_miss_outstanding = false;  // load with an in-flight L2 miss
+  bool steered_off_preferred = false;  // dispatched to a non-preferred cluster
+};
+
+/// Per-thread circular reorder buffer. Slots are stable (pointers remain
+/// valid while the µop is in flight), so issue queues and the event queue
+/// reference (thread, slot) pairs plus a uid.
+class Rob {
+ public:
+  explicit Rob(int capacity)
+      : buffer_(static_cast<std::size_t>(capacity)), capacity_(capacity) {}
+
+  [[nodiscard]] bool full() const noexcept { return count_ == capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] int size() const noexcept { return count_; }
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  [[nodiscard]] int free_slots() const noexcept { return capacity_ - count_; }
+
+  /// Appends a fresh entry at the tail; returns nullptr when full.
+  DynUop* push() {
+    if (full()) return nullptr;
+    const int slot = (head_ + count_) % capacity_;
+    ++count_;
+    buffer_[slot] = DynUop{};
+    return &buffer_[slot];
+  }
+
+  [[nodiscard]] DynUop& head() { return buffer_[head_]; }
+  [[nodiscard]] DynUop& tail() {
+    return buffer_[(head_ + count_ - 1) % capacity_];
+  }
+  void pop_head() {
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+  }
+  void pop_tail() { --count_; }
+
+  [[nodiscard]] int slot_of(const DynUop& uop) const {
+    return static_cast<int>(&uop - buffer_.data());
+  }
+  [[nodiscard]] DynUop& at_slot(int slot) { return buffer_[slot]; }
+  [[nodiscard]] const DynUop& at_slot(int slot) const { return buffer_[slot]; }
+
+  /// Visits entries oldest to youngest.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (int i = 0; i < count_; ++i) {
+      fn(buffer_[(head_ + i) % capacity_]);
+    }
+  }
+
+ private:
+  std::vector<DynUop> buffer_;
+  int capacity_;
+  int head_ = 0;
+  int count_ = 0;
+};
+
+}  // namespace clusmt::core

@@ -1,0 +1,74 @@
+#include "core/energy.h"
+
+namespace clusmt::core {
+
+namespace {
+
+/// Linear size scaling around the calibration point; unbounded resources
+/// (capacity 0) charge the baseline cost.
+[[nodiscard]] double scale(int configured, int baseline) {
+  if (configured <= 0) return 1.0;
+  return static_cast<double>(configured) / static_cast<double>(baseline);
+}
+
+}  // namespace
+
+EnergyBreakdown estimate_energy(const SimStats& stats,
+                                const SimConfig& config,
+                                const EnergyParams& params) {
+  EnergyBreakdown out;
+
+  const double iq_scale = scale(config.iq_entries, params.baseline_iq_entries);
+  // Both classes contribute; use the mean of their scales.
+  const double rf_scale =
+      (scale(config.int_regs, params.baseline_regs_per_cluster) +
+       scale(config.fp_regs, params.baseline_regs_per_cluster)) /
+      2.0;
+
+  const auto renamed = static_cast<double>(stats.renamed_uops);
+  const auto copies = static_cast<double>(stats.copies_created);
+  const auto issued = static_cast<double>(stats.issued_uops);
+  const auto squashed = static_cast<double>(stats.squashed_uops);
+
+  // Every renamed µop (useful or wrong-path) paid fetch/decode/rename;
+  // copies are injected at rename and skip fetch/decode.
+  out.front_end = renamed * (params.fetch_decode + params.rename) +
+                  copies * params.rename;
+
+  // Dispatch inserts µop + its copies; each issue pays the CAM broadcast.
+  out.issue_queue = (renamed + copies) * params.iq_dispatch * iq_scale +
+                    issued * params.iq_issue * iq_scale;
+
+  out.register_file =
+      issued * params.avg_sources_per_uop * params.rf_read * rf_scale +
+      issued * params.rf_write * rf_scale;
+
+  out.execution = issued * (params.execute + params.bypass);
+
+  // L1 sees every committed load and store; L2 only load misses into it
+  // (committed stores retire through the write ports and mostly hit L1 in
+  // this machine); DRAM sees the L2 misses the stats expose.
+  const auto loads = static_cast<double>(stats.committed_loads);
+  const auto stores = static_cast<double>(stats.committed_stores);
+  const auto l2_misses = static_cast<double>(stats.load_l2_misses +
+                                             stats.store_l2_misses);
+  out.memory = (loads + stores) * params.l1_access +
+               loads * 0.1 * params.l2_access +  // L1 load-miss traffic
+               l2_misses * params.memory_access;
+
+  out.interconnect = copies * params.link_transfer;
+
+  // Squashed work re-pays its front-end and dispatch energy when
+  // re-fetched; charge it once more as waste so schemes that flush
+  // aggressively (Flush+) see their recovery cost.
+  out.wasted = squashed * (params.fetch_decode + params.rename +
+                           params.iq_dispatch * iq_scale);
+
+  out.static_clock = static_cast<double>(stats.cycles) *
+                     params.static_per_cluster * config.num_clusters *
+                     (iq_scale + rf_scale) / 2.0;
+
+  return out;
+}
+
+}  // namespace clusmt::core

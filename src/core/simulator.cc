@@ -1,0 +1,834 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/synthetic.h"
+
+namespace clusmt::core {
+
+namespace {
+
+[[nodiscard]] std::uint64_t pack_rob_ref(ThreadId tid, int slot) noexcept {
+  return (static_cast<std::uint64_t>(tid) << 32) |
+         static_cast<std::uint32_t>(slot);
+}
+[[nodiscard]] ThreadId rob_ref_tid(std::uint64_t ref) noexcept {
+  return static_cast<ThreadId>(ref >> 32);
+}
+[[nodiscard]] int rob_ref_slot(std::uint64_t ref) noexcept {
+  return static_cast<int>(ref & 0xFFFFFFFFu);
+}
+
+}  // namespace
+
+Simulator::Simulator(const SimConfig& config) : config_(config) {
+  if (config.num_threads < 1 || config.num_threads > kMaxThreads) {
+    throw std::invalid_argument("unsupported thread count");
+  }
+  if (config.num_clusters < 1 || config.num_clusters > kMaxClusters) {
+    throw std::invalid_argument("unsupported cluster count");
+  }
+  // Committed architectural mappings alone pin num_threads x arch-regs
+  // physical registers of each class; without headroom on top, renaming
+  // eventually starves with every ROB empty and nothing left to commit —
+  // a silent machine-wide wedge, not a slow configuration. Reject it.
+  // (The paper's two-thread setups all pass; four threads need the
+  // 128-registers-per-cluster end of Table 1's range.)
+  const struct {
+    int per_cluster;
+    int arch;
+    const char* what;
+  } reg_floors[] = {
+      {config.int_regs, kNumIntArchRegs, "integer"},
+      {config.fp_regs, kNumFpArchRegs, "FP/SIMD"},
+  };
+  for (const auto& floor : reg_floors) {
+    if (floor.per_cluster == 0) continue;  // unbounded mode
+    const int total = floor.per_cluster * config.num_clusters;
+    const int committed_floor = config.num_threads * floor.arch;
+    if (total < committed_floor + config.rename_width) {
+      std::ostringstream err;
+      err << "config: " << total << " total " << floor.what
+          << " physical registers cannot back " << config.num_threads
+          << " threads x " << floor.arch
+          << " architectural registers plus rename headroom ("
+          << committed_floor + config.rename_width << " required)";
+      throw std::invalid_argument(err.str());
+    }
+  }
+
+  frontend::FetchConfig fetch_config;
+  fetch_config.fetch_width = config.fetch_width;
+  fetch_config.decode_queue_capacity = config.decode_queue_capacity;
+  fetch_config.mispredict_penalty = config.mispredict_penalty;
+  fetch_config.selection = config.fetch_selection;
+  fetch_config.predictor = config.predictor;
+  fetch_config.trace_cache = config.trace_cache;
+  fetch_ = std::make_unique<frontend::FetchEngine>(fetch_config,
+                                                   config.num_threads);
+
+  rename_maps_.reserve(config.num_threads);
+  robs_.reserve(config.num_threads);
+  for (int t = 0; t < config.num_threads; ++t) {
+    rename_maps_.emplace_back(config.num_clusters);
+    robs_.emplace_back(config.effective_rob_entries());
+  }
+
+  backend::ClusterConfig cluster_config{.iq_entries = config.iq_entries,
+                                        .int_registers = config.int_regs,
+                                        .fp_registers = config.fp_regs};
+  clusters_.reserve(config.num_clusters);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    clusters_.emplace_back(cluster_config);
+  }
+
+  interconnect_ = std::make_unique<backend::Interconnect>(
+      config.num_links, config.link_latency);
+  hierarchy_ = std::make_unique<memory::MemoryHierarchy>(config.memory);
+  mob_ = std::make_unique<memory::MemOrderBuffer>(config.mob_entries);
+  steering_ = std::make_unique<steer::Steering>(
+      config.steering, config.num_clusters,
+      config.steer_imbalance_threshold);
+  policy_ = policy::make_policy(config.policy, config.policy_config);
+}
+
+void Simulator::attach_thread(ThreadId tid,
+                              std::shared_ptr<trace::TraceSource> source,
+                              const trace::TraceProfile* profile,
+                              std::uint64_t seed) {
+  fetch_->attach_thread(tid, std::move(source), profile, seed);
+}
+
+void Simulator::attach_thread(ThreadId tid, const trace::TraceSpec& spec) {
+  auto profile = std::make_unique<trace::TraceProfile>(spec.profile);
+  const trace::TraceProfile* profile_ptr = profile.get();
+  owned_profiles_.push_back(std::move(profile));
+  attach_thread(tid,
+                std::make_shared<trace::SyntheticTrace>(*profile_ptr,
+                                                        spec.seed),
+                profile_ptr, spec.seed);
+}
+
+void Simulator::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    step();
+    if (now_ - last_commit_cycle_ > config_.watchdog_cycles) {
+      std::ostringstream err;
+      err << "simulator watchdog: no commit since cycle "
+          << last_commit_cycle_ << " (now " << now_ << ", policy "
+          << policy_->name() << ")";
+      throw std::runtime_error(err.str());
+    }
+  }
+}
+
+void Simulator::reset_stats() {
+  stats_ = SimStats{};
+  hierarchy_->reset_stats();
+  mob_->reset_stats();
+  fetch_->reset_stats();
+  interconnect_->reset_stats();
+  steering_->reset_stats();
+}
+
+void Simulator::step() {
+  refresh_view();
+  policy_->begin_cycle(view_);
+  handle_flush_requests();
+  commit_stage();
+  writeback_stage();
+  issue_stage();
+  rename_stage();
+  fetch_stage();
+  ++now_;
+  ++stats_.cycles;
+}
+
+void Simulator::refresh_view() {
+  view_.now = now_;
+  view_.num_threads = config_.num_threads;
+  view_.num_clusters = config_.num_clusters;
+  view_.iq_capacity = config_.iq_entries;
+  view_.rf_capacity[0] = clusters_[0].rf(RegClass::kInt).capacity();
+  view_.rf_capacity[1] = clusters_[0].rf(RegClass::kFp).capacity();
+  view_.rf_unbounded = config_.rf_unbounded();
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    view_.iq_occ[c] = clusters_[c].iq().occupancy();
+    for (int k = 0; k < kNumRegClasses; ++k) {
+      view_.rf_free[c][k] =
+          clusters_[c].rf(static_cast<RegClass>(k)).free_count();
+    }
+  }
+  for (int t = 0; t < config_.num_threads; ++t) {
+    for (int c = 0; c < config_.num_clusters; ++c) {
+      view_.iq_occ_tc[t][c] = clusters_[c].iq().occupancy_of(t);
+      for (int k = 0; k < kNumRegClasses; ++k) {
+        view_.rf_used[t][c][k] =
+            clusters_[c].rf(static_cast<RegClass>(k)).used_by(t);
+      }
+    }
+    view_.decode_queue_depth[t] = fetch_->queue_size(t);
+    view_.rob_occ[t] = robs_[t].size();
+    view_.l2_pending[t] = outstanding_l2_[t] > 0;
+    view_.committed[t] = stats_.committed[t];
+    for (int k = 0; k < kNumRegClasses; ++k) {
+      view_.rf_blocked[t][k] = rf_blocked_flags_[t][k];
+    }
+    for (int c = 0; c < config_.num_clusters; ++c) {
+      view_.iq_unready_tc[t][c] = iq_unready_tc_[t][c];
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Events
+// --------------------------------------------------------------------------
+
+void Simulator::schedule(Cycle cycle, EventKind kind, const DynUop& uop) {
+  events_.push(Event{.cycle = cycle,
+                     .order = event_order_++,
+                     .kind = kind,
+                     .tid = uop.tid,
+                     .rob_slot = robs_[uop.tid].slot_of(uop),
+                     .uid = uop.uid});
+}
+
+DynUop* Simulator::resolve_event(const Event& event) {
+  DynUop& uop = robs_[event.tid].at_slot(event.rob_slot);
+  if (uop.uid != event.uid || uop.tid != event.tid) return nullptr;
+  return &uop;
+}
+
+// --------------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------------
+
+void Simulator::commit_stage() {
+  int budget = config_.commit_width;
+  int store_ports = config_.l1_write_ports;
+
+  for (int offset = 0; offset < config_.num_threads && budget > 0; ++offset) {
+    const ThreadId t = (commit_rr_ + offset) % config_.num_threads;
+    Rob& rob = robs_[t];
+    while (budget > 0 && !rob.empty()) {
+      DynUop& head = rob.head();
+      if (head.stage != UopStage::kDone) break;
+      assert(!head.wrong_path && "wrong-path uop reached commit");
+
+      if (head.op.is_store()) {
+        if (store_ports == 0) break;  // L1 write ports exhausted this cycle
+        --store_ports;
+        const auto result = hierarchy_->store(head.op.mem_addr, now_);
+        if (result.l2_miss) ++stats_.store_l2_misses;
+      }
+
+      // Free the registers superseded by this µop's destination.
+      if (head.has_prev) {
+        const RegClass cls = arch_reg_class(head.op.dst);
+        for (int c = 0; c < config_.num_clusters; ++c) {
+          if (head.prev_replicas.phys[c] >= 0) {
+            clusters_[c].rf(cls).release(head.prev_replicas.phys[c]);
+          }
+        }
+      }
+      if (head.mob_slot >= 0) mob_->release(head.mob_slot);
+
+      if (head.is_copy) {
+        ++stats_.committed_copies;
+      } else {
+        ++stats_.committed[t];
+        if (head.op.is_branch()) ++stats_.committed_branches;
+        if (head.op.is_load()) ++stats_.committed_loads;
+        if (head.op.is_store()) ++stats_.committed_stores;
+      }
+      if (commit_hook_) commit_hook_(head);
+
+      head.uid = 0;  // invalidate pending events
+      rob.pop_head();
+      --budget;
+      last_commit_cycle_ = now_;
+    }
+  }
+  commit_rr_ = (commit_rr_ + 1) % config_.num_threads;
+}
+
+// --------------------------------------------------------------------------
+// Writeback / memory
+// --------------------------------------------------------------------------
+
+void Simulator::note_l2_miss_started(DynUop& uop) {
+  uop.l2_miss_outstanding = true;
+  ++outstanding_l2_[uop.tid];
+  policy_->on_l2_miss(uop.tid, uop.seq, now_);
+}
+
+void Simulator::note_l2_miss_finished(DynUop& uop) {
+  assert(uop.l2_miss_outstanding);
+  uop.l2_miss_outstanding = false;
+  --outstanding_l2_[uop.tid];
+  assert(outstanding_l2_[uop.tid] >= 0);
+  policy_->on_l2_resolved(uop.tid, uop.seq, now_);
+}
+
+void Simulator::start_load_access(DynUop& uop) {
+  const auto check = mob_->check_load(uop.mob_slot);
+  switch (check) {
+    case memory::LoadCheck::kWait:
+      blocked_loads_.push_back(
+          {uop.tid, robs_[uop.tid].slot_of(uop), uop.uid});
+      return;
+    case memory::LoadCheck::kForward:
+      ++stats_.load_forwards;
+      schedule(now_ + 1, EventKind::kComplete, uop);
+      return;
+    case memory::LoadCheck::kAccess: {
+      const auto result = hierarchy_->load(uop.op.mem_addr, now_);
+      if (result.l2_miss) {
+        ++stats_.load_l2_misses;
+        note_l2_miss_started(uop);
+      }
+      schedule(now_ + static_cast<Cycle>(result.latency),
+               EventKind::kComplete, uop);
+      return;
+    }
+  }
+}
+
+void Simulator::retry_blocked_loads() {
+  if (blocked_loads_.empty()) return;
+  std::vector<BlockedLoad> pending;
+  pending.swap(blocked_loads_);
+  for (const BlockedLoad& bl : pending) {
+    DynUop& uop = robs_[bl.tid].at_slot(bl.rob_slot);
+    if (uop.uid != bl.uid) continue;  // squashed meanwhile
+    start_load_access(uop);           // re-blocks if still ambiguous
+  }
+}
+
+void Simulator::writeback_stage() {
+  retry_blocked_loads();
+
+  while (!events_.empty() && events_.top().cycle <= now_) {
+    const Event event = events_.top();
+    events_.pop();
+    DynUop* uop = resolve_event(event);
+    if (uop == nullptr) continue;
+
+    switch (event.kind) {
+      case EventKind::kAgu: {
+        mob_->set_address(uop->mob_slot, uop->op.mem_addr);
+        if (uop->op.is_store()) {
+          uop->stage = UopStage::kDone;  // data written at commit
+          break;
+        }
+        start_load_access(*uop);
+        break;
+      }
+      case EventKind::kComplete: {
+        if (uop->is_copy) {
+          // The copy's value crosses the interconnect; retry next cycle
+          // when both links are busy.
+          if (interconnect_->try_acquire()) {
+            schedule(now_ + static_cast<Cycle>(config_.link_latency),
+                     EventKind::kCopyArrive, *uop);
+          } else {
+            schedule(now_ + 1, EventKind::kComplete, *uop);
+          }
+          break;
+        }
+        if (uop->dst.valid()) {
+          clusters_[uop->dst.cluster].rf(uop->dst.cls).set_ready(
+              uop->dst.index);
+        }
+        if (uop->op.is_load() && uop->l2_miss_outstanding) {
+          note_l2_miss_finished(*uop);
+        }
+        uop->stage = UopStage::kDone;
+        if (uop->op.is_branch()) {
+          ++stats_.branches_resolved;
+          if (!uop->wrong_path) {
+            fetch_->predictor().train(uop->tid, uop->history_checkpoint,
+                                      uop->op.pc, uop->op.taken);
+            if (uop->op.indirect) {
+              fetch_->predictor().train_indirect(uop->op.pc, uop->op.target);
+            }
+            if (uop->mispredicted) {
+              ++stats_.mispredicts_resolved;
+              squash_younger_than(uop->tid, uop->seq, nullptr, nullptr);
+              fetch_->resolve_mispredict(uop->tid, uop->history_checkpoint,
+                                         uop->op.taken, now_);
+            }
+          }
+        }
+        break;
+      }
+      case EventKind::kCopyArrive: {
+        clusters_[uop->dst.cluster].rf(uop->dst.cls).set_ready(
+            uop->dst.index);
+        uop->stage = UopStage::kDone;
+        break;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------------
+
+bool Simulator::source_ready(const PhysRef& ref) const {
+  if (!ref.valid()) return true;
+  return clusters_[ref.cluster].rf(ref.cls).ready(ref.index);
+}
+
+void Simulator::issue_stage() {
+  interconnect_->new_cycle();
+  bool any_issue = false;
+  int ready_unissued[kMaxClusters][trace::kNumPortClasses] = {};
+  for (auto& row : iq_unready_tc_) {
+    for (int& count : row) count = 0;
+  }
+
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    backend::Cluster& cluster = clusters_[c];
+    cluster.ports().new_cycle();
+    // Snapshot: issuing removes entries, which reshuffles the live order.
+    issue_scratch_.assign(cluster.iq().slots_by_age().begin(),
+                          cluster.iq().slots_by_age().end());
+    for (int slot : issue_scratch_) {
+      const backend::IqEntry& entry = cluster.iq().entry(slot);
+      if (!source_ready(entry.src0) || !source_ready(entry.src1)) {
+        ++iq_unready_tc_[entry.tid][c];
+        continue;
+      }
+      const trace::PortClass port_class = trace::port_class_of(entry.cls);
+      if (!cluster.ports().try_book(port_class)) {
+        ++ready_unissued[c][static_cast<int>(port_class)];
+        continue;
+      }
+      DynUop& uop =
+          robs_[rob_ref_tid(entry.rob_ref)].at_slot(rob_ref_slot(entry.rob_ref));
+      cluster.iq().remove(slot);
+      uop.iq_slot = -1;
+      uop.stage = UopStage::kIssued;
+      ++stats_.issued_uops;
+      any_issue = true;
+      if (trace::is_memory(uop.op.cls)) {
+        schedule(now_ + 1, EventKind::kAgu, uop);  // 1-cycle AGU
+      } else {
+        schedule(now_ + static_cast<Cycle>(
+                             trace::execution_latency(uop.op.cls)),
+                 EventKind::kComplete, uop);
+      }
+    }
+  }
+
+  // Figure 5: ready µops denied an issue slot — could the other cluster
+  // have executed them this cycle?
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    for (int k = 0; k < trace::kNumPortClasses; ++k) {
+      const int denied = ready_unissued[c][k];
+      if (denied == 0) continue;
+      bool other_has_slot = false;
+      for (int c2 = 0; c2 < config_.num_clusters; ++c2) {
+        if (c2 == c) continue;
+        if (clusters_[c2].ports().free_compatible(
+                static_cast<trace::PortClass>(k)) > 0) {
+          other_has_slot = true;
+          break;
+        }
+      }
+      stats_.imbalance_events[other_has_slot ? 1 : 0][k] +=
+          static_cast<std::uint64_t>(denied);
+    }
+  }
+  if (any_issue) ++stats_.cycles_with_issue;
+}
+
+// --------------------------------------------------------------------------
+// Rename / steer / dispatch
+// --------------------------------------------------------------------------
+
+void Simulator::rename_stage() {
+  refresh_view();
+  for (int t = 0; t < config_.num_threads; ++t) {
+    for (int k = 0; k < kNumRegClasses; ++k) rf_blocked_flags_[t][k] = false;
+  }
+
+  std::uint32_t candidates = 0;
+  for (int t = 0; t < config_.num_threads; ++t) {
+    if (!fetch_->queue_empty(t)) candidates |= 1u << t;
+  }
+  candidates = policy_->rename_eligible(view_, candidates);
+  if (candidates == 0) return;
+
+  const ThreadId tid = policy_->select_rename_thread(view_, candidates);
+  if (tid < 0) return;
+
+  int budget = config_.rename_width;
+  bool renamed_any = false;
+  while (budget > 0 && !fetch_->queue_empty(tid)) {
+    const int consumed = try_rename_front(tid);
+    if (consumed == 0) {
+      ++stats_.rename_blocked_cycles;
+      break;
+    }
+    budget -= consumed;
+    renamed_any = true;
+    refresh_view();  // occupancies moved; policies must see them
+  }
+  if (renamed_any) ++stats_.rename_cycles;
+}
+
+bool Simulator::plan_for_cluster(ThreadId tid, const frontend::FetchedUop& fu,
+                                 ClusterId cluster, RenamePlan& plan,
+                                 bool& iq_failure, bool& rf_failure) {
+  plan = RenamePlan{};
+  plan.cluster = cluster;
+  frontend::RenameMap& rmap = rename_maps_[tid];
+
+  int iq_need[kMaxClusters] = {};
+  iq_need[cluster] += 1;
+  int rf_need[kNumRegClasses] = {};
+
+  auto plan_source = [&](int arch) {
+    if (arch < 0) return;
+    const frontend::ReplicaSet& rs = rmap.get(arch);
+    if (!rs.anywhere() || rs.present(cluster)) return;
+    for (int i = 0; i < plan.num_copies; ++i) {
+      if (plan.copies[i].arch == arch) return;  // one copy per arch reg
+    }
+    const ClusterId from = rs.any_cluster();
+    plan.copies[plan.num_copies++] =
+        RenamePlan::CopyPlan{arch, from, rs.phys[from]};
+    ++iq_need[from];
+    ++rf_need[static_cast<int>(arch_reg_class(arch))];
+  };
+  plan_source(fu.op.src0);
+  plan_source(fu.op.src1);
+
+  if (fu.op.has_dst()) {
+    ++rf_need[static_cast<int>(arch_reg_class(fu.op.dst))];
+  }
+
+  if (robs_[tid].free_slots() < 1 + plan.num_copies) return false;
+
+  int total_iq_need = 0;
+  for (int c = 0; c < config_.num_clusters; ++c) total_iq_need += iq_need[c];
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    if (iq_need[c] == 0) continue;
+    if (clusters_[c].iq().occupancy() + iq_need[c] >
+            clusters_[c].iq().capacity() ||
+        !policy_->allow_iq_dispatch(view_, tid, c, iq_need[c],
+                                    total_iq_need)) {
+      iq_failure = true;
+      return false;
+    }
+  }
+
+  for (int k = 0; k < kNumRegClasses; ++k) {
+    if (rf_need[k] == 0) continue;
+    const RegClass cls = static_cast<RegClass>(k);
+    if (clusters_[cluster].rf(cls).free_count() < rf_need[k] ||
+        !policy_->allow_rf_alloc(view_, tid, cluster, cls, rf_need[k])) {
+      rf_failure = true;
+      rf_blocked_flags_[tid][k] = true;  // refined below when dispatched
+      return false;
+    }
+  }
+  return true;
+}
+
+int Simulator::try_rename_front(ThreadId tid) {
+  const frontend::FetchedUop& fu = fetch_->queue_front(tid);
+
+  // Memory-order-buffer slot is cluster independent.
+  if (trace::is_memory(fu.op.cls) && mob_->full()) {
+    ++stats_.rename_block_mob;
+    mob_->note_full_stall();
+    return 0;
+  }
+
+  // Dependence vote for the steering heuristic. Sources whose value is
+  // still in flight vote with triple weight: following them avoids a copy
+  // that would serialise behind the producer and linger in the producer's
+  // issue queue ([12] prioritises unavailable operands).
+  int dep_count[kMaxClusters] = {};
+  frontend::RenameMap& rmap = rename_maps_[tid];
+  auto vote = [&](int arch) {
+    if (arch < 0) return;
+    const frontend::ReplicaSet& rs = rmap.get(arch);
+    const RegClass cls = arch_reg_class(arch);
+    for (int c = 0; c < config_.num_clusters; ++c) {
+      if (!rs.present(c)) continue;
+      const bool in_flight =
+          !clusters_[c].rf(cls).ready(rs.phys[c]);
+      dep_count[c] += in_flight ? 3 : 1;
+    }
+  };
+  vote(fu.op.src0);
+  vote(fu.op.src1);
+
+  const ClusterId forced = policy_->forced_cluster(view_, tid);
+  ClusterId order[kMaxClusters];
+  int order_len = 0;
+  ClusterId preferred;
+  if (forced >= 0) {
+    preferred = forced;
+    order[order_len++] = forced;
+  } else {
+    int iq_occ[kMaxClusters];
+    for (int c = 0; c < config_.num_clusters; ++c) {
+      iq_occ[c] = clusters_[c].iq().occupancy();
+    }
+    preferred = steering_->preferred(
+        std::span<const int>(dep_count, config_.num_clusters),
+        std::span<const int>(iq_occ, config_.num_clusters));
+    order[order_len++] = preferred;
+    // Remaining clusters, least loaded first (insertion sort; <= 3 items).
+    for (int c = 0; c < config_.num_clusters; ++c) {
+      if (c == preferred) continue;
+      int pos = order_len++;
+      while (pos > 1 && iq_occ[order[pos - 1]] > iq_occ[c]) {
+        order[pos] = order[pos - 1];
+        --pos;
+      }
+      order[pos] = c;
+    }
+  }
+
+  bool preferred_iq_failure = false;
+  bool any_iq_failure = false;
+  bool any_rf_failure = false;
+  RenamePlan plan;
+  bool planned = false;
+  for (int oi = 0; oi < order_len; ++oi) {
+    const ClusterId c = order[oi];
+    bool iq_failure = false;
+    bool rf_failure = false;
+    if (plan_for_cluster(tid, fu, c, plan, iq_failure, rf_failure)) {
+      plan.off_preferred_iq = (c != preferred) && preferred_iq_failure;
+      planned = true;
+      break;
+    }
+    if (c == preferred && iq_failure) preferred_iq_failure = true;
+    any_iq_failure |= iq_failure;
+    any_rf_failure |= rf_failure;
+  }
+
+  if (!planned) {
+    // Figure 4 counts the µop's failure to enter its preferred cluster
+    // whether or not renaming ultimately blocked.
+    if (preferred_iq_failure) ++stats_.iq_pref_stall_events;
+    if (any_iq_failure) ++stats_.rename_block_iq;
+    if (any_rf_failure) ++stats_.rename_block_rf;
+    if (!any_iq_failure && !any_rf_failure) ++stats_.rename_block_rob;
+    return 0;
+  }
+
+  // The µop dispatched somewhere; clear speculative starvation marks made
+  // while probing failed clusters.
+  for (int k = 0; k < kNumRegClasses; ++k) rf_blocked_flags_[tid][k] = false;
+
+  if (plan.off_preferred_iq) {
+    ++stats_.iq_pref_stall_events;
+    ++stats_.non_preferred_dispatches;
+  }
+
+  execute_plan(tid, fu, plan);
+  fetch_->pop_front(tid);
+  ++stats_.renamed_uops;
+  stats_.copies_created += static_cast<std::uint64_t>(plan.num_copies);
+  // Copies are injected by dedicated rename-stage ports ([12]: "generated
+  // on demand by the rename logic") and do not consume the 6-wide rename
+  // bandwidth; they do occupy ROB/IQ entries, registers and link slots.
+  return 1;
+}
+
+void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
+                             const RenamePlan& plan) {
+  frontend::RenameMap& rmap = rename_maps_[tid];
+  const ClusterId target = plan.cluster;
+
+  // Copies precede the consumer in program order ([12]: generated
+  // on demand by the rename logic).
+  for (int i = 0; i < plan.num_copies; ++i) {
+    const RenamePlan::CopyPlan& cp = plan.copies[i];
+    const RegClass cls = arch_reg_class(cp.arch);
+    DynUop* copy = robs_[tid].push();
+    assert(copy != nullptr);
+    copy->op.cls = trace::UopClass::kCopy;
+    copy->op.pc = fu.op.pc;
+    copy->tid = tid;
+    copy->seq = next_seq_[tid]++;
+    copy->uid = next_uid_++;
+    copy->wrong_path = fu.wrong_path;
+    copy->is_copy = true;
+    copy->cluster = cp.from;  // reads (and issues) in the producer cluster
+    copy->srcs[0] = PhysRef{static_cast<std::int8_t>(cp.from), cls,
+                            cp.from_phys};
+    const int dst_index = clusters_[target].rf(cls).allocate(tid);
+    assert(dst_index >= 0);
+    copy->dst = PhysRef{static_cast<std::int8_t>(target), cls,
+                        static_cast<std::int16_t>(dst_index)};
+    copy->copy_arch = cp.arch;
+    rmap.add_replica(cp.arch, target, static_cast<std::int16_t>(dst_index));
+
+    backend::IqEntry entry{.tid = tid,
+                           .seq = copy->seq,
+                           .cls = trace::UopClass::kCopy,
+                           .src0 = copy->srcs[0],
+                           .src1 = kNoPhysRef,
+                           .rob_ref = pack_rob_ref(
+                               tid, robs_[tid].slot_of(*copy))};
+    copy->iq_slot = clusters_[cp.from].iq().insert(entry);
+    assert(copy->iq_slot >= 0);
+  }
+
+  DynUop* uop = robs_[tid].push();
+  assert(uop != nullptr);
+  uop->op = fu.op;
+  uop->tid = tid;
+  uop->seq = next_seq_[tid]++;
+  uop->uid = next_uid_++;
+  uop->wrong_path = fu.wrong_path;
+  uop->mispredicted = fu.mispredicted;
+  uop->history_checkpoint = fu.history_checkpoint;
+  uop->predicted_taken = fu.predicted_taken;
+  uop->cluster = target;
+  uop->steered_off_preferred = plan.off_preferred_iq;
+
+  // Resolve sources after copies (replicas now exist in `target`) and
+  // before the destination is redefined (a µop may read its own register).
+  auto resolve = [&](int arch) -> PhysRef {
+    if (arch < 0) return kNoPhysRef;
+    const frontend::ReplicaSet& rs = rmap.get(arch);
+    if (!rs.anywhere()) return kNoPhysRef;  // architecturally cold: ready
+    assert(rs.present(target));
+    return PhysRef{static_cast<std::int8_t>(target), arch_reg_class(arch),
+                   rs.phys[target]};
+  };
+  uop->srcs[0] = resolve(fu.op.src0);
+  uop->srcs[1] = resolve(fu.op.src1);
+
+  if (fu.op.has_dst()) {
+    const RegClass cls = arch_reg_class(fu.op.dst);
+    const int dst_index = clusters_[target].rf(cls).allocate(tid);
+    assert(dst_index >= 0);
+    uop->dst = PhysRef{static_cast<std::int8_t>(target), cls,
+                       static_cast<std::int16_t>(dst_index)};
+    uop->prev_replicas = rmap.define(fu.op.dst, target,
+                                     static_cast<std::int16_t>(dst_index));
+    uop->has_prev = true;
+  }
+
+  if (trace::is_memory(fu.op.cls)) {
+    uop->mob_slot = mob_->allocate(tid, uop->seq, fu.op.is_store());
+    assert(uop->mob_slot >= 0);
+  }
+
+  backend::IqEntry entry{.tid = tid,
+                         .seq = uop->seq,
+                         .cls = fu.op.cls,
+                         .src0 = uop->srcs[0],
+                         .src1 = uop->srcs[1],
+                         .rob_ref =
+                             pack_rob_ref(tid, robs_[tid].slot_of(*uop))};
+  if (fu.op.is_store()) {
+    // Stores model the x86 STA/STD split: the address µop issues as soon
+    // as the address source (src0) is ready so younger loads can
+    // disambiguate; the data (src1, produced by an older µop) is committed
+    // with the store and never delays address generation.
+    entry.src1 = kNoPhysRef;
+  }
+  uop->iq_slot = clusters_[target].iq().insert(entry);
+  assert(uop->iq_slot >= 0);
+}
+
+// --------------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------------
+
+void Simulator::fetch_stage() {
+  std::uint32_t mask = (1u << config_.num_threads) - 1;
+  mask = policy_->fetch_eligible(view_, mask);
+  const ThreadId tid = fetch_->select_fetch_thread(mask, now_);
+  if (tid >= 0) fetch_->fetch_cycle(tid, now_);
+}
+
+// --------------------------------------------------------------------------
+// Recovery
+// --------------------------------------------------------------------------
+
+void Simulator::undo_uop(DynUop& uop) {
+  ++stats_.squashed_uops;
+  if (uop.stage == UopStage::kDispatched && uop.iq_slot >= 0) {
+    clusters_[uop.cluster].iq().remove(uop.iq_slot);
+    uop.iq_slot = -1;
+  }
+  if (uop.l2_miss_outstanding) note_l2_miss_finished(uop);
+  if (uop.mob_slot >= 0) {
+    mob_->release(uop.mob_slot);
+    uop.mob_slot = -1;
+  }
+  if (uop.is_copy) {
+    rename_maps_[uop.tid].remove_replica(uop.copy_arch, uop.dst.cluster);
+    clusters_[uop.dst.cluster].rf(uop.dst.cls).release(uop.dst.index);
+  } else if (uop.has_prev) {
+    rename_maps_[uop.tid].restore(uop.op.dst, uop.prev_replicas);
+    clusters_[uop.dst.cluster].rf(uop.dst.cls).release(uop.dst.index);
+  }
+  uop.uid = 0;  // poison pending events / blocked-load references
+}
+
+void Simulator::squash_younger_than(ThreadId tid, std::uint64_t boundary_seq,
+                                    std::vector<trace::MicroOp>* replay_out,
+                                    std::uint64_t* oldest_branch_checkpoint) {
+  Rob& rob = robs_[tid];
+  while (!rob.empty() && rob.tail().seq > boundary_seq) {
+    DynUop& tail = rob.tail();
+    if (replay_out && !tail.wrong_path && !tail.is_copy) {
+      replay_out->push_back(tail.op);  // collected youngest-first
+    }
+    if (oldest_branch_checkpoint && tail.op.is_branch() && !tail.wrong_path &&
+        !tail.is_copy) {
+      *oldest_branch_checkpoint = tail.history_checkpoint;
+    }
+    undo_uop(tail);
+    rob.pop_tail();
+  }
+}
+
+void Simulator::handle_flush_requests() {
+  while (auto request = policy_->flush_request(now_)) {
+    std::vector<trace::MicroOp> replay;
+    std::uint64_t checkpoint = 0;
+    bool any_branch = false;
+    {
+      // Detect whether a correct-path branch will be squashed so we know
+      // to restore the history register.
+      Rob& rob = robs_[request->tid];
+      rob.for_each([&](DynUop& u) {
+        if (u.seq > request->after_seq && u.op.is_branch() && !u.wrong_path &&
+            !u.is_copy) {
+          any_branch = true;
+        }
+      });
+    }
+    squash_younger_than(request->tid, request->after_seq, &replay,
+                        &checkpoint);
+    std::reverse(replay.begin(), replay.end());
+    fetch_->flush_and_replay(request->tid, replay,
+                             any_branch
+                                 ? std::optional<std::uint64_t>(checkpoint)
+                                 : std::nullopt);
+    policy_->on_flush_done(request->tid);
+    ++stats_.policy_flushes;
+  }
+}
+
+}  // namespace clusmt::core

@@ -1,0 +1,193 @@
+// The cycle-level simulator: a monolithic SMT front-end feeding a two-
+// cluster back-end through rename/steer, with a shared memory hierarchy
+// (paper §3, Figure 1). Stages execute in reverse pipeline order each
+// cycle: commit, writeback, issue, rename/steer/dispatch, fetch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "backend/cluster.h"
+#include "backend/interconnect.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/dyn_uop.h"
+#include "core/stats.h"
+#include "frontend/fetch.h"
+#include "frontend/rename_map.h"
+#include "memory/hierarchy.h"
+#include "memory/mob.h"
+#include "policy/policy.h"
+#include "steer/steering.h"
+#include "trace/trace_source.h"
+#include "trace/workload.h"
+
+namespace clusmt::core {
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& config);
+
+  /// Attaches a thread's µop source. `profile` must outlive the simulator
+  /// (it parameterises wrong-path synthesis).
+  void attach_thread(ThreadId tid, std::shared_ptr<trace::TraceSource> source,
+                     const trace::TraceProfile* profile, std::uint64_t seed);
+
+  /// Convenience: builds a synthetic trace from a workload TraceSpec.
+  void attach_thread(ThreadId tid, const trace::TraceSpec& spec);
+
+  /// Advances `cycles` simulated cycles.
+  void run(Cycle cycles);
+  void step();
+
+  /// Zeroes every statistic while keeping the machine state (caches,
+  /// predictors, in-flight µops) warm. Call after a warmup phase so
+  /// measurements reflect steady state.
+  void reset_stats();
+
+  /// Observer invoked for every µop at commit, in commit order (copies
+  /// included, flagged by DynUop::is_copy). Used for commit tracing and
+  /// order-verification; pass nullptr to clear.
+  using CommitHook = std::function<void(const DynUop&)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  // Component access (tests, benches, examples).
+  [[nodiscard]] const backend::Cluster& cluster(ClusterId c) const {
+    return clusters_[c];
+  }
+  [[nodiscard]] const frontend::FetchEngine& fetch_engine() const {
+    return *fetch_;
+  }
+  [[nodiscard]] const memory::MemoryHierarchy& hierarchy() const {
+    return *hierarchy_;
+  }
+  [[nodiscard]] const memory::MemOrderBuffer& mob() const { return *mob_; }
+  [[nodiscard]] const backend::Interconnect& interconnect() const {
+    return *interconnect_;
+  }
+  [[nodiscard]] const steer::Steering& steering() const { return *steering_; }
+  [[nodiscard]] const policy::ResourceAssignmentPolicy& policy() const {
+    return *policy_;
+  }
+  [[nodiscard]] const Rob& rob(ThreadId tid) const { return robs_[tid]; }
+  [[nodiscard]] const policy::PipelineView& view() const noexcept {
+    return view_;
+  }
+
+ private:
+  // --- Event machinery ---
+  enum class EventKind : std::uint8_t {
+    kAgu,         // load/store address generated
+    kComplete,    // execution latency elapsed
+    kCopyArrive,  // copy value reached the destination cluster
+  };
+  struct Event {
+    Cycle cycle;
+    std::uint64_t order;  // FIFO among same-cycle events
+    EventKind kind;
+    ThreadId tid;
+    int rob_slot;
+    std::uint64_t uid;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.cycle != b.cycle) return a.cycle > b.cycle;
+      return a.order > b.order;
+    }
+  };
+
+  void schedule(Cycle cycle, EventKind kind, const DynUop& uop);
+  [[nodiscard]] DynUop* resolve_event(const Event& event);
+
+  // --- Pipeline stages ---
+  void commit_stage();
+  void writeback_stage();
+  void retry_blocked_loads();
+  void issue_stage();
+  void rename_stage();
+  void fetch_stage();
+  void handle_flush_requests();
+
+  // --- Rename helpers ---
+  struct RenamePlan {
+    ClusterId cluster = -1;
+    // Copies: one per distinct source arch register missing from `cluster`.
+    struct CopyPlan {
+      int arch = -1;
+      ClusterId from = -1;
+      std::int16_t from_phys = -1;
+    };
+    int num_copies = 0;
+    CopyPlan copies[2];
+    bool off_preferred_iq = false;  // failed preferred cluster for IQ reasons
+  };
+  /// Attempts to rename+dispatch the front µop of `tid`; returns consumed
+  /// rename bandwidth (1 + copies) or 0 when blocked.
+  int try_rename_front(ThreadId tid);
+  [[nodiscard]] bool plan_for_cluster(ThreadId tid,
+                                      const frontend::FetchedUop& fu,
+                                      ClusterId cluster, RenamePlan& plan,
+                                      bool& iq_failure, bool& rf_failure);
+  void execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
+                    const RenamePlan& plan);
+
+  // --- Recovery ---
+  void squash_younger_than(ThreadId tid, std::uint64_t boundary_seq,
+                           std::vector<trace::MicroOp>* replay_out,
+                           std::uint64_t* oldest_branch_checkpoint);
+  void undo_uop(DynUop& uop);
+
+  // --- Memory helpers ---
+  void start_load_access(DynUop& uop);
+  void note_l2_miss_started(DynUop& uop);
+  void note_l2_miss_finished(DynUop& uop);
+
+  void refresh_view();
+  [[nodiscard]] bool source_ready(const PhysRef& ref) const;
+
+  SimConfig config_;
+  Cycle now_ = 0;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t next_seq_[kMaxThreads] = {};
+  std::uint64_t event_order_ = 0;
+
+  std::unique_ptr<frontend::FetchEngine> fetch_;
+  std::vector<frontend::RenameMap> rename_maps_;
+  std::vector<backend::Cluster> clusters_;
+  std::unique_ptr<backend::Interconnect> interconnect_;
+  std::unique_ptr<memory::MemoryHierarchy> hierarchy_;
+  std::unique_ptr<memory::MemOrderBuffer> mob_;
+  std::unique_ptr<steer::Steering> steering_;
+  std::unique_ptr<policy::ResourceAssignmentPolicy> policy_;
+  std::vector<Rob> robs_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  struct BlockedLoad {
+    ThreadId tid;
+    int rob_slot;
+    std::uint64_t uid;
+  };
+  std::vector<BlockedLoad> blocked_loads_;
+  std::vector<int> issue_scratch_;  // reused per-cycle issue order snapshot
+
+  // Shadow trace profiles (wrong-path synthesis needs stable pointers).
+  std::vector<std::unique_ptr<trace::TraceProfile>> owned_profiles_;
+
+  policy::PipelineView view_;
+  bool rf_blocked_flags_[kMaxThreads][kNumRegClasses] = {};
+  // Refreshed by the issue stage each cycle (see PipelineView comment).
+  int iq_unready_tc_[kMaxThreads][kMaxClusters] = {};
+  int outstanding_l2_[kMaxThreads] = {};
+  ThreadId commit_rr_ = 0;
+  Cycle last_commit_cycle_ = 0;
+  CommitHook commit_hook_;
+
+  SimStats stats_;
+};
+
+}  // namespace clusmt::core

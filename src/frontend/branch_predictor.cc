@@ -1,0 +1,65 @@
+#include "frontend/branch_predictor.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace clusmt::frontend {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& config)
+    : config_(config),
+      counters_(static_cast<std::size_t>(config.gshare_entries), 2),
+      indirect_(static_cast<std::size_t>(config.indirect_entries), 0),
+      history_mask_((1ULL << config.history_bits) - 1) {
+  if (!std::has_single_bit(static_cast<unsigned>(config.gshare_entries)) ||
+      !std::has_single_bit(static_cast<unsigned>(config.indirect_entries))) {
+    throw std::invalid_argument("predictor tables must be powers of two");
+  }
+}
+
+std::size_t BranchPredictor::gshare_index(std::uint64_t history,
+                                          std::uint64_t pc) const noexcept {
+  // Classic gshare: XOR of history with the branch address (pc granularity
+  // is 4 bytes, so drop the low two bits).
+  const std::uint64_t mixed = (pc >> 2) ^ history;
+  return mixed & (static_cast<std::uint64_t>(config_.gshare_entries) - 1);
+}
+
+bool BranchPredictor::predict_and_update_history(ThreadId tid,
+                                                 std::uint64_t pc) {
+  ++stats_.direction_lookups;
+  const bool taken = counters_[gshare_index(history_[tid], pc)] >= 2;
+  history_[tid] = ((history_[tid] << 1) | (taken ? 1u : 0u)) & history_mask_;
+  return taken;
+}
+
+std::uint64_t BranchPredictor::predict_indirect(std::uint64_t pc) {
+  ++stats_.indirect_lookups;
+  return indirect_[(pc >> 2) &
+                   (static_cast<std::uint64_t>(config_.indirect_entries) - 1)];
+}
+
+void BranchPredictor::train(ThreadId /*tid*/, std::uint64_t history_at_predict,
+                            std::uint64_t pc, bool taken) {
+  ++stats_.direction_updates;
+  std::uint8_t& ctr = counters_[gshare_index(history_at_predict, pc)];
+  if (taken && ctr < 3) ++ctr;
+  if (!taken && ctr > 0) --ctr;
+}
+
+void BranchPredictor::train_indirect(std::uint64_t pc, std::uint64_t target) {
+  indirect_[(pc >> 2) &
+            (static_cast<std::uint64_t>(config_.indirect_entries) - 1)] =
+      target;
+}
+
+void BranchPredictor::restore_history(ThreadId tid, std::uint64_t checkpoint,
+                                      bool apply_outcome,
+                                      bool taken) noexcept {
+  history_[tid] = checkpoint & history_mask_;
+  if (apply_outcome) {
+    history_[tid] =
+        ((history_[tid] << 1) | (taken ? 1u : 0u)) & history_mask_;
+  }
+}
+
+}  // namespace clusmt::frontend

@@ -1,0 +1,71 @@
+// Branch direction and indirect-target prediction (paper Table 1):
+// 32K-entry gshare with 2-bit counters, a per-thread global history
+// register (the only per-thread front-end structure besides renaming
+// tables and the ROB, §3), and a 4096-entry last-target indirect predictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace clusmt::frontend {
+
+struct BranchPredictorConfig {
+  int gshare_entries = 32 * 1024;  // power of two
+  int history_bits = 12;
+  int indirect_entries = 4096;     // power of two
+};
+
+struct BranchPredictorStats {
+  std::uint64_t direction_lookups = 0;
+  std::uint64_t direction_updates = 0;
+  std::uint64_t indirect_lookups = 0;
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& config);
+
+  /// Predicts the direction of the conditional branch at `pc` for thread
+  /// `tid` and speculatively shifts the predicted outcome into the thread's
+  /// history. Returns the prediction.
+  bool predict_and_update_history(ThreadId tid, std::uint64_t pc);
+
+  /// Predicted target for an indirect branch (last target seen; 0 if cold).
+  [[nodiscard]] std::uint64_t predict_indirect(std::uint64_t pc);
+
+  /// Trains the 2-bit counter with the actual outcome (called at branch
+  /// resolution for correct-path branches).
+  void train(ThreadId tid, std::uint64_t history_at_predict, std::uint64_t pc,
+             bool taken);
+
+  void train_indirect(std::uint64_t pc, std::uint64_t target);
+
+  /// Current speculative history (checkpointed by fetch before each branch).
+  [[nodiscard]] std::uint64_t history(ThreadId tid) const noexcept {
+    return history_[tid];
+  }
+  /// Restores history after a squash, re-applying the actual outcome of the
+  /// resolving branch when `apply_outcome` is set.
+  void restore_history(ThreadId tid, std::uint64_t checkpoint,
+                       bool apply_outcome, bool taken) noexcept;
+
+  [[nodiscard]] const BranchPredictorStats& stats() const noexcept {
+    return stats_;
+  }
+  void reset_stats() noexcept { stats_ = BranchPredictorStats{}; }
+
+ private:
+  [[nodiscard]] std::size_t gshare_index(std::uint64_t history,
+                                         std::uint64_t pc) const noexcept;
+
+  BranchPredictorConfig config_;
+  std::vector<std::uint8_t> counters_;       // 2-bit saturating
+  std::vector<std::uint64_t> indirect_;      // last target per entry
+  std::uint64_t history_[kMaxThreads] = {};  // per-thread global history
+  std::uint64_t history_mask_;
+  BranchPredictorStats stats_;
+};
+
+}  // namespace clusmt::frontend

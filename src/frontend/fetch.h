@@ -1,0 +1,154 @@
+// Fetch engine: per-thread program cursors, branch prediction, wrong-path
+// injection, the per-thread decode queues that live inside the thread
+// selection unit (paper §3), and the fetch selection policy ("always fetch
+// from the thread with the lowest number of instructions in its queue").
+//
+// The engine also supports replaying correct-path µops after a policy-
+// induced flush (Flush+): squashed correct-path µops are pushed back and
+// re-delivered before new trace µops.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "frontend/branch_predictor.h"
+#include "frontend/trace_cache.h"
+#include "memory/tlb.h"
+#include "trace/trace_source.h"
+#include "trace/wrong_path.h"
+
+namespace clusmt::frontend {
+
+/// Fetch selection policy. The paper fixes "always fetch from the thread
+/// with the lowest number of instructions in its queue" (§3) so the rename
+/// selection policy is never starved of choices; round-robin is the
+/// natural control for the ablate_fetch bench.
+enum class FetchSelection : std::uint8_t {
+  kFewestInQueue = 0,  // paper §3
+  kRoundRobin,
+};
+
+struct FetchConfig {
+  int fetch_width = 6;        // µops/cycle on a trace-cache hit
+  int mite_width = 3;         // µops/cycle on a trace-cache miss
+  int decode_queue_capacity = 24;
+  int mispredict_penalty = 14;  // pipeline refill after resolution (Table 1)
+  int itlb_entries = 1024;
+  int itlb_assoc = 8;
+  int itlb_walk_latency = 30;
+  FetchSelection selection = FetchSelection::kFewestInQueue;
+  BranchPredictorConfig predictor;
+  TraceCacheConfig trace_cache;
+};
+
+/// A fetched µop annotated with front-end state the core needs for
+/// squash/recovery and predictor training.
+struct FetchedUop {
+  trace::MicroOp op;
+  bool wrong_path = false;
+  bool mispredicted = false;           // branch that will trigger a squash
+  std::uint64_t history_checkpoint = 0;  // history before this branch
+  bool predicted_taken = false;
+};
+
+struct FetchStats {
+  std::uint64_t fetched_uops = 0;
+  std::uint64_t wrong_path_uops = 0;
+  std::uint64_t fetch_cycles = 0;
+  std::uint64_t tc_hit_cycles = 0;
+  std::uint64_t mispredicts_seen = 0;
+  std::uint64_t itlb_stalls = 0;
+};
+
+class FetchEngine {
+ public:
+  FetchEngine(const FetchConfig& config, int num_threads);
+
+  /// Installs the correct-path source of a thread. The engine does not own
+  /// the source's lifetime beyond the run; profiles must stay valid.
+  void attach_thread(ThreadId tid, std::shared_ptr<trace::TraceSource> source,
+                     const trace::TraceProfile* profile, std::uint64_t seed);
+
+  /// Fetch selection policy (FetchConfig::selection): -1 when nobody can
+  /// fetch. `eligible` bit i gates thread i (resource-assignment policies
+  /// may veto threads, e.g. Stall/Flush+). Round-robin keeps a cursor, so
+  /// selection mutates the engine.
+  [[nodiscard]] ThreadId select_fetch_thread(std::uint32_t eligible_mask,
+                                             Cycle now);
+
+  /// Runs one fetch cycle for `tid`, pushing µops into its decode queue.
+  void fetch_cycle(ThreadId tid, Cycle now);
+
+  // --- Decode queue interface (consumed by rename) ---
+  [[nodiscard]] int queue_size(ThreadId tid) const;
+  [[nodiscard]] bool queue_empty(ThreadId tid) const;
+  [[nodiscard]] const FetchedUop& queue_front(ThreadId tid) const;
+  FetchedUop pop_front(ThreadId tid);
+
+  // --- Recovery ---
+  /// Branch misprediction resolved: drop wrong-path state, flush the decode
+  /// queue (it only holds wrong-path µops), restore history and stall fetch
+  /// for the refill penalty.
+  void resolve_mispredict(ThreadId tid, std::uint64_t history_checkpoint,
+                          bool actual_taken, Cycle now);
+
+  /// Policy-induced flush (Flush+): clears wrong-path state and the decode
+  /// queue, then requeues the squashed correct-path µops (oldest first) so
+  /// they are re-delivered before new trace µops.
+  void flush_and_replay(ThreadId tid,
+                        std::span<const trace::MicroOp> replay_oldest_first,
+                        std::optional<std::uint64_t> history_checkpoint);
+
+  /// Blocks fetch for a thread until `until` (e.g. I-TLB walks, refill).
+  void stall_until(ThreadId tid, Cycle until);
+  [[nodiscard]] bool stalled(ThreadId tid, Cycle now) const;
+
+  /// True while the thread is fetching down a mispredicted path.
+  [[nodiscard]] bool on_wrong_path(ThreadId tid) const;
+
+  [[nodiscard]] BranchPredictor& predictor() noexcept { return predictor_; }
+  [[nodiscard]] TraceCache& trace_cache() noexcept { return trace_cache_; }
+  [[nodiscard]] const FetchStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FetchConfig& config() const noexcept { return config_; }
+
+  /// Zeroes fetch/predictor/trace-cache statistics (state stays warm).
+  void reset_stats() noexcept {
+    stats_ = FetchStats{};
+    predictor_.reset_stats();
+    trace_cache_.reset_stats();
+  }
+
+ private:
+  struct ThreadState {
+    std::shared_ptr<trace::TraceSource> source;
+    const trace::TraceProfile* profile = nullptr;
+    std::uint64_t seed = 0;
+    std::deque<trace::MicroOp> replay;  // refetch after flush, oldest first
+    std::optional<trace::MicroOp> peek;
+    trace::WrongPathSource wrong_path;
+    bool wrong_path_active = false;
+    Cycle stall_until = 0;
+    std::deque<FetchedUop> queue;  // decode queue
+  };
+
+  /// Next correct-path µop (replay first, then peek buffer, then source).
+  trace::MicroOp next_correct_uop(ThreadState& ts);
+  [[nodiscard]] std::uint64_t peek_pc(ThreadState& ts);
+
+  FetchConfig config_;
+  int num_threads_;
+  BranchPredictor predictor_;
+  TraceCache trace_cache_;
+  memory::Tlb itlb_;
+  std::vector<ThreadState> threads_;
+  FetchStats stats_;
+  ThreadId rr_cursor_ = 0;  // next round-robin candidate
+};
+
+}  // namespace clusmt::frontend

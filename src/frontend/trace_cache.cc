@@ -1,0 +1,19 @@
+#include "frontend/trace_cache.h"
+
+namespace clusmt::frontend {
+
+namespace {
+constexpr std::uint64_t kUopBytes = 4;
+}
+
+TraceCache::TraceCache(const TraceCacheConfig& config)
+    : cache_(config.capacity_uops * kUopBytes, config.assoc,
+             static_cast<int>(config.line_uops * kUopBytes)) {}
+
+bool TraceCache::lookup(std::uint64_t pc) {
+  // Build-on-miss: a miss allocates the line, modelling the MITE filling
+  // the TC while decoding at reduced width.
+  return cache_.access(pc, /*is_write=*/false);
+}
+
+}  // namespace clusmt::frontend

@@ -1,0 +1,41 @@
+// Trace cache bandwidth model (paper §3, [14]).
+//
+// The Pentium-4-style front-end stores decoded µops in a trace cache (TC).
+// On a TC hit the fetch unit delivers the full fetch width of µops per
+// cycle; on a miss the MITE decodes macro-instructions at a reduced width
+// while (re)building the trace line. We model presence and bandwidth, not
+// trace construction details: the TC is a set-associative cache over µop
+// PCs, built on miss.
+#pragma once
+
+#include <cstdint>
+
+#include "memory/cache.h"
+
+namespace clusmt::frontend {
+
+struct TraceCacheConfig {
+  // 32K µops (Table 1) at 4 bytes of PC space per µop => 128 KB of PC reach.
+  std::uint64_t capacity_uops = 32 * 1024;
+  int line_uops = 8;  // µops per trace line
+  int assoc = 8;
+};
+
+class TraceCache {
+ public:
+  explicit TraceCache(const TraceCacheConfig& config);
+
+  /// Looks up the line containing `pc`, building it on miss.
+  /// Returns true on hit (full-width fetch this cycle).
+  bool lookup(std::uint64_t pc);
+
+  [[nodiscard]] const memory::CacheStats& stats() const noexcept {
+    return cache_.stats();
+  }
+  void reset_stats() noexcept { cache_.reset_stats(); }
+
+ private:
+  memory::SetAssocCache cache_;
+};
+
+}  // namespace clusmt::frontend

@@ -1,0 +1,139 @@
+#include "harness/runner.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "core/metrics.h"
+
+namespace clusmt::harness {
+
+Runner::Runner(core::SimConfig base_config, Cycle cycles, Cycle warmup,
+               std::size_t host_threads)
+    : config_(std::move(base_config)),
+      cycles_(cycles),
+      warmup_(warmup),
+      host_threads_(host_threads) {}
+
+RunResult Runner::run_workload(const trace::WorkloadSpec& spec) const {
+  if (spec.threads.size() != static_cast<std::size_t>(config_.num_threads)) {
+    std::ostringstream err;
+    err << "workload " << spec.name << " has " << spec.threads.size()
+        << " threads; config expects " << config_.num_threads;
+    throw std::invalid_argument(err.str());
+  }
+  core::Simulator sim(config_);
+  for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+    sim.attach_thread(static_cast<ThreadId>(t), spec.threads[t]);
+  }
+  if (warmup_ > 0) {
+    sim.run(warmup_);
+    sim.reset_stats();
+  }
+  sim.run(cycles_);
+
+  RunResult result;
+  result.workload = spec.name;
+  result.category = spec.category;
+  result.type = spec.type;
+  result.stats = sim.stats();
+  result.throughput = sim.stats().throughput();
+  for (int t = 0; t < config_.num_threads; ++t) {
+    result.ipc[t] = sim.stats().ipc(t);
+  }
+  return result;
+}
+
+std::vector<RunResult> Runner::run_suite(
+    const std::vector<trace::WorkloadSpec>& suite) const {
+  std::vector<RunResult> results(suite.size());
+  parallel_for(
+      suite.size(),
+      [&](std::size_t i) { results[i] = run_workload(suite[i]); },
+      host_threads_);
+  return results;
+}
+
+double Runner::single_thread_ipc(const trace::TraceSpec& spec) const {
+  {
+    std::lock_guard lock(cache_mutex_);
+    const auto it = single_ipc_cache_.find(spec.id());
+    if (it != single_ipc_cache_.end()) return it->second;
+  }
+
+  core::SimConfig single = config_;
+  single.num_threads = 1;
+  // The baseline machine runs the scheme-independent Icount front end: with
+  // one thread no resource-assignment decision is exercised.
+  single.policy = policy::PolicyKind::kIcount;
+  core::Simulator sim(single);
+  sim.attach_thread(0, spec);
+  if (warmup_ > 0) {
+    sim.run(warmup_);
+    sim.reset_stats();
+  }
+  sim.run(cycles_);
+  const double ipc = sim.stats().ipc(0);
+
+  std::lock_guard lock(cache_mutex_);
+  single_ipc_cache_.emplace(spec.id(), ipc);
+  return ipc;
+}
+
+double Runner::fairness_of(const RunResult& result,
+                           const trace::WorkloadSpec& spec) const {
+  std::vector<double> smt;
+  std::vector<double> alone;
+  for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+    smt.push_back(result.ipc[t]);
+    alone.push_back(single_thread_ipc(spec.threads[t]));
+  }
+  return core::fairness(smt, alone);
+}
+
+std::vector<RunResult> Runner::run_suite_with_fairness(
+    const std::vector<trace::WorkloadSpec>& suite) const {
+  // Warm the baseline cache in parallel first (unique traces only), then
+  // run the SMT configurations.
+  std::vector<const trace::TraceSpec*> unique;
+  {
+    std::map<std::string, const trace::TraceSpec*> seen;
+    for (const auto& w : suite) {
+      for (const auto& t : w.threads) seen.emplace(t.id(), &t);
+    }
+    for (const auto& [id, ptr] : seen) unique.push_back(ptr);
+  }
+  parallel_for(
+      unique.size(),
+      [&](std::size_t i) { (void)single_thread_ipc(*unique[i]); },
+      host_threads_);
+
+  std::vector<RunResult> results = run_suite(suite);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].fairness = fairness_of(results[i], suite[i]);
+  }
+  return results;
+}
+
+std::vector<std::pair<std::string, double>> by_category(
+    const std::vector<trace::WorkloadSpec>& suite,
+    const std::vector<double>& per_workload_metric) {
+  if (suite.size() != per_workload_metric.size()) {
+    throw std::invalid_argument("by_category: size mismatch");
+  }
+  std::vector<std::pair<std::string, double>> rows;
+  RunningStats overall;
+  for (const std::string& category : trace::category_display_order()) {
+    RunningStats acc;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      if (suite[i].category == category) acc.add(per_workload_metric[i]);
+    }
+    if (acc.count() > 0) rows.emplace_back(category, acc.mean());
+  }
+  for (double m : per_workload_metric) overall.add(m);
+  rows.emplace_back("AVG", overall.mean());
+  return rows;
+}
+
+}  // namespace clusmt::harness

@@ -1,0 +1,85 @@
+// Experiment runner: executes workloads under a machine configuration and
+// scheme, fanning independent simulations across host cores, and caches
+// single-thread baseline IPCs for the fairness metric.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/simulator.h"
+#include "core/stats.h"
+#include "trace/workload.h"
+
+namespace clusmt::harness {
+
+/// Result of one two-thread simulation.
+struct RunResult {
+  std::string workload;
+  std::string category;
+  std::string type;
+  core::SimStats stats;
+  double ipc[kMaxThreads] = {};
+  double throughput = 0.0;
+
+  /// Fairness vs single-thread baselines; filled when the runner is asked
+  /// for fairness (requires baseline runs).
+  double fairness = 0.0;
+};
+
+class Runner {
+ public:
+  /// `cycles`: measured cycles per run; `warmup`: cycles simulated before
+  /// statistics are reset (caches/predictors stay warm). `host_threads`
+  /// 0 = all cores.
+  Runner(core::SimConfig base_config, Cycle cycles, Cycle warmup = 0,
+         std::size_t host_threads = 0);
+
+  [[nodiscard]] const core::SimConfig& base_config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] Cycle cycles() const noexcept { return cycles_; }
+  [[nodiscard]] Cycle warmup() const noexcept { return warmup_; }
+
+  /// Runs one workload under the configured scheme.
+  [[nodiscard]] RunResult run_workload(const trace::WorkloadSpec& spec) const;
+
+  /// Runs the whole suite in parallel (deterministic per-run results;
+  /// output order matches the suite order).
+  [[nodiscard]] std::vector<RunResult> run_suite(
+      const std::vector<trace::WorkloadSpec>& suite) const;
+
+  /// Single-thread baseline IPC of a trace on the same machine with the
+  /// whole back-end to itself (cached; thread-safe).
+  [[nodiscard]] double single_thread_ipc(const trace::TraceSpec& spec) const;
+
+  /// Computes the fairness metric for a finished run (triggers baseline
+  /// runs on first use per trace).
+  [[nodiscard]] double fairness_of(const RunResult& result,
+                                   const trace::WorkloadSpec& spec) const;
+
+  /// Runs the suite and fills fairness for every result.
+  [[nodiscard]] std::vector<RunResult> run_suite_with_fairness(
+      const std::vector<trace::WorkloadSpec>& suite) const;
+
+ private:
+  core::SimConfig config_;
+  Cycle cycles_;
+  Cycle warmup_;
+  std::size_t host_threads_;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::string, double> single_ipc_cache_;
+};
+
+/// Arithmetic mean of `metric` over the workloads of each category, in the
+/// paper's display order, followed by an "AVG" row over all workloads.
+/// Categories absent from the suite are skipped.
+[[nodiscard]] std::vector<std::pair<std::string, double>> by_category(
+    const std::vector<trace::WorkloadSpec>& suite,
+    const std::vector<double>& per_workload_metric);
+
+}  // namespace clusmt::harness

@@ -1,0 +1,81 @@
+#include "memory/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace clusmt::memory {
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes, int assoc,
+                             int line_bytes)
+    : size_bytes_(size_bytes), assoc_(assoc), line_bytes_(line_bytes) {
+  if (assoc < 1) throw std::invalid_argument("cache associativity < 1");
+  if (!std::has_single_bit(size_bytes) ||
+      !std::has_single_bit(static_cast<std::uint64_t>(line_bytes))) {
+    throw std::invalid_argument("cache size/line must be powers of two");
+  }
+  const std::uint64_t lines = size_bytes / static_cast<std::uint64_t>(line_bytes);
+  if (lines % static_cast<std::uint64_t>(assoc) != 0) {
+    throw std::invalid_argument("cache size not divisible by assoc*line");
+  }
+  num_sets_ = lines / static_cast<std::uint64_t>(assoc);
+  line_shift_ = std::countr_zero(static_cast<std::uint64_t>(line_bytes));
+  lines_.resize(lines);
+}
+
+std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const noexcept {
+  return (addr >> line_shift_) & (num_sets_ - 1);
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const noexcept {
+  return addr >> line_shift_;
+}
+
+bool SetAssocCache::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  ++lru_clock_;
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+
+  Line* victim = base;
+  for (int w = 0; w < assoc_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = lru_clock_;
+      line.dirty = line.dirty || is_write;
+      ++stats_.hits;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = lru_clock_;
+  victim->dirty = is_write;
+  return false;
+}
+
+bool SetAssocCache::probe(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+  for (int w = 0; w < assoc_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+}  // namespace clusmt::memory

@@ -1,0 +1,73 @@
+// Generic set-associative, write-back, write-allocate cache model with true
+// LRU replacement. Purely a timing/presence model: no data is stored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clusmt::memory {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return accesses - hits;
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class SetAssocCache {
+ public:
+  /// size_bytes and line_bytes must be powers of two; assoc >= 1.
+  SetAssocCache(std::uint64_t size_bytes, int assoc, int line_bytes);
+
+  /// Looks up `addr`; on miss, allocates the line (evicting LRU).
+  /// Returns true on hit. `is_write` marks the line dirty.
+  bool access(std::uint64_t addr, bool is_write);
+
+  /// Lookup without allocation or LRU update (for tests/invariants).
+  [[nodiscard]] bool probe(std::uint64_t addr) const;
+
+  /// Invalidates the whole cache (keeps statistics).
+  void flush();
+
+  /// Zeroes the statistics (keeps contents — used after warmup phases).
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept {
+    return size_bytes_;
+  }
+  [[nodiscard]] int associativity() const noexcept { return assoc_; }
+  [[nodiscard]] int line_bytes() const noexcept { return line_bytes_; }
+  [[nodiscard]] std::uint64_t num_sets() const noexcept { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+
+  std::uint64_t size_bytes_;
+  int assoc_;
+  int line_bytes_;
+  std::uint64_t num_sets_;
+  int line_shift_;
+  std::vector<Line> lines_;  // num_sets_ * assoc_, row-major by set
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace clusmt::memory

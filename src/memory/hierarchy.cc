@@ -1,0 +1,69 @@
+#include "memory/hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clusmt::memory {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      l1_(config.l1_size, config.l1_assoc, config.line_bytes),
+      l2_(config.l2_size, config.l2_assoc, config.line_bytes),
+      dtlb_(config.dtlb_entries, config.dtlb_assoc,
+            config.tlb_walk_latency) {
+  if (config.num_l1_l2_buses < 1 ||
+      config.num_l1_l2_buses > static_cast<int>(std::size(bus_free_))) {
+    throw std::invalid_argument("unsupported number of L1<->L2 buses");
+  }
+}
+
+Cycle MemoryHierarchy::acquire_bus(Cycle cycle) {
+  // Pick the earliest-available bus; book it for the transfer duration.
+  int best = 0;
+  for (int b = 1; b < config_.num_l1_l2_buses; ++b) {
+    if (bus_free_[b] < bus_free_[best]) best = b;
+  }
+  const Cycle start = std::max(cycle, bus_free_[best]);
+  bus_free_[best] = start + static_cast<Cycle>(config_.bus_occupancy_cycles);
+  return start;
+}
+
+AccessResult MemoryHierarchy::access(std::uint64_t addr, bool is_write,
+                                     Cycle cycle) {
+  AccessResult result;
+  result.latency = dtlb_.access(addr);
+
+  if (l1_.access(addr, is_write)) {
+    result.latency += config_.l1_latency;
+    result.level = HitLevel::kL1;
+    return result;
+  }
+
+  // L1 miss: the refill crosses one of the L1<->L2 data buses.
+  const Cycle bus_start = acquire_bus(cycle + result.latency);
+  const int queue_delay =
+      static_cast<int>(bus_start - (cycle + result.latency));
+  result.latency += queue_delay;
+
+  if (l2_.access(addr, is_write)) {
+    result.latency += config_.l1_latency + config_.l2_latency;
+    result.level = HitLevel::kL2;
+    return result;
+  }
+
+  result.latency +=
+      config_.l1_latency + config_.l2_latency + config_.memory_latency;
+  result.level = HitLevel::kMemory;
+  result.l2_miss = true;
+  return result;
+}
+
+AccessResult MemoryHierarchy::load(std::uint64_t addr, Cycle cycle) {
+  return access(addr, /*is_write=*/false, cycle);
+}
+
+AccessResult MemoryHierarchy::store(std::uint64_t addr, Cycle cycle) {
+  return access(addr, /*is_write=*/true, cycle);
+}
+
+}  // namespace clusmt::memory

@@ -1,0 +1,86 @@
+// Shared data-memory hierarchy (paper Table 1): 32 KB 2-way L1 (1 cycle),
+// 4 MB 8-way L2 (12 cycles), 60-cycle memory, two L1<->L2 data buses, and a
+// 1024-entry 8-way DTLB. Both SMT threads share every level, so
+// cross-thread capacity and bus contention emerge naturally.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "memory/cache.h"
+#include "memory/tlb.h"
+
+namespace clusmt::memory {
+
+struct HierarchyConfig {
+  std::uint64_t l1_size = 32 * 1024;
+  int l1_assoc = 2;
+  int l1_latency = 1;
+  std::uint64_t l2_size = 4 * 1024 * 1024;
+  int l2_assoc = 8;
+  int l2_latency = 12;
+  int memory_latency = 60;
+  int line_bytes = 64;
+  int num_l1_l2_buses = 2;
+  int bus_occupancy_cycles = 4;  // 64B line over a 16B/cycle bus
+  int dtlb_entries = 1024;
+  int dtlb_assoc = 8;
+  int tlb_walk_latency = 30;
+};
+
+/// Where an access was satisfied.
+enum class HitLevel : std::uint8_t { kL1 = 0, kL2, kMemory };
+
+struct AccessResult {
+  int latency = 0;       // total added cycles beyond AGU
+  HitLevel level = HitLevel::kL1;
+  bool l2_miss = false;  // true when the access went to memory
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config);
+
+  /// Data load at `cycle`. Walks DTLB, L1, L2; models bus queuing on L1
+  /// misses. Returns total latency from issue to data-ready.
+  [[nodiscard]] AccessResult load(std::uint64_t addr, Cycle cycle);
+
+  /// Data store performed at commit. Write-allocate: misses fetch the line
+  /// (consuming a bus slot) but do not stall commit in the model; returns
+  /// the result for statistics and L2-miss tracking.
+  AccessResult store(std::uint64_t addr, Cycle cycle);
+
+  [[nodiscard]] const CacheStats& l1_stats() const noexcept {
+    return l1_.stats();
+  }
+  [[nodiscard]] const CacheStats& l2_stats() const noexcept {
+    return l2_.stats();
+  }
+  [[nodiscard]] const CacheStats& dtlb_stats() const noexcept {
+    return dtlb_.stats();
+  }
+  [[nodiscard]] const HierarchyConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Zeroes all level statistics; contents stay warm.
+  void reset_stats() noexcept {
+    l1_.reset_stats();
+    l2_.reset_stats();
+    dtlb_.reset_stats();
+  }
+
+ private:
+  /// Earliest cycle a bus can accept a transfer at/after `cycle`; books it.
+  [[nodiscard]] Cycle acquire_bus(Cycle cycle);
+  [[nodiscard]] AccessResult access(std::uint64_t addr, bool is_write,
+                                    Cycle cycle);
+
+  HierarchyConfig config_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  Tlb dtlb_;
+  Cycle bus_free_[8] = {};  // next-free cycle per bus (max 8 buses)
+};
+
+}  // namespace clusmt::memory

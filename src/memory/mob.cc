@@ -1,0 +1,86 @@
+#include "memory/mob.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace clusmt::memory {
+
+MemOrderBuffer::MemOrderBuffer(int capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("MOB capacity < 1");
+  entries_.resize(static_cast<std::size_t>(capacity));
+  free_slots_.reserve(static_cast<std::size_t>(capacity));
+  for (int i = capacity - 1; i >= 0; --i) free_slots_.push_back(i);
+}
+
+int MemOrderBuffer::allocate(ThreadId tid, std::uint64_t seq, bool is_store) {
+  assert(tid >= 0 && tid < kMaxThreads);
+  if (free_slots_.empty()) return -1;
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  Entry& e = entries_[slot];
+  e = Entry{.tid = tid, .seq = seq, .is_store = is_store, .in_use = true};
+  // Renaming allocates in program order, so seq is monotone per thread.
+  assert(order_[tid].empty() ||
+         entries_[order_[tid].back()].seq < seq);
+  order_[tid].push_back(slot);
+  ++occupancy_;
+  ++stats_.allocations;
+  return slot;
+}
+
+void MemOrderBuffer::set_address(int slot, std::uint64_t addr) {
+  Entry& e = entries_.at(slot);
+  assert(e.in_use);
+  e.addr = addr;
+  e.addr_known = true;
+}
+
+LoadCheck MemOrderBuffer::check_load(int slot) {
+  const Entry& load = entries_.at(slot);
+  assert(load.in_use && !load.is_store && load.addr_known);
+  const auto& order = order_[load.tid];
+  // Scan older same-thread entries from youngest to oldest; the youngest
+  // matching store forwards. An unknown store address hides any older
+  // match, so the load must conservatively wait.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Entry& e = entries_[*it];
+    if (e.seq >= load.seq) continue;
+    if (!e.is_store) continue;
+    if (!e.addr_known) {
+      ++stats_.waits;
+      return LoadCheck::kWait;
+    }
+    if ((e.addr >> 3) == (load.addr >> 3)) {
+      ++stats_.forwards;
+      return LoadCheck::kForward;
+    }
+  }
+  ++stats_.cache_accesses;
+  return LoadCheck::kAccess;
+}
+
+void MemOrderBuffer::release(int slot) {
+  Entry& e = entries_.at(slot);
+  assert(e.in_use);
+  auto& order = order_[e.tid];
+  // Commit releases from the front, squash from the back; search both ends.
+  if (!order.empty() && order.front() == slot) {
+    order.pop_front();
+  } else if (!order.empty() && order.back() == slot) {
+    order.pop_back();
+  } else {
+    const auto it = std::find(order.begin(), order.end(), slot);
+    assert(it != order.end());
+    order.erase(it);
+  }
+  e.in_use = false;
+  free_slots_.push_back(slot);
+  --occupancy_;
+}
+
+std::vector<int> MemOrderBuffer::thread_slots(ThreadId tid) const {
+  return {order_[tid].begin(), order_[tid].end()};
+}
+
+}  // namespace clusmt::memory

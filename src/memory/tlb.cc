@@ -1,0 +1,15 @@
+#include "memory/tlb.h"
+
+namespace clusmt::memory {
+
+Tlb::Tlb(int entries, int assoc, int walk_latency, int page_bytes)
+    : cache_(static_cast<std::uint64_t>(entries) *
+                 static_cast<std::uint64_t>(page_bytes),
+             assoc, page_bytes),
+      walk_latency_(walk_latency) {}
+
+int Tlb::access(std::uint64_t vaddr) {
+  return cache_.access(vaddr, /*is_write=*/false) ? 0 : walk_latency_;
+}
+
+}  // namespace clusmt::memory

@@ -1,0 +1,241 @@
+#include "policy/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clusmt::policy {
+
+// ---------------------------------------------------------------------------
+// Flush++
+// ---------------------------------------------------------------------------
+
+void FlushPlusPlusPolicy::begin_cycle(const PipelineView& view) {
+  threads_ = view.num_threads;
+  FlushPlusPolicy::begin_cycle(view);
+}
+
+std::uint32_t FlushPlusPlusPolicy::rename_eligible(const PipelineView& view,
+                                                   std::uint32_t candidates) {
+  if (stall_mode()) return candidates;  // Stall renames already-fetched µops
+  return FlushPlusPolicy::rename_eligible(view, candidates);
+}
+
+std::optional<FlushRequest> FlushPlusPlusPolicy::flush_request(Cycle now) {
+  if (stall_mode()) return std::nullopt;
+  return FlushPlusPolicy::flush_request(now);
+}
+
+// ---------------------------------------------------------------------------
+// DCRA
+// ---------------------------------------------------------------------------
+
+bool DcraPolicy::is_active(const PipelineView& view, ThreadId tid) {
+  return view.decode_queue_depth[tid] > 0 || view.rob_occ[tid] > 0;
+}
+
+bool DcraPolicy::is_slow(const PipelineView& view, ThreadId tid) {
+  return view.l2_pending[tid];
+}
+
+int DcraPolicy::cap_of(const PipelineView& view, ThreadId tid,
+                       int capacity) const {
+  int active = 0;
+  for (ThreadId t = 0; t < view.num_threads; ++t) {
+    if (is_active(view, t)) ++active;
+  }
+  if (active <= 1) return capacity;  // alone: the whole resource
+
+  const double even_share = static_cast<double>(capacity) / active;
+  // Floor guaranteed to every active thread. Fast threads get half their
+  // even share as an inviolable floor; slow threads a configurable cut.
+  const auto floor_of = [&](ThreadId t) {
+    const double scale = is_slow(view, t) ? config_.dcra_slow_share : 0.5;
+    return std::max(1, static_cast<int>(even_share * scale));
+  };
+
+  if (is_slow(view, tid)) return floor_of(tid);  // capped at its floor
+
+  // Fast thread: everything not guaranteed to the other active threads.
+  int reserved_for_others = 0;
+  for (ThreadId t = 0; t < view.num_threads; ++t) {
+    if (t == tid || !is_active(view, t)) continue;
+    reserved_for_others += floor_of(t);
+  }
+  return std::max(1, capacity - reserved_for_others);
+}
+
+bool DcraPolicy::allow_iq_dispatch(const PipelineView& view, ThreadId tid,
+                                   ClusterId c, int count,
+                                   int /*total_count*/) {
+  // Cluster-sensitive (paper §5.1): the cap applies inside each cluster.
+  const int cap = cap_of(view, tid, view.iq_capacity);
+  return view.iq_occ_tc[tid][c] + count <= cap;
+}
+
+bool DcraPolicy::allow_rf_alloc(const PipelineView& view, ThreadId tid,
+                                ClusterId /*c*/, RegClass cls, int count) {
+  if (view.rf_unbounded) return true;
+  // Cluster-insensitive (paper §5.2): the cap applies to the class total.
+  const int cap = cap_of(view, tid, view.rf_capacity_total(cls));
+  return view.rf_used_total(tid, cls) + count <= cap;
+}
+
+// ---------------------------------------------------------------------------
+// HillClimb
+// ---------------------------------------------------------------------------
+
+HillClimbPolicy::HillClimbPolicy(const PolicyConfig& config)
+    : config_(config) {
+  incumbent_.fill(1.0 / kMaxThreads);
+  trial_ = incumbent_;
+}
+
+void HillClimbPolicy::load_trial(int num_threads) {
+  trial_ = incumbent_;
+  const double floor = share_floor(num_threads);
+  const double ceiling = 1.0 - floor * (num_threads - 1);
+  double delta = 0.0;
+  if (phase_ == Trial::kUp) delta = config_.hillclimb_delta;
+  if (phase_ == Trial::kDown) delta = -config_.hillclimb_delta;
+
+  const ThreadId target = perturbed_thread_;
+  const double proposed =
+      std::clamp(trial_[target] + delta, floor, ceiling);
+  const double applied = proposed - trial_[target];
+  trial_[target] = proposed;
+  // Take (or return) the moved share from the other threads in rotation
+  // order, respecting their floors; any residue stays with the target.
+  double residue = -applied;
+  for (int step = 0; step < num_threads && std::abs(residue) > 1e-12;
+       ++step) {
+    const ThreadId t = (target + 1 + step) % num_threads;
+    if (t == target) continue;
+    const double adjusted = std::clamp(trial_[t] + residue, floor, ceiling);
+    residue -= adjusted - trial_[t];
+    trial_[t] = adjusted;
+  }
+  trial_[target] += residue;  // keep the vector summing to one
+}
+
+void HillClimbPolicy::adopt_best_and_advance(int num_threads) {
+  // Adopt the share vector of the winning trial by replaying it.
+  const int best = static_cast<int>(
+      std::max_element(trial_score_.begin(), trial_score_.end()) -
+      trial_score_.begin());
+  phase_ = static_cast<Trial>(best);
+  load_trial(num_threads);
+  incumbent_ = trial_;
+
+  trial_score_ = {};
+  phase_ = Trial::kBase;
+  perturbed_thread_ = (perturbed_thread_ + 1) % num_threads;
+  ++rounds_;
+  load_trial(num_threads);
+}
+
+void HillClimbPolicy::begin_cycle(const PipelineView& view) {
+  const int threads = view.num_threads;
+  if (!started_) {
+    started_ = true;
+    epoch_start_ = view.now;
+    incumbent_.fill(1.0 / threads);
+    load_trial(threads);
+    for (ThreadId t = 0; t < threads; ++t) {
+      committed_at_epoch_start_[t] = view.committed[t];
+    }
+    return;
+  }
+  if (view.now - epoch_start_ < config_.hillclimb_epoch) return;
+
+  // Epoch boundary: score the finished trial. A stats reset (committed
+  // running backwards) invalidates the measurement; re-arm the epoch.
+  std::uint64_t committed = 0;
+  bool reset_seen = false;
+  for (ThreadId t = 0; t < threads; ++t) {
+    if (view.committed[t] < committed_at_epoch_start_[t]) {
+      reset_seen = true;
+      break;
+    }
+    committed += view.committed[t] - committed_at_epoch_start_[t];
+  }
+  epoch_start_ = view.now;
+  for (ThreadId t = 0; t < threads; ++t) {
+    committed_at_epoch_start_[t] = view.committed[t];
+  }
+  if (reset_seen) return;
+
+  trial_score_[static_cast<int>(phase_)] = committed;
+  if (phase_ == Trial::kBase) {
+    phase_ = Trial::kUp;
+    load_trial(threads);
+  } else if (phase_ == Trial::kUp) {
+    phase_ = Trial::kDown;
+    load_trial(threads);
+  } else {
+    adopt_best_and_advance(threads);
+  }
+}
+
+int HillClimbPolicy::iq_cap(const PipelineView& view, ThreadId tid) const {
+  return std::max(
+      2, static_cast<int>(std::lround(trial_[tid] * view.iq_capacity)));
+}
+
+bool HillClimbPolicy::allow_iq_dispatch(const PipelineView& view,
+                                        ThreadId tid, ClusterId c, int count,
+                                        int /*total_count*/) {
+  return view.iq_occ_tc[tid][c] + count <= iq_cap(view, tid);
+}
+
+bool HillClimbPolicy::allow_rf_alloc(const PipelineView& view, ThreadId tid,
+                                     ClusterId /*c*/, RegClass cls,
+                                     int count) {
+  if (view.rf_unbounded) return true;
+  const int total = view.rf_capacity_total(cls);
+  const int cap =
+      std::max(8, static_cast<int>(std::lround(trial_[tid] * total)));
+  return view.rf_used_total(tid, cls) + count <= cap;
+}
+
+// ---------------------------------------------------------------------------
+// UnreadyGate
+// ---------------------------------------------------------------------------
+
+int UnreadyGatePolicy::gate_threshold(const PipelineView& view) const {
+  return std::max(4, static_cast<int>(config_.unready_gate_fraction *
+                                      view.iq_capacity_total()));
+}
+
+std::uint32_t UnreadyGatePolicy::fetch_eligible(const PipelineView& view,
+                                                std::uint32_t candidates) {
+  const int threshold = gate_threshold(view);
+  std::uint32_t out = candidates;
+  for (ThreadId t = 0; t < view.num_threads; ++t) {
+    if (view.iq_unready_total(t) > threshold) out &= ~(1u << t);
+  }
+  return out;
+}
+
+ThreadId UnreadyGatePolicy::select_rename_thread(const PipelineView& view,
+                                                 std::uint32_t candidates) {
+  ThreadId best = -1;
+  int best_unready = 0;
+  int best_icount = 0;
+  for (int offset = 0; offset < view.num_threads; ++offset) {
+    const ThreadId t =
+        static_cast<ThreadId>((rr_tiebreak_ + offset) % view.num_threads);
+    if (!(candidates & (1u << t))) continue;
+    const int unready = view.iq_unready_total(t);
+    const int icount = view.iq_occ_thread_total(t);
+    if (best < 0 || unready < best_unready ||
+        (unready == best_unready && icount < best_icount)) {
+      best = t;
+      best_unready = unready;
+      best_icount = icount;
+    }
+  }
+  if (best >= 0) rr_tiebreak_ = (best + 1) % view.num_threads;
+  return best;
+}
+
+}  // namespace clusmt::policy

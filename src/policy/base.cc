@@ -1,0 +1,109 @@
+#include "policy/policy.h"
+
+#include "policy/adaptive.h"
+#include "policy/partition.h"
+#include "policy/regfile_policy.h"
+#include "policy/simple.h"
+
+namespace clusmt::policy {
+
+ThreadId ResourceAssignmentPolicy::icount_select(const PipelineView& view,
+                                                 std::uint32_t candidates) {
+  ThreadId best = -1;
+  int best_count = 0;
+  // Rotate the scan start so equal counts alternate between threads.
+  for (int offset = 0; offset < view.num_threads; ++offset) {
+    const ThreadId t =
+        static_cast<ThreadId>((rr_tiebreak_ + offset) % view.num_threads);
+    if (!(candidates & (1u << t))) continue;
+    const int count = view.iq_occ_thread_total(t);
+    if (best < 0 || count < best_count) {
+      best = t;
+      best_count = count;
+    }
+  }
+  if (best >= 0) rr_tiebreak_ = (best + 1) % view.num_threads;
+  return best;
+}
+
+ThreadId ResourceAssignmentPolicy::select_rename_thread(
+    const PipelineView& view, std::uint32_t candidates) {
+  return icount_select(view, candidates);
+}
+
+std::unique_ptr<ResourceAssignmentPolicy> make_policy(
+    PolicyKind kind, const PolicyConfig& config) {
+  switch (kind) {
+    case PolicyKind::kIcount:
+      return std::make_unique<IcountPolicy>();
+    case PolicyKind::kStall:
+      return std::make_unique<StallPolicy>();
+    case PolicyKind::kFlushPlus:
+      return std::make_unique<FlushPlusPolicy>();
+    case PolicyKind::kCisp:
+      return std::make_unique<CispPolicy>(config);
+    case PolicyKind::kCssp:
+      return std::make_unique<CsspPolicy>(config);
+    case PolicyKind::kCspsp:
+      return std::make_unique<CspspPolicy>(config);
+    case PolicyKind::kPrivateClusters:
+      return std::make_unique<PrivateClustersPolicy>();
+    case PolicyKind::kCssprf:
+      return std::make_unique<CssprfPolicy>(config);
+    case PolicyKind::kCisprf:
+      return std::make_unique<CisprfPolicy>(config);
+    case PolicyKind::kCdprf:
+      return std::make_unique<CdprfPolicy>(config);
+    case PolicyKind::kFlushPlusPlus:
+      return std::make_unique<FlushPlusPlusPolicy>();
+    case PolicyKind::kDcra:
+      return std::make_unique<DcraPolicy>(config);
+    case PolicyKind::kHillClimb:
+      return std::make_unique<HillClimbPolicy>(config);
+    case PolicyKind::kUnreadyGate:
+      return std::make_unique<UnreadyGatePolicy>(config);
+  }
+  return std::make_unique<IcountPolicy>();
+}
+
+std::string_view policy_kind_name(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kIcount: return "Icount";
+    case PolicyKind::kStall: return "Stall";
+    case PolicyKind::kFlushPlus: return "Flush+";
+    case PolicyKind::kCisp: return "CISP";
+    case PolicyKind::kCssp: return "CSSP";
+    case PolicyKind::kCspsp: return "CSPSP";
+    case PolicyKind::kPrivateClusters: return "PC";
+    case PolicyKind::kCssprf: return "CSSPRF";
+    case PolicyKind::kCisprf: return "CISPRF";
+    case PolicyKind::kCdprf: return "CDPRF";
+    case PolicyKind::kFlushPlusPlus: return "Flush++";
+    case PolicyKind::kDcra: return "DCRA";
+    case PolicyKind::kHillClimb: return "HillClimb";
+    case PolicyKind::kUnreadyGate: return "UnreadyGate";
+  }
+  return "?";
+}
+
+std::optional<PolicyKind> parse_policy_kind(std::string_view name) noexcept {
+  for (PolicyKind kind : all_policy_kinds()) {
+    if (policy_kind_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<PolicyKind>& all_policy_kinds() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kIcount, PolicyKind::kStall,  PolicyKind::kFlushPlus,
+      PolicyKind::kCisp,   PolicyKind::kCssp,   PolicyKind::kCspsp,
+      PolicyKind::kPrivateClusters, PolicyKind::kCssprf,
+      PolicyKind::kCisprf, PolicyKind::kCdprf,
+      // Extensions (policy/adaptive.h), after the paper's schemes.
+      PolicyKind::kFlushPlusPlus, PolicyKind::kDcra,
+      PolicyKind::kHillClimb,     PolicyKind::kUnreadyGate,
+  };
+  return kAll;
+}
+
+}  // namespace clusmt::policy

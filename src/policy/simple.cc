@@ -1,0 +1,115 @@
+#include "policy/simple.h"
+
+#include <algorithm>
+
+namespace clusmt::policy {
+
+namespace {
+/// Threads in `candidates` minus those with a pending L2 miss; if that
+/// empties the set, keep it empty (the other thread's work continues; the
+/// gated threads resume on resolution).
+std::uint32_t mask_off_missing(const PipelineView& view,
+                               std::uint32_t candidates) {
+  std::uint32_t out = candidates;
+  for (ThreadId t = 0; t < view.num_threads; ++t) {
+    if (view.l2_pending[t]) out &= ~(1u << t);
+  }
+  return out;
+}
+}  // namespace
+
+std::uint32_t StallPolicy::fetch_eligible(const PipelineView& view,
+                                          std::uint32_t candidates) {
+  return mask_off_missing(view, candidates);
+}
+
+std::uint32_t FlushPlusPolicy::gate(const PipelineView& view,
+                                    std::uint32_t candidates) const {
+  std::uint32_t out = candidates;
+  // Identify the earliest misser; with two or more pending missers it is
+  // exempt from gating ("the one that missed first is allowed to continue").
+  int missing = 0;
+  ThreadId earliest = -1;
+  for (ThreadId t = 0; t < view.num_threads; ++t) {
+    if (miss_[t].outstanding > 0) {
+      ++missing;
+      if (earliest < 0 ||
+          miss_[t].first_miss_cycle < miss_[earliest].first_miss_cycle) {
+        earliest = t;
+      }
+    }
+  }
+  for (ThreadId t = 0; t < view.num_threads; ++t) {
+    if (miss_[t].outstanding == 0) continue;
+    if (missing >= 2 && t == earliest) continue;
+    out &= ~(1u << t);
+  }
+  return out;
+}
+
+std::uint32_t FlushPlusPolicy::fetch_eligible(const PipelineView& view,
+                                              std::uint32_t candidates) {
+  return gate(view, candidates);
+}
+
+std::uint32_t FlushPlusPolicy::rename_eligible(const PipelineView& view,
+                                               std::uint32_t candidates) {
+  return gate(view, candidates);
+}
+
+void FlushPlusPolicy::update_flush_targets() {
+  int missing = 0;
+  ThreadId earliest = -1;
+  for (ThreadId t = 0; t < kMaxThreads; ++t) {
+    if (miss_[t].outstanding > 0) {
+      ++missing;
+      if (earliest < 0 ||
+          miss_[t].first_miss_cycle < miss_[earliest].first_miss_cycle) {
+        earliest = t;
+      }
+    }
+  }
+  for (ThreadId t = 0; t < kMaxThreads; ++t) {
+    MissState& m = miss_[t];
+    if (m.outstanding == 0) continue;
+    const bool exempt = missing >= 2 && t == earliest;
+    if (!exempt && !m.flushed && !m.flush_pending) m.flush_pending = true;
+  }
+}
+
+void FlushPlusPolicy::on_l2_miss(ThreadId tid, std::uint64_t load_seq,
+                                 Cycle now) {
+  MissState& m = miss_[tid];
+  if (m.outstanding == 0) {
+    m.first_miss_cycle = now;
+    m.oldest_load_seq = load_seq;
+  } else {
+    m.oldest_load_seq = std::min(m.oldest_load_seq, load_seq);
+  }
+  ++m.outstanding;
+  update_flush_targets();
+}
+
+void FlushPlusPolicy::on_l2_resolved(ThreadId tid, std::uint64_t /*load_seq*/,
+                                     Cycle /*now*/) {
+  MissState& m = miss_[tid];
+  if (m.outstanding > 0) --m.outstanding;
+  if (m.outstanding == 0) m = MissState{};
+  update_flush_targets();
+}
+
+std::optional<FlushRequest> FlushPlusPolicy::flush_request(Cycle /*now*/) {
+  for (ThreadId t = 0; t < kMaxThreads; ++t) {
+    if (miss_[t].flush_pending) {
+      return FlushRequest{.tid = t, .after_seq = miss_[t].oldest_load_seq};
+    }
+  }
+  return std::nullopt;
+}
+
+void FlushPlusPolicy::on_flush_done(ThreadId tid) {
+  miss_[tid].flush_pending = false;
+  miss_[tid].flushed = true;
+}
+
+}  // namespace clusmt::policy

@@ -1,0 +1,76 @@
+// The non-partitioned schemes of Table 3: Icount [1], Stall [19] and
+// Flush+ [25].
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "policy/policy.h"
+
+namespace clusmt::policy {
+
+/// Icount: rename the thread with the fewest µops between rename and
+/// issue. No allocation limits.
+class IcountPolicy final : public ResourceAssignmentPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Icount"; }
+};
+
+/// Stall: Icount, plus a thread with a pending L2 miss stops *fetching*
+/// until the miss resolves [19] (already-fetched µops keep renaming, as in
+/// Tullsen & Brown's STALL).
+class StallPolicy final : public ResourceAssignmentPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Stall"; }
+
+  [[nodiscard]] std::uint32_t fetch_eligible(const PipelineView& view,
+                                             std::uint32_t candidates) override;
+};
+
+/// Flush+: a thread with a pending L2 miss releases all its allocated
+/// resources (everything younger than the missing load is squashed) and is
+/// fetch-gated until the miss resolves. When several threads miss, the one
+/// that missed *first* is allowed to continue [25]. Subclassed by Flush++
+/// (policy/adaptive.h), which suppresses the squash at low thread counts.
+class FlushPlusPolicy : public ResourceAssignmentPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Flush+"; }
+
+  [[nodiscard]] std::uint32_t fetch_eligible(const PipelineView& view,
+                                             std::uint32_t candidates) override;
+  [[nodiscard]] std::uint32_t rename_eligible(
+      const PipelineView& view, std::uint32_t candidates) override;
+
+  void on_l2_miss(ThreadId tid, std::uint64_t load_seq, Cycle now) override;
+  void on_l2_resolved(ThreadId tid, std::uint64_t load_seq,
+                      Cycle now) override;
+  [[nodiscard]] std::optional<FlushRequest> flush_request(Cycle now) override;
+  void on_flush_done(ThreadId tid) override;
+
+  /// True while the policy keeps `tid` gated (for tests).
+  [[nodiscard]] bool gated(ThreadId tid) const noexcept {
+    return miss_[tid].outstanding > 0 && miss_[tid].flushed;
+  }
+
+ protected:
+  struct MissState {
+    int outstanding = 0;
+    Cycle first_miss_cycle = 0;
+    std::uint64_t oldest_load_seq = 0;
+    bool flushed = false;        // already released its resources
+    bool flush_pending = false;  // squash requested, not yet performed
+  };
+
+  /// Recomputes which missing threads must be flushed: all of them, except
+  /// the earliest misser when two or more threads are missing.
+  void update_flush_targets();
+
+  [[nodiscard]] std::uint32_t gate(const PipelineView& view,
+                                   std::uint32_t candidates) const;
+
+ private:
+  std::array<MissState, kMaxThreads> miss_ = {};
+};
+
+}  // namespace clusmt::policy

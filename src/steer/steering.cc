@@ -1,0 +1,72 @@
+#include "steer/steering.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clusmt::steer {
+
+Steering::Steering(SteeringKind kind, int num_clusters,
+                   int imbalance_threshold)
+    : kind_(kind),
+      num_clusters_(num_clusters),
+      imbalance_threshold_(imbalance_threshold) {
+  if (num_clusters < 1 || num_clusters > kMaxClusters) {
+    throw std::invalid_argument("unsupported cluster count");
+  }
+}
+
+ClusterId Steering::least_loaded(
+    std::span<const int> iq_occupancy) const noexcept {
+  ClusterId best = 0;
+  for (int c = 1; c < num_clusters_; ++c) {
+    if (iq_occupancy[c] < iq_occupancy[best]) best = c;
+  }
+  return best;
+}
+
+ClusterId Steering::preferred(std::span<const int> dep_count,
+                              std::span<const int> iq_occupancy) {
+  ++stats_.decisions;
+  switch (kind_) {
+    case SteeringKind::kRoundRobin: {
+      const ClusterId c = rr_next_;
+      rr_next_ = (rr_next_ + 1) % num_clusters_;
+      return c;
+    }
+    case SteeringKind::kLeastLoaded:
+      return least_loaded(iq_occupancy);
+    case SteeringKind::kDependenceBalance:
+      break;
+  }
+
+  // Dependence vote: cluster holding the most source operands. Values
+  // replicated in several clusters vote for all of them, so ties (including
+  // "no votes at all") fall through to workload balance — replicated or
+  // absent operands impose no communication constraint.
+  int best_votes = 0;
+  for (int c = 0; c < num_clusters_; ++c) {
+    best_votes = std::max(best_votes, dep_count[c]);
+  }
+  const ClusterId balanced = least_loaded(iq_occupancy);
+  if (best_votes == 0) {
+    ++stats_.dependence_free;
+    return balanced;
+  }
+  ClusterId dep_best = -1;
+  for (int c = 0; c < num_clusters_; ++c) {
+    if (dep_count[c] == best_votes &&
+        (dep_best < 0 || iq_occupancy[c] < iq_occupancy[dep_best])) {
+      dep_best = c;
+    }
+  }
+  // Workload-balance override: ignore the dependence vote when its cluster
+  // is ahead of the lightest one by more than the threshold.
+  if (iq_occupancy[dep_best] - iq_occupancy[balanced] >
+      imbalance_threshold_) {
+    ++stats_.balance_overrides;
+    return balanced;
+  }
+  return dep_best;
+}
+
+}  // namespace clusmt::steer

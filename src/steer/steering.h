@@ -1,0 +1,58 @@
+// Instruction steering: chooses the *preferred* cluster for a µop at
+// rename. The paper builds every resource-assignment scheme "on top of the
+// state-of-the-art steering mechanism proposed in [12]" (Canal, Parcerisa,
+// González — Dynamic Cluster Assignment Mechanisms, HPCA 2000): steer to
+// the cluster where most source operands reside to minimise inter-cluster
+// copies, overridden towards the least-loaded cluster when the workload
+// imbalance between clusters exceeds a threshold.
+//
+// Round-robin (Raasch-style) and pure least-loaded steering are kept for
+// ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace clusmt::steer {
+
+enum class SteeringKind : std::uint8_t {
+  kDependenceBalance,  // [12] §3.8 — the paper's baseline
+  kRoundRobin,         // ablation: [24]'s first SMT-clustered evaluation
+  kLeastLoaded,        // ablation: balance only, dependence blind
+};
+
+struct SteeringStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t balance_overrides = 0;  // dependence vote overridden
+  std::uint64_t dependence_free = 0;    // µops with no resident operands
+};
+
+class Steering {
+ public:
+  Steering(SteeringKind kind, int num_clusters, int imbalance_threshold = 6);
+
+  /// Preferred cluster for a µop.
+  /// `dep_count[c]` — number of the µop's source operands whose value is
+  /// resident in cluster c; `iq_occupancy[c]` — current total issue-queue
+  /// occupancy of cluster c.
+  [[nodiscard]] ClusterId preferred(std::span<const int> dep_count,
+                                    std::span<const int> iq_occupancy);
+
+  [[nodiscard]] SteeringKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const SteeringStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = SteeringStats{}; }
+
+ private:
+  [[nodiscard]] ClusterId least_loaded(
+      std::span<const int> iq_occupancy) const noexcept;
+
+  SteeringKind kind_;
+  int num_clusters_;
+  int imbalance_threshold_;
+  int rr_next_ = 0;
+  SteeringStats stats_;
+};
+
+}  // namespace clusmt::steer

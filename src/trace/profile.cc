@@ -1,0 +1,227 @@
+#include "trace/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace clusmt::trace {
+
+std::string TraceProfile::validate() const {
+  std::ostringstream err;
+  const double sum = mix_sum();
+  if (std::abs(sum - 1.0) > 1e-6) {
+    err << "instruction mix sums to " << sum << " (expected 1.0); ";
+  }
+  auto in01 = [&](double v, const char* what) {
+    if (v < 0.0 || v > 1.0) err << what << " out of [0,1]; ";
+  };
+  in01(hard_branch_fraction, "hard_branch_fraction");
+  in01(indirect_fraction, "indirect_fraction");
+  in01(stream_fraction, "stream_fraction");
+  in01(chase_fraction, "chase_fraction");
+  in01(two_src_prob, "two_src_prob");
+  if (dep_geo_p <= 0.0 || dep_geo_p > 1.0) err << "dep_geo_p out of (0,1]; ";
+  if (avg_block_len < 2.0) err << "avg_block_len < 2; ";
+  if (num_blocks < 2) err << "num_blocks < 2; ";
+  if (footprint_bytes < 64) err << "footprint under one cache line; ";
+  return err.str();
+}
+
+double TraceProfile::effective_fp_load_fraction() const noexcept {
+  if (fp_load_fraction >= 0.0) return std::min(fp_load_fraction, 1.0);
+  const double fp_compute = frac_fp_add + frac_fp_mul + frac_simd;
+  const double all_compute = fp_compute + frac_int_alu + frac_int_mul;
+  if (all_compute <= 0.0) return 0.0;
+  return std::min(1.0, 0.9 * fp_compute / all_compute);
+}
+
+std::string_view category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kDH: return "DH";
+    case Category::kFSpec00: return "FSPEC00";
+    case Category::kISpec00: return "ISPEC00";
+    case Category::kMultimedia: return "multimedia";
+    case Category::kOffice: return "office";
+    case Category::kProductivity: return "productivity";
+    case Category::kServer: return "server";
+    case Category::kWorkstation: return "workstation";
+    case Category::kMiscellanea: return "miscellanea";
+  }
+  return "?";
+}
+
+const std::vector<Category>& all_plain_categories() {
+  static const std::vector<Category> kAll = {
+      Category::kDH,           Category::kFSpec00,
+      Category::kISpec00,      Category::kMultimedia,
+      Category::kOffice,       Category::kProductivity,
+      Category::kServer,       Category::kWorkstation,
+      Category::kMiscellanea,
+  };
+  return kAll;
+}
+
+namespace {
+
+/// Category base characteristics (ILP flavour); MEM flavour derives from it.
+/// Mix values are renormalised after perturbation, so they only need to be
+/// proportionally correct.
+struct CategoryBase {
+  double int_alu, int_mul, fp_add, fp_mul, simd, load, store;
+  double avg_block_len;
+  int num_blocks;
+  double hard_branch;   // ILP-flavour unpredictable-branch fraction
+  double indirect;
+  double dep_geo_p_ilp; // ILP flavour: long dependence distances
+  std::uint64_t footprint_ilp;
+  double stream_ilp;
+};
+
+CategoryBase base_of(Category c) {
+  switch (c) {
+    case Category::kDH:  // Digital-home kernels: SIMD streaming.
+      return {.int_alu = .18, .int_mul = .02, .fp_add = .05, .fp_mul = .03,
+              .simd = .32, .load = .25, .store = .15, .avg_block_len = 12.0,
+              .num_blocks = 48, .hard_branch = .015, .indirect = .005,
+              .dep_geo_p_ilp = .020, .footprint_ilp = 24 * 1024,
+              .stream_ilp = .90};
+    case Category::kFSpec00:  // SPECfp2K: FP loops over arrays.
+      return {.int_alu = .15, .int_mul = .02, .fp_add = .26, .fp_mul = .18,
+              .simd = .04, .load = .24, .store = .11, .avg_block_len = 14.0,
+              .num_blocks = 56, .hard_branch = .01, .indirect = .005,
+              .dep_geo_p_ilp = .018, .footprint_ilp = 28 * 1024,
+              .stream_ilp = .85};
+    case Category::kISpec00:  // SPECint2K: branchy integer code.
+      return {.int_alu = .46, .int_mul = .03, .fp_add = .01, .fp_mul = .01,
+              .simd = .02, .load = .31, .store = .16, .avg_block_len = 6.0,
+              .num_blocks = 96, .hard_branch = .05, .indirect = .015,
+              .dep_geo_p_ilp = .040, .footprint_ilp = 24 * 1024,
+              .stream_ilp = .55};
+    case Category::kMultimedia:  // MPEG / speech: SIMD + int control.
+      return {.int_alu = .26, .int_mul = .02, .fp_add = .05, .fp_mul = .04,
+              .simd = .25, .load = .24, .store = .14, .avg_block_len = 9.0,
+              .num_blocks = 64, .hard_branch = .025, .indirect = .010,
+              .dep_geo_p_ilp = .025, .footprint_ilp = 28 * 1024,
+              .stream_ilp = .80};
+    case Category::kOffice:  // PowerPoint / Excel: irregular integer.
+      return {.int_alu = .42, .int_mul = .02, .fp_add = .02, .fp_mul = .01,
+              .simd = .04, .load = .32, .store = .17, .avg_block_len = 5.0,
+              .num_blocks = 160, .hard_branch = .07, .indirect = .020,
+              .dep_geo_p_ilp = .050, .footprint_ilp = 30 * 1024,
+              .stream_ilp = .45};
+    case Category::kProductivity:  // Sysmark2K.
+      return {.int_alu = .40, .int_mul = .02, .fp_add = .03, .fp_mul = .02,
+              .simd = .06, .load = .31, .store = .16, .avg_block_len = 6.0,
+              .num_blocks = 144, .hard_branch = .06, .indirect = .015,
+              .dep_geo_p_ilp = .045, .footprint_ilp = 28 * 1024,
+              .stream_ilp = .50};
+    case Category::kServer:  // TPC traces: pointer chasing, big data.
+      return {.int_alu = .37, .int_mul = .02, .fp_add = .01, .fp_mul = .01,
+              .simd = .02, .load = .36, .store = .21, .avg_block_len = 5.0,
+              .num_blocks = 192, .hard_branch = .06, .indirect = .020,
+              .dep_geo_p_ilp = .060, .footprint_ilp = 80 * 1024,
+              .stream_ilp = .40};
+    case Category::kWorkstation:  // CAD / rendering: FP + SIMD.
+      return {.int_alu = .21, .int_mul = .02, .fp_add = .20, .fp_mul = .15,
+              .simd = .11, .load = .22, .store = .09, .avg_block_len = 11.0,
+              .num_blocks = 72, .hard_branch = .02, .indirect = .010,
+              .dep_geo_p_ilp = .020, .footprint_ilp = 32 * 1024,
+              .stream_ilp = .75};
+    case Category::kMiscellanea:  // Games & matrix kernels.
+      return {.int_alu = .30, .int_mul = .03, .fp_add = .10, .fp_mul = .08,
+              .simd = .15, .load = .22, .store = .12, .avg_block_len = 8.0,
+              .num_blocks = 88, .hard_branch = .035, .indirect = .015,
+              .dep_geo_p_ilp = .025, .footprint_ilp = 28 * 1024,
+              .stream_ilp = .70};
+  }
+  return base_of(Category::kISpec00);
+}
+
+/// Small deterministic multiplicative jitter so the N variants of a
+/// category/type are distinct programs (different footprints, block counts,
+/// branch behaviour) while staying in character.
+double jitter(Xoshiro256& rng, double value, double rel) {
+  return value * (1.0 + rel * (2.0 * rng.uniform() - 1.0));
+}
+
+}  // namespace
+
+TraceProfile make_profile(Category category, TraceKind kind, int variant) {
+  const CategoryBase base = base_of(category);
+  const std::uint64_t seed =
+      hash_combine(0xC1057E5EULL ^ static_cast<std::uint64_t>(category),
+                   hash_combine(static_cast<std::uint64_t>(kind),
+                                static_cast<std::uint64_t>(variant)));
+  Xoshiro256 rng(seed);
+
+  TraceProfile p;
+  {
+    std::ostringstream name;
+    name << category_name(category) << '.'
+         << (kind == TraceKind::kIlp ? "ilp" : "mem") << '.' << variant;
+    p.name = name.str();
+  }
+
+  p.frac_int_alu = jitter(rng, base.int_alu, 0.10);
+  p.frac_int_mul = jitter(rng, base.int_mul, 0.20);
+  p.frac_fp_add = jitter(rng, base.fp_add, 0.15);
+  p.frac_fp_mul = jitter(rng, base.fp_mul, 0.15);
+  p.frac_simd = jitter(rng, base.simd, 0.15);
+  p.frac_load = jitter(rng, base.load, 0.10);
+  p.frac_store = jitter(rng, base.store, 0.10);
+
+  p.avg_block_len = std::max(3.0, jitter(rng, base.avg_block_len, 0.20));
+  p.num_blocks =
+      std::max(8, static_cast<int>(jitter(rng, base.num_blocks, 0.25)));
+  p.indirect_fraction = std::clamp(jitter(rng, base.indirect, 0.3), 0.0, 0.2);
+
+  if (kind == TraceKind::kIlp) {
+    p.dep_geo_p = std::clamp(jitter(rng, base.dep_geo_p_ilp, 0.2), 0.02, 0.5);
+    p.footprint_bytes = static_cast<std::uint64_t>(
+        std::max(4096.0, jitter(rng, static_cast<double>(base.footprint_ilp),
+                                0.30)));
+    p.stream_fraction = std::clamp(jitter(rng, base.stream_ilp, 0.1), 0.0, 1.0);
+    p.chase_fraction =
+        category == Category::kServer ? 0.10 : 0.0;  // TPC chases even at ILP
+    p.hard_branch_fraction =
+        std::clamp(jitter(rng, base.hard_branch, 0.3), 0.0, 0.5);
+    p.stream_stride = 8;
+  } else {
+    // Memory-bounded flavour: footprint far beyond the 4 MB L2. Streams
+    // sweep the whole footprint at stride 16 — one access in four starts a
+    // fresh line whose previous visit was a full sweep ago, so it misses
+    // L2: these independent misses are the memory-level parallelism that
+    // fills the MOB and issue queues with long-latency work. Chases and
+    // random accesses stay in an L2-resident hot region (serialised L2
+    // pressure, not more memory misses).
+    p.dep_geo_p =
+        std::clamp(jitter(rng, base.dep_geo_p_ilp * 1.5, 0.2), 0.03, 0.6);
+    const double mb = jitter(rng, 12.0, 0.4);  // 7-17 MB working set
+    p.footprint_bytes =
+        static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
+    p.stream_fraction = std::clamp(jitter(rng, 0.50, 0.2), 0.25, 0.75);
+    p.chase_fraction = std::clamp(jitter(rng, 0.12, 0.3), 0.06, 0.25);
+    p.hard_branch_fraction =
+        std::clamp(jitter(rng, base.hard_branch * 1.4, 0.3), 0.0, 0.5);
+    p.frac_load *= 1.2;  // memory-bound codes are load-richer
+    p.stream_stride = 16;
+    p.hot_bytes = 2 * 1024 * 1024;
+  }
+
+  // Renormalise the mix to exactly 1.
+  const double sum = p.mix_sum();
+  p.frac_int_alu /= sum;
+  p.frac_int_mul /= sum;
+  p.frac_fp_add /= sum;
+  p.frac_fp_mul /= sum;
+  p.frac_simd /= sum;
+  p.frac_load /= sum;
+  p.frac_store /= sum;
+
+  p.two_src_prob = std::clamp(jitter(rng, 0.45, 0.15), 0.0, 1.0);
+  return p;
+}
+
+}  // namespace clusmt::trace

@@ -1,0 +1,110 @@
+// Statistical trace profiles: the knobs that make a synthetic µop stream
+// behave like a benchmark of a given category (paper Table 2).
+//
+// The paper's traces are proprietary Intel captures of SPEC2K and commercial
+// workloads. We substitute parameterised synthetic streams that reproduce
+// the *resource pressure signatures* the resource-assignment schemes react
+// to: instruction mix (port and register-file class pressure), dependence
+// distances (ILP / issue-queue residency), memory footprint and pointer
+// chasing (L1/L2 miss rates, Stall/Flush+ triggers) and branch entropy
+// (wrong-path pollution). See DESIGN.md §1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clusmt::trace {
+
+/// Behavioural flavour of a trace within its category (paper Table 2
+/// "Types"): ILP = highly parallel & cache resident, MEM = memory bounded.
+/// MIX workloads pair one ILP trace with one MEM trace.
+enum class TraceKind : std::uint8_t { kIlp = 0, kMem = 1 };
+
+/// All knobs of the synthetic generator. Fractions are of non-branch µops
+/// and must sum to 1 (validated by `validate()`).
+struct TraceProfile {
+  std::string name;
+
+  // Instruction class mix.
+  double frac_int_alu = 0.40;
+  double frac_int_mul = 0.02;
+  double frac_fp_add = 0.05;
+  double frac_fp_mul = 0.03;
+  double frac_simd = 0.08;
+  double frac_load = 0.28;
+  double frac_store = 0.14;
+
+  // Control flow: average µops per basic block (a branch terminates each
+  // block), static code footprint in blocks, branch behaviour.
+  double avg_block_len = 8.0;
+  int num_blocks = 64;
+  double hard_branch_fraction = 0.08;  // statically unpredictable branches
+  double indirect_fraction = 0.02;     // indirect branches (target predictor)
+
+  // Dependences / ILP: source operands reach back a geometric(dep_geo_p)
+  // number of same-class producers. Larger p => shorter distances => less
+  // ILP => longer issue-queue residency.
+  double dep_geo_p = 0.30;
+  double two_src_prob = 0.55;
+
+  // Memory behaviour.
+  std::uint64_t footprint_bytes = 32 * 1024;
+  double stream_fraction = 0.70;  // sequential-stride accesses
+  double chase_fraction = 0.00;   // loads serialised on the previous load
+  std::uint64_t stream_stride = 8;  // bytes between stream accesses (64 =>
+                                    // a fresh cache line per access: high MLP)
+  /// Chase and random accesses stay inside this hot region (0 = whole
+  /// footprint). Memory-bound traces keep it L2-resident so the *streams*
+  /// supply the parallel memory misses while chases serialise on L2 hits.
+  std::uint64_t hot_bytes = 0;
+
+  // Control/address sources (branch conditions, stream-load induction
+  // variables) reach much further back than data dependences, so they are
+  // usually ready: sampled with this flat geometric parameter.
+  double old_src_p = 0.02;
+
+  /// Fraction of load destinations that are FP/SIMD-class registers,
+  /// derived from the FP share of the compute mix unless overridden (< 0).
+  double fp_load_fraction = -1.0;
+
+  /// Returns a human-readable validation error, or empty when coherent.
+  [[nodiscard]] std::string validate() const;
+
+  [[nodiscard]] double mix_sum() const noexcept {
+    return frac_int_alu + frac_int_mul + frac_fp_add + frac_fp_mul +
+           frac_simd + frac_load + frac_store;
+  }
+
+  /// Effective FP-destination probability for loads.
+  [[nodiscard]] double effective_fp_load_fraction() const noexcept;
+};
+
+/// The 9 "plain" benchmark categories of Table 2. ISPEC-FSPEC and `mixes`
+/// are pairing rules over these, not distinct profiles.
+enum class Category : std::uint8_t {
+  kDH = 0,
+  kFSpec00,
+  kISpec00,
+  kMultimedia,
+  kOffice,
+  kProductivity,
+  kServer,
+  kWorkstation,
+  kMiscellanea,
+};
+inline constexpr int kNumPlainCategories = 9;
+
+[[nodiscard]] std::string_view category_name(Category c) noexcept;
+
+/// Builds the profile for (category, kind, variant). `variant` perturbs
+/// secondary knobs deterministically so the 3-4 traces of a category/type
+/// are distinct programs, as in the paper's pool.
+[[nodiscard]] TraceProfile make_profile(Category category, TraceKind kind,
+                                        int variant);
+
+/// All plain categories, in Table 2 order.
+[[nodiscard]] const std::vector<Category>& all_plain_categories();
+
+}  // namespace clusmt::trace

@@ -1,0 +1,130 @@
+// Synthetic program model and trace generator.
+//
+// A SyntheticProgram is a static control-flow graph of basic blocks whose
+// µop skeletons are fixed (classes, destinations, branch behaviour), so the
+// branch predictor and trace cache observe realistic recurring PCs and
+// learnable patterns. Dynamic properties — source-operand distances and
+// memory addresses — are sampled per dynamic instance from the profile's
+// distributions; this is a trace generator, not an executable program, and
+// the simulator consumes only dependence/address/outcome information.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "trace/profile.h"
+#include "trace/trace_source.h"
+#include "trace/uop.h"
+
+namespace clusmt::trace {
+
+/// Per-static-branch behaviour. Patterns are learnable by gshare; kRandom
+/// branches mispredict ~50% and model data-dependent control flow.
+enum class BranchBehaviour : std::uint8_t {
+  kStronglyTaken,
+  kStronglyNotTaken,
+  kLoop,      // taken (trip-1) times, then not taken, repeating
+  kPeriodic,  // fixed taken/not-taken pattern of period <= 8
+  kRandom,
+};
+
+/// Static µop skeleton inside a basic block.
+struct StaticUop {
+  UopClass cls = UopClass::kIntAlu;
+  std::int16_t dst = -1;  // fixed architectural destination, -1 = none
+  bool fp_dst = false;    // loads: destination register file class
+};
+
+/// Static basic block: skeleton µops terminated by one branch.
+struct BasicBlock {
+  std::uint64_t start_pc = 0;
+  std::vector<StaticUop> body;  // excludes the terminating branch
+  BranchBehaviour branch = BranchBehaviour::kStronglyTaken;
+  bool indirect = false;
+  int loop_trip = 8;                 // for kLoop
+  std::uint8_t pattern = 0b10101010; // for kPeriodic
+  int pattern_period = 4;
+  int taken_next = 0;      // successor block when taken
+  int fallthrough_next = 0;
+  std::vector<int> indirect_targets;  // successor pool for indirect branches
+};
+
+/// The static side of a synthetic program, built deterministically from a
+/// profile + seed. Immutable after construction and shareable between
+/// multiple trace cursors (e.g. the SMT run and its single-thread baseline).
+class SyntheticProgram {
+ public:
+  SyntheticProgram(const TraceProfile& profile, std::uint64_t seed);
+
+  [[nodiscard]] const TraceProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  TraceProfile profile_;
+  std::uint64_t seed_;
+  std::vector<BasicBlock> blocks_;
+};
+
+/// Walks a SyntheticProgram, producing the dynamic µop stream.
+class SyntheticTrace final : public TraceSource {
+ public:
+  SyntheticTrace(std::shared_ptr<const SyntheticProgram> program,
+                 std::uint64_t seed);
+
+  /// Convenience: builds the program internally.
+  SyntheticTrace(const TraceProfile& profile, std::uint64_t seed);
+
+  MicroOp next() override;
+  [[nodiscard]] const std::string& name() const override;
+
+  [[nodiscard]] const SyntheticProgram& program() const noexcept {
+    return *program_;
+  }
+
+ private:
+  void refill_block();
+  [[nodiscard]] bool evaluate_branch(int block_index);
+  /// Samples a same-class producer `geometric(p)` steps back.
+  [[nodiscard]] std::int16_t sample_source(RegClass cls, double p);
+  /// Data-dependence distance (profile dep_geo_p).
+  [[nodiscard]] std::int16_t sample_data_source(RegClass cls);
+  /// Control/address source: far back, usually already computed.
+  [[nodiscard]] std::int16_t sample_old_source(RegClass cls);
+  [[nodiscard]] std::uint64_t sample_address(bool& out_is_chase,
+                                             bool& out_is_stream);
+  void note_producer(std::int16_t arch);
+
+  std::shared_ptr<const SyntheticProgram> program_;
+  Xoshiro256 rng_;
+
+  // Dynamic cursor state.
+  int current_block_ = 0;
+  std::size_t block_pos_ = 0;   // index into body; == body.size() => branch
+  std::uint64_t pc_ = 0;
+
+  // Per-static-branch dynamic state (loop counters, pattern phases).
+  std::vector<std::uint32_t> branch_state_;
+
+  // Recent same-class producers, most recent last (bounded ring).
+  std::vector<std::int16_t> recent_int_;
+  std::vector<std::int16_t> recent_fp_;
+
+  // Memory state.
+  std::uint64_t base_addr_ = 0;
+  std::vector<std::uint64_t> stream_ptrs_;
+  std::size_t next_stream_ = 0;
+  std::uint64_t chase_addr_ = 0;
+  std::int16_t last_chase_dst_ = -1;  // register carrying the chase pointer
+  bool last_load_was_chase_ = false;
+};
+
+}  // namespace clusmt::trace

@@ -1,0 +1,227 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+#include "trace/synthetic.h"
+
+namespace clusmt::trace {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'C', 'L', 'T', 'R',
+                                        'A', 'C', 'E', '\0'};
+constexpr std::uint32_t kVersion = 1;
+// A µop record: pc, mem_addr, target, fallthrough (u64 each), dst, src0,
+// src1 (i16 each), cls and flags (u8 each).
+constexpr std::size_t kRecordBytes = 4 * 8 + 3 * 2 + 2;
+constexpr std::uint64_t kMaxName = 4096;
+constexpr std::uint64_t kMaxUops = std::uint64_t{1} << 32;
+
+constexpr std::uint8_t kFlagTaken = 1u << 0;
+constexpr std::uint8_t kFlagIndirect = 1u << 1;
+
+/// RAII stdio handle (keeps the module free of iostream locale baggage).
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : file_(std::fopen(path.c_str(), mode)), path_(path) {
+    if (file_ == nullptr) {
+      throw std::runtime_error("trace_io: cannot open " + path);
+    }
+  }
+  ~File() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  void write(const void* data, std::size_t bytes) {
+    if (std::fwrite(data, 1, bytes, file_) != bytes) {
+      throw std::runtime_error("trace_io: short write to " + path_);
+    }
+  }
+  void read(void* data, std::size_t bytes) {
+    if (std::fread(data, 1, bytes, file_) != bytes) {
+      throw std::runtime_error("trace_io: truncated file " + path_);
+    }
+  }
+  [[nodiscard]] bool at_eof() {
+    const int c = std::fgetc(file_);
+    if (c == EOF) return true;
+    std::ungetc(c, file_);
+    return false;
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+/// Little-endian scalar encoding, independent of host byte order.
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  auto v = static_cast<std::uint64_t>(value);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+template <typename T>
+[[nodiscard]] T get(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+[[nodiscard]] std::uint64_t mix_checksum(std::uint64_t sum,
+                                         const std::uint8_t* bytes,
+                                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    sum ^= static_cast<std::uint64_t>(bytes[i]) << (8 * (i % 8));
+    sum = sum * 0x9E3779B97F4A7C15ull + 1;
+  }
+  return sum;
+}
+
+void encode_uop(std::vector<std::uint8_t>& out, const MicroOp& op) {
+  put<std::uint64_t>(out, op.pc);
+  put<std::uint64_t>(out, op.mem_addr);
+  put<std::uint64_t>(out, op.target);
+  put<std::uint64_t>(out, op.fallthrough);
+  put<std::int16_t>(out, op.dst);
+  put<std::int16_t>(out, op.src0);
+  put<std::int16_t>(out, op.src1);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(op.cls));
+  std::uint8_t flags = 0;
+  if (op.taken) flags |= kFlagTaken;
+  if (op.indirect) flags |= kFlagIndirect;
+  put<std::uint8_t>(out, flags);
+}
+
+[[nodiscard]] MicroOp decode_uop(const std::uint8_t* in) {
+  MicroOp op;
+  op.pc = get<std::uint64_t>(in);
+  op.mem_addr = get<std::uint64_t>(in + 8);
+  op.target = get<std::uint64_t>(in + 16);
+  op.fallthrough = get<std::uint64_t>(in + 24);
+  op.dst = get<std::int16_t>(in + 32);
+  op.src0 = get<std::int16_t>(in + 34);
+  op.src1 = get<std::int16_t>(in + 36);
+  const auto cls = get<std::uint8_t>(in + 38);
+  if (cls >= kNumUopClasses ||
+      static_cast<UopClass>(cls) == UopClass::kCopy) {
+    throw std::runtime_error("trace_io: invalid µop class in record");
+  }
+  op.cls = static_cast<UopClass>(cls);
+  const auto flags = get<std::uint8_t>(in + 39);
+  if ((flags & ~(kFlagTaken | kFlagIndirect)) != 0) {
+    throw std::runtime_error("trace_io: unknown flag bits in record");
+  }
+  op.taken = (flags & kFlagTaken) != 0;
+  op.indirect = (flags & kFlagIndirect) != 0;
+  return op;
+}
+
+}  // namespace
+
+void save_trace(const std::string& path, const std::string& name,
+                std::uint64_t seed, const std::vector<MicroOp>& uops) {
+  if (name.size() > kMaxName) {
+    throw std::runtime_error("trace_io: trace name too long");
+  }
+  File file(path, "wb");
+  std::vector<std::uint8_t> header;
+  header.insert(header.end(), kMagic.begin(), kMagic.end());
+  put<std::uint32_t>(header, kVersion);
+  put<std::uint32_t>(header, static_cast<std::uint32_t>(name.size()));
+  header.insert(header.end(), name.begin(), name.end());
+  put<std::uint64_t>(header, seed);
+  put<std::uint64_t>(header, static_cast<std::uint64_t>(uops.size()));
+  file.write(header.data(), header.size());
+
+  std::uint64_t checksum = 0;
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordBytes);
+  for (const MicroOp& op : uops) {
+    record.clear();
+    encode_uop(record, op);
+    checksum = mix_checksum(checksum, record.data(), record.size());
+    file.write(record.data(), record.size());
+  }
+  std::vector<std::uint8_t> footer;
+  put<std::uint64_t>(footer, checksum);
+  file.write(footer.data(), footer.size());
+}
+
+LoadedTrace load_trace(const std::string& path) {
+  File file(path, "rb");
+
+  std::array<std::uint8_t, 8> magic{};
+  file.read(magic.data(), magic.size());
+  for (std::size_t i = 0; i < kMagic.size(); ++i) {
+    if (magic[i] != static_cast<std::uint8_t>(kMagic[i])) {
+      throw std::runtime_error("trace_io: bad magic in " + path);
+    }
+  }
+
+  std::array<std::uint8_t, 8> counts{};
+  file.read(counts.data(), counts.size());
+  const auto version = get<std::uint32_t>(counts.data());
+  const auto name_len = get<std::uint32_t>(counts.data() + 4);
+  if (version != kVersion) {
+    throw std::runtime_error("trace_io: unsupported version in " + path);
+  }
+  if (name_len > kMaxName) {
+    throw std::runtime_error("trace_io: oversized name in " + path);
+  }
+
+  LoadedTrace out;
+  out.name.resize(name_len);
+  if (name_len > 0) file.read(out.name.data(), name_len);
+
+  std::array<std::uint8_t, 16> tail{};
+  file.read(tail.data(), tail.size());
+  out.seed = get<std::uint64_t>(tail.data());
+  const auto count = get<std::uint64_t>(tail.data() + 8);
+  if (count > kMaxUops) {
+    throw std::runtime_error("trace_io: implausible µop count in " + path);
+  }
+
+  out.uops.reserve(static_cast<std::size_t>(count));
+  std::uint64_t checksum = 0;
+  std::array<std::uint8_t, kRecordBytes> record{};
+  for (std::uint64_t i = 0; i < count; ++i) {
+    file.read(record.data(), record.size());
+    checksum = mix_checksum(checksum, record.data(), record.size());
+    out.uops.push_back(decode_uop(record.data()));
+  }
+
+  std::array<std::uint8_t, 8> footer{};
+  file.read(footer.data(), footer.size());
+  if (get<std::uint64_t>(footer.data()) != checksum) {
+    throw std::runtime_error("trace_io: checksum mismatch in " + path);
+  }
+  if (!file.at_eof()) {
+    throw std::runtime_error("trace_io: trailing bytes in " + path);
+  }
+  return out;
+}
+
+std::vector<MicroOp> record_trace(const TraceSpec& spec, std::size_t count) {
+  SyntheticTrace source(spec.profile, spec.seed);
+  std::vector<MicroOp> uops;
+  uops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) uops.push_back(source.next());
+  return uops;
+}
+
+void save_recorded_trace(const std::string& path, const TraceSpec& spec,
+                         std::size_t count) {
+  save_trace(path, spec.id(), spec.seed, record_trace(spec, count));
+}
+
+}  // namespace clusmt::trace

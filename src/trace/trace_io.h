@@ -1,0 +1,63 @@
+// Binary trace files: persist a µop stream to disk and replay it later.
+//
+// The paper's methodology is trace-driven: the authors capture programs
+// once and re-simulate the same stream under every scheme. The synthetic
+// generator makes capture unnecessary inside this repo (streams are
+// reproducible from a profile + seed), but a file format earns its keep
+// for (a) interoperating with external trace producers, (b) archiving the
+// exact streams behind a published experiment, and (c) the example tooling
+// (examples/trace_tool.cpp).
+//
+// Format CLTR, version 1, little-endian, no alignment padding:
+//   [8]  magic "CLTRACE\0"
+//   [4]  u32 version
+//   [4]  u32 name length N        [N] name bytes (UTF-8, no NUL)
+//   [8]  u64 generator seed
+//   [8]  u64 µop count M
+//   M fixed-size records (see uop record layout in trace_io.cc)
+//   [8]  u64 XOR checksum over all record words
+// Loaders reject bad magic, unknown versions, truncation, oversized
+// names/counts and checksum mismatches with std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.h"
+#include "trace/uop.h"
+#include "trace/workload.h"
+
+namespace clusmt::trace {
+
+/// In-memory image of a trace file.
+struct LoadedTrace {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::vector<MicroOp> uops;
+
+  /// Replay source (loops at the end, like every TraceSource).
+  [[nodiscard]] std::unique_ptr<VectorTrace> make_source() const {
+    return std::make_unique<VectorTrace>(name, uops);
+  }
+};
+
+/// Writes `uops` to `path`. Throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::string& name,
+                std::uint64_t seed, const std::vector<MicroOp>& uops);
+
+/// Reads a trace file written by save_trace. Throws std::runtime_error on
+/// malformed or truncated input.
+[[nodiscard]] LoadedTrace load_trace(const std::string& path);
+
+/// Materialises the first `count` µops of a TraceSpec's synthetic stream —
+/// the capture step of the trace-driven workflow.
+[[nodiscard]] std::vector<MicroOp> record_trace(const TraceSpec& spec,
+                                                std::size_t count);
+
+/// Capture + save in one step (what `trace_tool record` does).
+void save_recorded_trace(const std::string& path, const TraceSpec& spec,
+                         std::size_t count);
+
+}  // namespace clusmt::trace

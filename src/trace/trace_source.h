@@ -1,0 +1,51 @@
+// Abstract µop stream consumed by the simulator's fetch unit, plus a
+// replay-from-vector implementation used heavily by unit tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/uop.h"
+
+namespace clusmt::trace {
+
+/// An unbounded, deterministic stream of correct-path µops for one thread.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Next correct-path µop. Streams are conceptually infinite; sources that
+  /// model finite programs must loop.
+  virtual MicroOp next() = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// Replays a fixed vector of µops, looping at the end. Intended for tests
+/// and examples where exact instruction sequences are required.
+class VectorTrace final : public TraceSource {
+ public:
+  VectorTrace(std::string name, std::vector<MicroOp> uops)
+      : name_(std::move(name)), uops_(std::move(uops)) {}
+
+  MicroOp next() override {
+    MicroOp op = uops_[cursor_];
+    cursor_ = (cursor_ + 1) % uops_.size();
+    ++emitted_;
+    return op;
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::size_t size() const noexcept { return uops_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<MicroOp> uops_;
+  std::size_t cursor_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace clusmt::trace

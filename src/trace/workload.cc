@@ -1,0 +1,232 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace clusmt::trace {
+
+namespace {
+
+std::uint64_t trace_seed(std::uint64_t master, const std::string& id) {
+  std::uint64_t h = master;
+  for (char c : id) h = hash_combine(h, static_cast<std::uint64_t>(c));
+  return h;
+}
+
+std::string workload_name(const std::string& category, const std::string& type,
+                          int index, int threads = 2) {
+  std::ostringstream name;
+  name << category << '.' << type << '.' << threads << '.' << (index + 1);
+  return name.str();
+}
+
+}  // namespace
+
+TracePool::TracePool(std::uint64_t master_seed) {
+  traces_.reserve(all_plain_categories().size() * 2 * kVariantsPerKind);
+  for (Category cat : all_plain_categories()) {
+    for (TraceKind kind : {TraceKind::kIlp, TraceKind::kMem}) {
+      for (int v = 0; v < kVariantsPerKind; ++v) {
+        TraceSpec spec;
+        spec.profile = make_profile(cat, kind, v);
+        spec.seed = trace_seed(master_seed, spec.profile.name);
+        traces_.push_back(std::move(spec));
+      }
+    }
+  }
+}
+
+const TraceSpec& TracePool::get(Category cat, TraceKind kind,
+                                int variant) const {
+  const std::size_t cat_index = static_cast<std::size_t>(cat);
+  const std::size_t kind_index = static_cast<std::size_t>(kind);
+  const std::size_t index =
+      (cat_index * 2 + kind_index) * kVariantsPerKind +
+      static_cast<std::size_t>(variant);
+  if (variant < 0 || variant >= kVariantsPerKind || index >= traces_.size()) {
+    throw std::out_of_range("TracePool::get: bad variant");
+  }
+  return traces_[index];
+}
+
+std::vector<WorkloadSpec> build_full_suite(std::uint64_t master_seed) {
+  TracePool pool(master_seed);
+  std::vector<WorkloadSpec> suite;
+  suite.reserve(120);
+
+  auto add = [&](const std::string& category, const std::string& type,
+                 int index, const TraceSpec& a, const TraceSpec& b) {
+    WorkloadSpec w;
+    w.category = category;
+    w.type = type;
+    w.name = workload_name(category, type, index);
+    w.threads = {a, b};
+    suite.push_back(std::move(w));
+  };
+
+  // Plain categories: 3 ILP + 3 MEM + 2 MIX each (Table 2).
+  constexpr int kIlpPairs[3][2] = {{0, 1}, {2, 3}, {1, 2}};
+  for (Category cat : all_plain_categories()) {
+    const std::string name{category_name(cat)};
+    for (int i = 0; i < 3; ++i) {
+      add(name, "ilp", i, pool.get(cat, TraceKind::kIlp, kIlpPairs[i][0]),
+          pool.get(cat, TraceKind::kIlp, kIlpPairs[i][1]));
+    }
+    for (int i = 0; i < 3; ++i) {
+      add(name, "mem", i, pool.get(cat, TraceKind::kMem, kIlpPairs[i][0]),
+          pool.get(cat, TraceKind::kMem, kIlpPairs[i][1]));
+    }
+    for (int i = 0; i < 2; ++i) {
+      add(name, "mix", i, pool.get(cat, TraceKind::kIlp, i),
+          pool.get(cat, TraceKind::kMem, i));
+    }
+  }
+
+  // ISPEC-FSPEC: 4 ILP + 4 MEM + 8 MIX (Figure 9's x-axis).
+  const Category ispec = Category::kISpec00;
+  const Category fspec = Category::kFSpec00;
+  for (int k = 0; k < 4; ++k) {
+    add("ISPEC-FSPEC", "ilp", k, pool.get(ispec, TraceKind::kIlp, k),
+        pool.get(fspec, TraceKind::kIlp, k));
+  }
+  for (int k = 0; k < 4; ++k) {
+    add("ISPEC-FSPEC", "mem", k, pool.get(ispec, TraceKind::kMem, k),
+        pool.get(fspec, TraceKind::kMem, k));
+  }
+  for (int k = 0; k < 4; ++k) {
+    add("ISPEC-FSPEC", "mix", k, pool.get(ispec, TraceKind::kIlp, k),
+        pool.get(fspec, TraceKind::kMem, k));
+  }
+  for (int k = 0; k < 4; ++k) {
+    add("ISPEC-FSPEC", "mix", 4 + k, pool.get(ispec, TraceKind::kMem, k),
+        pool.get(fspec, TraceKind::kIlp, k));
+  }
+
+  // Cross-category mixes: 32 workloads over all plain categories.
+  Xoshiro256 rng(hash_combine(master_seed, 0x3A13E5));
+  const auto& cats = all_plain_categories();
+  for (int i = 0; i < 32; ++i) {
+    const Category cat_a = cats[rng.bounded(cats.size())];
+    Category cat_b = cats[rng.bounded(cats.size())];
+    while (cat_b == cat_a) cat_b = cats[rng.bounded(cats.size())];
+    // Half ILP+MEM, one quarter ILP+ILP, one quarter MEM+MEM.
+    TraceKind kind_a = TraceKind::kIlp;
+    TraceKind kind_b = TraceKind::kMem;
+    if (i % 4 == 2) kind_b = TraceKind::kIlp;
+    if (i % 4 == 3) kind_a = TraceKind::kMem;
+    const int va = static_cast<int>(rng.bounded(TracePool::kVariantsPerKind));
+    const int vb = static_cast<int>(rng.bounded(TracePool::kVariantsPerKind));
+    add("mixes", "mix", i, pool.get(cat_a, kind_a, va),
+        pool.get(cat_b, kind_b, vb));
+  }
+
+  return suite;
+}
+
+std::vector<WorkloadSpec> build_smt4_suite(std::uint64_t master_seed,
+                                           int mixes_count) {
+  TracePool pool(master_seed);
+  std::vector<WorkloadSpec> suite;
+
+  auto add = [&](const std::string& category, const std::string& type,
+                 int index, std::vector<TraceSpec> threads) {
+    WorkloadSpec w;
+    w.category = category;
+    w.type = type;
+    w.name = workload_name(category, type, index, /*threads=*/4);
+    w.threads = std::move(threads);
+    suite.push_back(std::move(w));
+  };
+
+  for (Category cat : all_plain_categories()) {
+    const std::string name{category_name(cat)};
+    add(name, "ilp", 0,
+        {pool.get(cat, TraceKind::kIlp, 0), pool.get(cat, TraceKind::kIlp, 1),
+         pool.get(cat, TraceKind::kIlp, 2),
+         pool.get(cat, TraceKind::kIlp, 3)});
+    add(name, "mem", 0,
+        {pool.get(cat, TraceKind::kMem, 0), pool.get(cat, TraceKind::kMem, 1),
+         pool.get(cat, TraceKind::kMem, 2),
+         pool.get(cat, TraceKind::kMem, 3)});
+    for (int i = 0; i < 2; ++i) {
+      add(name, "mix", i,
+          {pool.get(cat, TraceKind::kIlp, i),
+           pool.get(cat, TraceKind::kIlp, i + 2),
+           pool.get(cat, TraceKind::kMem, i),
+           pool.get(cat, TraceKind::kMem, i + 2)});
+    }
+  }
+
+  // ISPEC-FSPEC: two SPECint threads beside two SPECfp threads.
+  const Category ispec = Category::kISpec00;
+  const Category fspec = Category::kFSpec00;
+  for (int k = 0; k < 2; ++k) {
+    add("ISPEC-FSPEC", "mix", k,
+        {pool.get(ispec, TraceKind::kIlp, k),
+         pool.get(ispec, TraceKind::kMem, k),
+         pool.get(fspec, TraceKind::kIlp, k),
+         pool.get(fspec, TraceKind::kMem, k)});
+  }
+
+  // Cross-category mixes: four distinct categories per workload.
+  Xoshiro256 rng(hash_combine(master_seed, 0x54A7D4));
+  const auto& cats = all_plain_categories();
+  for (int i = 0; i < mixes_count; ++i) {
+    std::vector<TraceSpec> threads;
+    std::vector<Category> chosen;
+    while (chosen.size() < 4) {
+      const Category cat = cats[rng.bounded(cats.size())];
+      if (std::find(chosen.begin(), chosen.end(), cat) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(cat);
+      const TraceKind kind =
+          chosen.size() % 2 == 1 ? TraceKind::kIlp : TraceKind::kMem;
+      const int v = static_cast<int>(rng.bounded(TracePool::kVariantsPerKind));
+      threads.push_back(pool.get(cat, kind, v));
+    }
+    add("mixes", "mix", i, std::move(threads));
+  }
+
+  return suite;
+}
+
+std::vector<WorkloadSpec> build_quick_suite(std::uint64_t master_seed,
+                                            int per_type, int mixes_count) {
+  const std::vector<WorkloadSpec> full = build_full_suite(master_seed);
+  std::vector<WorkloadSpec> out;
+  std::map<std::string, int> taken;  // key: category + "/" + type
+  for (const WorkloadSpec& w : full) {
+    const int limit = w.category == "mixes" ? mixes_count : per_type;
+    int& used = taken[w.category + "/" + w.type];
+    if (used < limit) {
+      ++used;
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& category_display_order() {
+  // Order of Figure 2's x-axis.
+  static const std::vector<std::string> kOrder = {
+      "DH",     "FSPEC00",      "ISPEC00", "ISPEC-FSPEC",
+      "multimedia", "office",   "productivity", "server",
+      "miscellanea", "workstation", "mixes",
+  };
+  return kOrder;
+}
+
+std::vector<WorkloadSpec> workloads_in_category(
+    const std::vector<WorkloadSpec>& suite, const std::string& category) {
+  std::vector<WorkloadSpec> out;
+  std::copy_if(suite.begin(), suite.end(), std::back_inserter(out),
+               [&](const WorkloadSpec& w) { return w.category == category; });
+  return out;
+}
+
+}  // namespace clusmt::trace

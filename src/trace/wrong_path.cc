@@ -1,0 +1,82 @@
+#include "trace/wrong_path.h"
+
+namespace clusmt::trace {
+
+void WrongPathSource::reset(const TraceProfile* profile, std::uint64_t seed,
+                            std::uint64_t branch_pc,
+                            std::uint64_t wrong_target) {
+  profile_ = profile;
+  rng_ = Xoshiro256(hash_combine(seed, hash_combine(branch_pc, 0x3B0)));
+  pc_ = wrong_target;
+  base_addr_ = (1 + (hash_combine(seed, 0xADD2E55) & 0x3F)) << 26;
+}
+
+MicroOp WrongPathSource::next() {
+  const TraceProfile& p = *profile_;
+  MicroOp op;
+  op.pc = pc_;
+  pc_ += 4;
+
+  double u = rng_.uniform() * p.mix_sum();
+  auto pick = [&](double frac) {
+    if (u < frac) return true;
+    u -= frac;
+    return false;
+  };
+  if (pick(p.frac_int_alu)) op.cls = UopClass::kIntAlu;
+  else if (pick(p.frac_int_mul)) op.cls = UopClass::kIntMul;
+  else if (pick(p.frac_fp_add)) op.cls = UopClass::kFpAdd;
+  else if (pick(p.frac_fp_mul)) op.cls = UopClass::kFpMul;
+  else if (pick(p.frac_simd)) op.cls = UopClass::kSimd;
+  else if (pick(p.frac_load)) op.cls = UopClass::kLoad;
+  else op.cls = UopClass::kStore;
+
+  auto rand_int = [&] {
+    return static_cast<std::int16_t>(rng_.bounded(kNumIntArchRegs));
+  };
+  auto rand_fp = [&] {
+    return static_cast<std::int16_t>(kNumIntArchRegs +
+                                     rng_.bounded(kNumFpArchRegs));
+  };
+
+  switch (op.cls) {
+    case UopClass::kIntAlu:
+    case UopClass::kIntMul:
+      op.dst = rand_int();
+      op.src0 = rand_int();
+      if (rng_.chance(p.two_src_prob)) op.src1 = rand_int();
+      break;
+    case UopClass::kFpAdd:
+    case UopClass::kFpMul:
+    case UopClass::kSimd:
+      op.dst = rand_fp();
+      op.src0 = rand_fp();
+      if (rng_.chance(p.two_src_prob)) op.src1 = rand_fp();
+      break;
+    case UopClass::kLoad: {
+      // Wrong-path accesses touch data near the program's recent working
+      // set: a bounded hot region (they pollute L1 but mostly hit L2),
+      // rather than cold random memory.
+      op.dst = rng_.chance(p.effective_fp_load_fraction()) ? rand_fp()
+                                                           : rand_int();
+      op.src0 = rand_int();
+      const std::uint64_t hot =
+          std::min<std::uint64_t>(p.footprint_bytes, 256 * 1024);
+      op.mem_addr = base_addr_ + (rng_.bounded(hot) & ~7ULL);
+      break;
+    }
+    case UopClass::kStore: {
+      op.src0 = rand_int();
+      op.src1 = rand_int();
+      const std::uint64_t hot =
+          std::min<std::uint64_t>(p.footprint_bytes, 256 * 1024);
+      op.mem_addr = base_addr_ + (rng_.bounded(hot) & ~7ULL);
+      break;
+    }
+    default:
+      break;
+  }
+  return op;
+}
+
+}  // namespace clusmt::trace

@@ -1,0 +1,43 @@
+// Wrong-path µop synthesis.
+//
+// The paper's traces "hold enough information to faithfully simulate wrong
+// path execution" (§4.1). After the front-end follows a mispredicted
+// branch, this source supplies plausible µops — sampled from the same
+// profile mix, touching the same memory footprint — that occupy rename
+// bandwidth, issue-queue entries, registers and cache ports until the
+// branch resolves and the pipeline squashes them. Streams are deterministic
+// in (seed, branch pc), so runs remain reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "trace/profile.h"
+#include "trace/uop.h"
+
+namespace clusmt::trace {
+
+class WrongPathSource {
+ public:
+  /// Rearms the generator at a misprediction. `profile` must outlive the
+  /// source (the thread's profile owned by the workload).
+  void reset(const TraceProfile* profile, std::uint64_t seed,
+             std::uint64_t branch_pc, std::uint64_t wrong_target);
+
+  /// Next wrong-path µop. Must only be called after reset().
+  [[nodiscard]] MicroOp next();
+
+  [[nodiscard]] bool armed() const noexcept { return profile_ != nullptr; }
+  void disarm() noexcept { profile_ = nullptr; }
+
+  /// PC the next wrong-path µop will carry (for I-TLB/TC lookups).
+  [[nodiscard]] std::uint64_t current_pc() const noexcept { return pc_; }
+
+ private:
+  const TraceProfile* profile_ = nullptr;
+  Xoshiro256 rng_;
+  std::uint64_t pc_ = 0;
+  std::uint64_t base_addr_ = 0;
+};
+
+}  // namespace clusmt::trace

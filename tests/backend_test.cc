@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "backend/cluster.h"
+#include "backend/interconnect.h"
+#include "backend/issue_queue.h"
+#include "backend/ports.h"
+#include "backend/regfile.h"
+
+namespace clusmt::backend {
+namespace {
+
+TEST(RegisterFile, AllocateReleaseCycle) {
+  RegisterFile rf(4);
+  const int a = rf.allocate(0);
+  const int b = rf.allocate(1);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rf.used_by(0), 1);
+  EXPECT_EQ(rf.used_by(1), 1);
+  EXPECT_EQ(rf.free_count(), 2);
+  rf.release(static_cast<std::int16_t>(a));
+  EXPECT_EQ(rf.used_by(0), 0);
+  EXPECT_EQ(rf.free_count(), 3);
+}
+
+TEST(RegisterFile, ExhaustionReturnsMinusOne) {
+  RegisterFile rf(2);
+  EXPECT_GE(rf.allocate(0), 0);
+  EXPECT_GE(rf.allocate(0), 0);
+  EXPECT_EQ(rf.allocate(0), -1);
+  EXPECT_EQ(rf.stats().alloc_failures, 1u);
+}
+
+TEST(RegisterFile, FreshRegistersStartNotReady) {
+  RegisterFile rf(4);
+  const auto idx = static_cast<std::int16_t>(rf.allocate(0));
+  EXPECT_FALSE(rf.ready(idx));
+  rf.set_ready(idx);
+  EXPECT_TRUE(rf.ready(idx));
+  rf.release(idx);
+  const auto again = static_cast<std::int16_t>(rf.allocate(1));
+  EXPECT_EQ(again, idx);        // LIFO free list reuses the slot
+  EXPECT_FALSE(rf.ready(again)); // readiness cleared on reallocation
+}
+
+TEST(RegisterFile, UnboundedMode) {
+  RegisterFile rf(0);
+  EXPECT_TRUE(rf.unbounded());
+  for (int i = 0; i < 2000; ++i) ASSERT_GE(rf.allocate(0), 0);
+  EXPECT_EQ(rf.used_by(0), 2000);
+}
+
+TEST(IssueQueue, InsertRemoveOccupancy) {
+  IssueQueue iq(4);
+  const int s0 = iq.insert(IqEntry{.tid = 0, .seq = 1});
+  const int s1 = iq.insert(IqEntry{.tid = 1, .seq = 2});
+  ASSERT_GE(s0, 0);
+  ASSERT_GE(s1, 0);
+  EXPECT_EQ(iq.occupancy(), 2);
+  EXPECT_EQ(iq.occupancy_of(0), 1);
+  EXPECT_EQ(iq.occupancy_of(1), 1);
+  iq.remove(s0);
+  EXPECT_EQ(iq.occupancy_of(0), 0);
+  EXPECT_FALSE(iq.occupied(s0));
+  EXPECT_TRUE(iq.occupied(s1));
+}
+
+TEST(IssueQueue, FullRejects) {
+  IssueQueue iq(2);
+  iq.insert(IqEntry{.tid = 0, .seq = 1});
+  iq.insert(IqEntry{.tid = 0, .seq = 2});
+  EXPECT_TRUE(iq.full());
+  EXPECT_EQ(iq.insert(IqEntry{.tid = 0, .seq = 3}), -1);
+}
+
+TEST(IssueQueue, AgeOrderAcrossThreads) {
+  IssueQueue iq(8);
+  // Insert out of age order.
+  const int s3 = iq.insert(IqEntry{.tid = 0, .seq = 30});
+  const int s1 = iq.insert(IqEntry{.tid = 1, .seq = 10});
+  const int s2 = iq.insert(IqEntry{.tid = 0, .seq = 20});
+  const auto& order = iq.slots_by_age();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], s1);
+  EXPECT_EQ(order[1], s2);
+  EXPECT_EQ(order[2], s3);
+  // Same seq: lower thread id first.
+  const int s4 = iq.insert(IqEntry{.tid = 1, .seq = 20});
+  const auto& order2 = iq.slots_by_age();
+  ASSERT_EQ(order2.size(), 4u);
+  EXPECT_EQ(order2[1], s2);
+  EXPECT_EQ(order2[2], s4);
+}
+
+TEST(IssueQueue, OrderMaintainedUnderChurn) {
+  IssueQueue iq(16);
+  std::uint64_t seq = 0;
+  std::vector<int> slots;
+  for (int i = 0; i < 16; ++i) {
+    slots.push_back(iq.insert(IqEntry{.tid = 0, .seq = seq++}));
+  }
+  // Remove every other entry, insert new youngest ones.
+  for (int i = 0; i < 16; i += 2) iq.remove(slots[i]);
+  for (int i = 0; i < 8; ++i) iq.insert(IqEntry{.tid = 0, .seq = seq++});
+  std::uint64_t last = 0;
+  for (int slot : iq.slots_by_age()) {
+    EXPECT_GE(iq.entry(slot).seq, last);
+    last = iq.entry(slot).seq;
+  }
+}
+
+TEST(Ports, CompatibilityMatrix) {
+  EXPECT_TRUE(PortSet::compatible(0, trace::PortClass::kInt));
+  EXPECT_TRUE(PortSet::compatible(1, trace::PortClass::kInt));
+  EXPECT_TRUE(PortSet::compatible(2, trace::PortClass::kInt));
+  EXPECT_TRUE(PortSet::compatible(0, trace::PortClass::kFpSimd));
+  EXPECT_TRUE(PortSet::compatible(1, trace::PortClass::kFpSimd));
+  EXPECT_FALSE(PortSet::compatible(2, trace::PortClass::kFpSimd));
+  EXPECT_FALSE(PortSet::compatible(0, trace::PortClass::kMem));
+  EXPECT_FALSE(PortSet::compatible(1, trace::PortClass::kMem));
+  EXPECT_TRUE(PortSet::compatible(2, trace::PortClass::kMem));
+}
+
+TEST(Ports, OneMemPortPerCycle) {
+  PortSet ports;
+  ports.new_cycle();
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kMem));
+  EXPECT_FALSE(ports.try_book(trace::PortClass::kMem));
+  ports.new_cycle();
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kMem));
+}
+
+TEST(Ports, IntPrefersNonMemPorts) {
+  PortSet ports;
+  ports.new_cycle();
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kInt));   // takes P0
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kInt));   // takes P1
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kMem));   // P2 still free
+  EXPECT_FALSE(ports.try_book(trace::PortClass::kFpSimd));
+}
+
+TEST(Ports, ThreeIntMaxPerCycle) {
+  PortSet ports;
+  ports.new_cycle();
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kInt));
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kInt));
+  EXPECT_TRUE(ports.try_book(trace::PortClass::kInt));
+  EXPECT_FALSE(ports.try_book(trace::PortClass::kInt));
+}
+
+TEST(Ports, FreeCompatibleCounts) {
+  PortSet ports;
+  ports.new_cycle();
+  EXPECT_EQ(ports.free_compatible(trace::PortClass::kInt), 3);
+  EXPECT_EQ(ports.free_compatible(trace::PortClass::kFpSimd), 2);
+  EXPECT_EQ(ports.free_compatible(trace::PortClass::kMem), 1);
+  (void)ports.try_book(trace::PortClass::kFpSimd);
+  EXPECT_EQ(ports.free_compatible(trace::PortClass::kFpSimd), 1);
+  EXPECT_EQ(ports.free_compatible(trace::PortClass::kInt), 2);
+}
+
+TEST(Interconnect, BandwidthPerCycle) {
+  Interconnect net(2, 1);
+  net.new_cycle();
+  EXPECT_TRUE(net.try_acquire());
+  EXPECT_TRUE(net.try_acquire());
+  EXPECT_FALSE(net.try_acquire());
+  EXPECT_EQ(net.stats().transfers, 2u);
+  EXPECT_EQ(net.stats().denied, 1u);
+  net.new_cycle();
+  EXPECT_TRUE(net.try_acquire());
+}
+
+TEST(Cluster, BundlesComponents) {
+  Cluster cluster(ClusterConfig{.iq_entries = 16, .int_registers = 8,
+                                .fp_registers = 4});
+  EXPECT_EQ(cluster.iq().capacity(), 16);
+  EXPECT_EQ(cluster.rf(RegClass::kInt).capacity(), 8);
+  EXPECT_EQ(cluster.rf(RegClass::kFp).capacity(), 4);
+}
+
+}  // namespace
+}  // namespace clusmt::backend

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+
+namespace clusmt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Xoshiro256 rng(13);
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.geometric(p, 1000));
+  }
+  // E[failures before success] = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricRespectsCap) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(rng.geometric(0.01, 5), 5u);
+  }
+}
+
+TEST(Rng, HashCombineChanges) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(1, 3));
+  EXPECT_EQ(hash_combine(10, 20), hash_combine(10, 20));
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(GeomeanStats, MatchesClosedForm) {
+  GeomeanStats g;
+  EXPECT_TRUE(g.add(2.0));
+  EXPECT_TRUE(g.add(8.0));
+  EXPECT_DOUBLE_EQ(g.geomean(), 4.0);
+  EXPECT_FALSE(g.add(0.0));
+  EXPECT_FALSE(g.add(-1.0));
+  EXPECT_EQ(g.count(), 2u);
+}
+
+TEST(SpanStats, MeanGeomeanHarmonic) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(mean_of(xs), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(geomean_of(xs), 2.0, 1e-12);
+  EXPECT_NEAR(harmonic_mean_of(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(Histogram, AddAndQuantiles) {
+  Histogram h(10);
+  for (std::uint64_t v = 0; v < 10; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+  EXPECT_EQ(h.quantile(0.5), 4u);
+  EXPECT_EQ(h.quantile(1.0), 9u);
+}
+
+TEST(Histogram, OverflowClamps) {
+  Histogram h(4);
+  h.add(100, 3);
+  EXPECT_EQ(h.count(3), 3u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, MergeAndFraction) {
+  Histogram a(4), b(4);
+  a.add(0, 2);
+  b.add(1, 2);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(a.fraction(1), 0.5);
+  Histogram c(5);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // header + rule + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"x,y", "he said \"hi\""});
+  const std::string out = csv.to_string();
+  EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndSingle) {
+  parallel_for(0, [](std::size_t) { FAIL(); });
+  int calls = 0;
+  parallel_for(1, [&](std::size_t) { ++calls; }, 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Cli, ParsesAllForms) {
+  // Note: a bare "--flag" followed by a non-flag token consumes it as a
+  // value, so positionals must precede boolean flags.
+  const char* argv[] = {"prog",   "--alpha=3", "--beta", "7",
+                        "pos1",   "--flag",    "--gamma=x,y"};
+  CliArgs args(7, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_string("gamma", ""), "x,y");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.get_int("missing", -5), -5);
+}
+
+TEST(Types, ArchRegClassBoundaries) {
+  EXPECT_EQ(arch_reg_class(0), RegClass::kInt);
+  EXPECT_EQ(arch_reg_class(kNumIntArchRegs - 1), RegClass::kInt);
+  EXPECT_EQ(arch_reg_class(kNumIntArchRegs), RegClass::kFp);
+  EXPECT_EQ(arch_reg_class(kNumArchRegs - 1), RegClass::kFp);
+  EXPECT_TRUE(is_valid_arch_reg(0));
+  EXPECT_FALSE(is_valid_arch_reg(-1));
+  EXPECT_FALSE(is_valid_arch_reg(kNumArchRegs));
+}
+
+}  // namespace
+}  // namespace clusmt

@@ -1,0 +1,177 @@
+// Energy-model unit and integration tests: component decomposition,
+// size scaling, waste accounting, and the scheme-level relative orderings
+// the model exists to expose.
+#include <gtest/gtest.h>
+
+#include "core/energy.h"
+#include "core/simulator.h"
+#include "harness/presets.h"
+#include "trace/workload.h"
+
+namespace clusmt::core {
+namespace {
+
+SimStats busy_stats() {
+  SimStats s;
+  s.cycles = 1000;
+  s.renamed_uops = 5000;
+  s.copies_created = 400;
+  s.issued_uops = 4800;
+  s.squashed_uops = 300;
+  s.committed[0] = 2300;
+  s.committed[1] = 2200;
+  s.committed_loads = 1200;
+  s.committed_stores = 600;
+  s.load_l2_misses = 40;
+  s.store_l2_misses = 5;
+  return s;
+}
+
+TEST(EnergyModel, ZeroActivityLeavesOnlyStaticCharge) {
+  SimStats s;
+  s.cycles = 500;
+  const auto e = estimate_energy(s, harness::paper_baseline());
+  EXPECT_GT(e.static_clock, 0.0);
+  EXPECT_DOUBLE_EQ(e.front_end, 0.0);
+  EXPECT_DOUBLE_EQ(e.issue_queue, 0.0);
+  EXPECT_DOUBLE_EQ(e.register_file, 0.0);
+  EXPECT_DOUBLE_EQ(e.execution, 0.0);
+  EXPECT_DOUBLE_EQ(e.memory, 0.0);
+  EXPECT_DOUBLE_EQ(e.interconnect, 0.0);
+  EXPECT_DOUBLE_EQ(e.wasted, 0.0);
+  EXPECT_DOUBLE_EQ(e.total(), e.static_clock);
+}
+
+TEST(EnergyModel, TotalIsSumOfComponents) {
+  const auto e = estimate_energy(busy_stats(), harness::paper_baseline());
+  const double sum = e.front_end + e.issue_queue + e.register_file +
+                     e.execution + e.memory + e.interconnect + e.wasted +
+                     e.static_clock;
+  EXPECT_DOUBLE_EQ(e.total(), sum);
+  EXPECT_GT(e.front_end, 0.0);
+  EXPECT_GT(e.interconnect, 0.0);
+  EXPECT_GT(e.wasted, 0.0);
+}
+
+TEST(EnergyModel, MoreSquashesCostMore) {
+  SimStats a = busy_stats();
+  SimStats b = busy_stats();
+  b.squashed_uops += 1000;
+  const auto config = harness::paper_baseline();
+  EXPECT_GT(estimate_energy(b, config).total(),
+            estimate_energy(a, config).total());
+}
+
+TEST(EnergyModel, CopiesChargeInterconnectAndRename) {
+  SimStats a = busy_stats();
+  SimStats b = busy_stats();
+  b.copies_created += 500;
+  const auto config = harness::paper_baseline();
+  const auto ea = estimate_energy(a, config);
+  const auto eb = estimate_energy(b, config);
+  EXPECT_GT(eb.interconnect, ea.interconnect);
+  EXPECT_GT(eb.front_end, ea.front_end);
+  EXPECT_GT(eb.issue_queue, ea.issue_queue);
+  EXPECT_DOUBLE_EQ(eb.execution, ea.execution);  // copies don't use FUs here
+}
+
+TEST(EnergyModel, BiggerIssueQueuesCostMorePerIssue) {
+  const SimStats s = busy_stats();
+  auto config32 = harness::iq_study_config(32);
+  auto config64 = harness::iq_study_config(64);
+  const auto e32 = estimate_energy(s, config32);
+  const auto e64 = estimate_energy(s, config64);
+  EXPECT_GT(e64.issue_queue, e32.issue_queue);
+  EXPECT_NEAR(e64.issue_queue, 2.0 * e32.issue_queue, 1e-9);
+}
+
+TEST(EnergyModel, BiggerRegisterFilesCostMorePerAccess) {
+  const SimStats s = busy_stats();
+  const auto e64 = estimate_energy(s, harness::rf_study_config(64));
+  const auto e128 = estimate_energy(s, harness::rf_study_config(128));
+  EXPECT_NEAR(e128.register_file, 2.0 * e64.register_file, 1e-9);
+}
+
+TEST(EnergyModel, UnboundedResourcesChargeBaseline) {
+  const SimStats s = busy_stats();
+  const auto bounded = estimate_energy(s, harness::rf_study_config(64));
+  const auto unbounded = estimate_energy(s, harness::iq_study_config(32));
+  // iq_study_config has unbounded RFs: charged as baseline (scale 1).
+  EXPECT_DOUBLE_EQ(unbounded.register_file, bounded.register_file);
+}
+
+TEST(EnergyModel, PerCommittedUopAndEdpBehave) {
+  const SimStats s = busy_stats();
+  const auto e = estimate_energy(s, harness::paper_baseline());
+  EXPECT_GT(e.per_committed_uop(s), 0.0);
+  EXPECT_DOUBLE_EQ(e.per_committed_uop(s),
+                   e.total() / static_cast<double>(s.committed_total()));
+  // Fixed-work EDP: (energy/work) x (delay/work).
+  const auto committed = static_cast<double>(s.committed_total());
+  EXPECT_DOUBLE_EQ(e.edp(s), (e.total() / committed) *
+                                 (static_cast<double>(s.cycles) / committed));
+
+  const SimStats empty;
+  const auto e_empty = estimate_energy(empty, harness::paper_baseline());
+  EXPECT_DOUBLE_EQ(e_empty.per_committed_uop(empty), 0.0);
+  EXPECT_DOUBLE_EQ(e_empty.edp(empty), 0.0);
+}
+
+TEST(EnergyModel, EdpRewardsFasterRunsAtEqualEnergy) {
+  SimStats fast = busy_stats();
+  SimStats slow = busy_stats();
+  // Same activity and energy, but the slow machine needed twice the
+  // cycles for it (minus the static charge difference, add it back by
+  // comparing with identical configs and zero static cost).
+  slow.cycles = 2 * fast.cycles;
+  EnergyParams params;
+  params.static_per_cluster = 0.0;
+  const auto config = harness::paper_baseline();
+  const auto e_fast = estimate_energy(fast, config, params);
+  const auto e_slow = estimate_energy(slow, config, params);
+  EXPECT_DOUBLE_EQ(e_fast.total(), e_slow.total());
+  EXPECT_LT(e_fast.edp(fast), e_slow.edp(slow));
+}
+
+// --- Integration: scheme-level orderings on a real simulation ---
+
+struct SchemeEnergy {
+  EnergyBreakdown energy;
+  SimStats stats;
+};
+
+SchemeEnergy run_scheme(policy::PolicyKind kind) {
+  trace::TracePool pool(321);
+  SimConfig config = harness::paper_baseline();
+  config.policy = kind;
+  Simulator sim(config);
+  sim.attach_thread(0, pool.get(trace::Category::kISpec00,
+                                trace::TraceKind::kIlp, 0));
+  sim.attach_thread(1, pool.get(trace::Category::kServer,
+                                trace::TraceKind::kMem, 0));
+  sim.run(40000);
+  return {estimate_energy(sim.stats(), config), sim.stats()};
+}
+
+TEST(EnergyIntegration, PrivateClustersSpendLessOnInterconnect) {
+  const auto pc = run_scheme(policy::PolicyKind::kPrivateClusters);
+  const auto cssp = run_scheme(policy::PolicyKind::kCssp);
+  EXPECT_LT(pc.energy.interconnect, cssp.energy.interconnect);
+  EXPECT_DOUBLE_EQ(pc.energy.interconnect, 0.0);
+}
+
+TEST(EnergyIntegration, FlushPlusWastesMoreThanIcount) {
+  const auto flush = run_scheme(policy::PolicyKind::kFlushPlus);
+  const auto icount = run_scheme(policy::PolicyKind::kIcount);
+  EXPECT_GT(flush.stats.policy_flushes, 0u);
+  EXPECT_GT(flush.energy.wasted, icount.energy.wasted);
+}
+
+TEST(EnergyIntegration, DeterministicAcrossRuns) {
+  const auto a = run_scheme(policy::PolicyKind::kCdprf);
+  const auto b = run_scheme(policy::PolicyKind::kCdprf);
+  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+}  // namespace
+}  // namespace clusmt::core

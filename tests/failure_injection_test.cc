@@ -1,0 +1,224 @@
+// Failure injection and edge configurations: the watchdog trap, config
+// validation, stat-reset semantics, run chunking, and cluster-count
+// extremes (1 cluster = a monolithic SMT back-end; 4 clusters = the
+// machine maximum).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/simulator.h"
+#include "harness/presets.h"
+#include "trace/workload.h"
+
+namespace clusmt::core {
+namespace {
+
+trace::TraceSpec ilp_trace(std::uint64_t seed, int variant = 0) {
+  trace::TracePool pool(seed);
+  return pool.get(trace::Category::kISpec00, trace::TraceKind::kIlp, variant);
+}
+
+trace::TraceSpec mem_trace(std::uint64_t seed, int variant = 0) {
+  trace::TracePool pool(seed);
+  return pool.get(trace::Category::kServer, trace::TraceKind::kMem, variant);
+}
+
+// --------------------------------------------------------------------------
+// Watchdog
+// --------------------------------------------------------------------------
+
+TEST(Watchdog, TripsBeforeFirstCommitWhenImpossiblyTight) {
+  SimConfig config = harness::paper_baseline();
+  // The pipeline needs >5 cycles to fill before anything can commit; a
+  // 5-cycle watchdog must therefore fire and abort the run.
+  config.watchdog_cycles = 5;
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(1));
+  sim.attach_thread(1, mem_trace(1));
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+}
+
+TEST(Watchdog, SilentWithHealthyMargin) {
+  SimConfig config = harness::paper_baseline();
+  config.watchdog_cycles = 10000;
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(2));
+  sim.attach_thread(1, mem_trace(2));
+  EXPECT_NO_THROW(sim.run(30000));
+  EXPECT_GT(sim.stats().committed_total(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Configuration validation
+// --------------------------------------------------------------------------
+
+TEST(ConfigValidation, RejectsZeroThreads) {
+  SimConfig config = harness::paper_baseline();
+  config.num_threads = 0;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsTooManyThreads) {
+  SimConfig config = harness::paper_baseline();
+  config.num_threads = kMaxThreads + 1;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsTooManyClusters) {
+  SimConfig config = harness::paper_baseline();
+  config.num_clusters = kMaxClusters + 1;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsRegisterFloorViolationPerClass) {
+  // Integer floor: 2 threads x 16 arch + 6 rename = 38 > 16 total.
+  SimConfig config = harness::paper_baseline();
+  config.int_regs = 8;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+
+  // FP floor: 2 threads x 32 arch + 6 rename = 70 > 64 total.
+  config = harness::paper_baseline();
+  config.fp_regs = 32;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+
+  // 35 per cluster (70 total) is exactly at the floor: accepted.
+  config = harness::paper_baseline();
+  config.fp_regs = 35;
+  EXPECT_NO_THROW(Simulator{config});
+}
+
+TEST(ConfigValidation, PaperConfigsAllPass) {
+  EXPECT_NO_THROW(Simulator{harness::paper_baseline()});
+  EXPECT_NO_THROW(Simulator{harness::iq_study_config(32)});
+  EXPECT_NO_THROW(Simulator{harness::iq_study_config(64)});
+  EXPECT_NO_THROW(Simulator{harness::rf_study_config(64)});
+  EXPECT_NO_THROW(Simulator{harness::rf_study_config(128)});
+  EXPECT_NO_THROW(Simulator{harness::smt4_baseline()});
+}
+
+// --------------------------------------------------------------------------
+// Stat reset and run chunking
+// --------------------------------------------------------------------------
+
+TEST(StatReset, ZeroesCountersButKeepsMachineWarm) {
+  SimConfig config = harness::paper_baseline();
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(3));
+  sim.attach_thread(1, mem_trace(3));
+  sim.run(20000);
+  ASSERT_GT(sim.stats().committed_total(), 0u);
+
+  sim.reset_stats();
+  EXPECT_EQ(sim.stats().committed_total(), 0u);
+  EXPECT_EQ(sim.stats().cycles, 0u);
+  EXPECT_EQ(sim.stats().renamed_uops, 0u);
+
+  // The warm machine commits immediately — no pipeline refill dip of
+  // thousands of cycles.
+  sim.run(100);
+  EXPECT_GT(sim.stats().committed_total(), 0u);
+}
+
+TEST(RunChunking, ChunkedAndMonolithicRunsAreBitIdentical) {
+  auto run_with_chunks = [](int chunk) {
+    SimConfig config = harness::paper_baseline();
+    Simulator sim(config);
+    sim.attach_thread(0, ilp_trace(4));
+    sim.attach_thread(1, mem_trace(4));
+    for (int done = 0; done < 12000; done += chunk) {
+      sim.run(static_cast<Cycle>(chunk));
+    }
+    return sim.stats();
+  };
+  const SimStats mono = run_with_chunks(12000);
+  const SimStats chunked = run_with_chunks(250);
+  EXPECT_EQ(mono.committed[0], chunked.committed[0]);
+  EXPECT_EQ(mono.committed[1], chunked.committed[1]);
+  EXPECT_EQ(mono.issued_uops, chunked.issued_uops);
+  EXPECT_EQ(mono.squashed_uops, chunked.squashed_uops);
+  EXPECT_EQ(mono.copies_created, chunked.copies_created);
+}
+
+// --------------------------------------------------------------------------
+// Cluster-count extremes
+// --------------------------------------------------------------------------
+
+TEST(ClusterExtremes, SingleClusterProducesNoCopies) {
+  SimConfig config = harness::paper_baseline();
+  config.num_clusters = 1;
+  // One cluster halves the machine's register stock; keep the floor.
+  config.int_regs = 128;
+  config.fp_regs = 128;
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(5));
+  sim.attach_thread(1, mem_trace(5));
+  sim.run(20000);
+  EXPECT_GT(sim.stats().committed_total(), 1000u);
+  EXPECT_EQ(sim.stats().copies_created, 0u);
+  EXPECT_EQ(sim.stats().committed_copies, 0u);
+}
+
+TEST(ClusterExtremes, FourClustersCommitAndCommunicate) {
+  SimConfig config = harness::paper_baseline();
+  config.num_clusters = 4;
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(6));
+  sim.attach_thread(1, mem_trace(6));
+  sim.run(20000);
+  EXPECT_GT(sim.stats().committed_total(), 1000u);
+  EXPECT_GT(sim.stats().copies_created, 0u);
+}
+
+TEST(ClusterExtremes, ViewTotalsMatchClusterCount) {
+  SimConfig config = harness::paper_baseline();
+  config.num_clusters = 4;
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(7));
+  sim.attach_thread(1, mem_trace(7));
+  sim.run(500);
+  const auto& view = sim.view();
+  EXPECT_EQ(view.num_clusters, 4);
+  EXPECT_EQ(view.iq_capacity_total(), 4 * config.iq_entries);
+  EXPECT_EQ(view.rf_capacity_total(RegClass::kInt), 4 * config.int_regs);
+}
+
+// --------------------------------------------------------------------------
+// Accounting sanity (view vs stats, unready vs occupancy)
+// --------------------------------------------------------------------------
+
+TEST(Accounting, ViewMirrorsStatsAndUnreadyIsBounded) {
+  SimConfig config = harness::paper_baseline();
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(8));
+  sim.attach_thread(1, mem_trace(8));
+  for (int chunk = 0; chunk < 60; ++chunk) {
+    sim.run(100);
+    const auto& view = sim.view();
+    const auto& stats = sim.stats();
+    for (int t = 0; t < config.num_threads; ++t) {
+      EXPECT_EQ(view.committed[t], stats.committed[t]);
+      for (int c = 0; c < config.num_clusters; ++c) {
+        EXPECT_GE(view.iq_unready_tc[t][c], 0);
+        EXPECT_LE(view.iq_unready_tc[t][c], view.iq_occ_tc[t][c]);
+      }
+    }
+  }
+}
+
+TEST(Accounting, CommittedNeverExceedsRenamed) {
+  SimConfig config = harness::paper_baseline();
+  Simulator sim(config);
+  sim.attach_thread(0, ilp_trace(9));
+  sim.attach_thread(1, mem_trace(9));
+  for (int chunk = 0; chunk < 40; ++chunk) {
+    sim.run(250);
+    const auto& stats = sim.stats();
+    EXPECT_LE(stats.committed_total(), stats.renamed_uops);
+    EXPECT_LE(stats.committed_copies, stats.copies_created);
+    EXPECT_LE(stats.squashed_uops,
+              stats.renamed_uops + stats.copies_created);
+  }
+}
+
+}  // namespace
+}  // namespace clusmt::core

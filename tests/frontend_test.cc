@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "frontend/branch_predictor.h"
+#include "frontend/fetch.h"
+#include "frontend/rename_map.h"
+#include "frontend/trace_cache.h"
+#include "trace/trace_source.h"
+
+namespace clusmt::frontend {
+namespace {
+
+using trace::MicroOp;
+using trace::UopClass;
+
+TEST(BranchPredictor, LearnsBias) {
+  BranchPredictor bp(BranchPredictorConfig{});
+  const std::uint64_t pc = 0x400100;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t hist = bp.history(0);
+    (void)bp.predict_and_update_history(0, pc);
+    bp.train(0, hist, pc, /*taken=*/false);
+    bp.restore_history(0, hist, true, false);
+  }
+  EXPECT_FALSE(bp.predict_and_update_history(0, pc));
+}
+
+TEST(BranchPredictor, PerThreadHistoryIsolated) {
+  BranchPredictor bp(BranchPredictorConfig{});
+  (void)bp.predict_and_update_history(0, 0x100);
+  (void)bp.predict_and_update_history(0, 0x104);
+  EXPECT_EQ(bp.history(1), 0u);
+  EXPECT_NE(bp.history(0), bp.history(1));
+}
+
+TEST(BranchPredictor, HistoryRestoreAppliesOutcome) {
+  BranchPredictor bp(BranchPredictorConfig{});
+  bp.restore_history(0, 0b1010, /*apply_outcome=*/true, /*taken=*/true);
+  EXPECT_EQ(bp.history(0), 0b10101u);
+  bp.restore_history(0, 0b1010, /*apply_outcome=*/false, false);
+  EXPECT_EQ(bp.history(0), 0b1010u);
+}
+
+TEST(BranchPredictor, IndirectLastTarget) {
+  BranchPredictor bp(BranchPredictorConfig{});
+  EXPECT_EQ(bp.predict_indirect(0x500), 0u);  // cold
+  bp.train_indirect(0x500, 0x9000);
+  EXPECT_EQ(bp.predict_indirect(0x500), 0x9000u);
+  bp.train_indirect(0x500, 0x7000);
+  EXPECT_EQ(bp.predict_indirect(0x500), 0x7000u);
+}
+
+TEST(BranchPredictor, RejectsNonPowerOfTwoTables) {
+  BranchPredictorConfig cfg;
+  cfg.gshare_entries = 1000;
+  EXPECT_THROW(BranchPredictor{cfg}, std::invalid_argument);
+}
+
+TEST(TraceCache, BuildOnMissThenHit) {
+  TraceCache tc(TraceCacheConfig{});
+  EXPECT_FALSE(tc.lookup(0x400000));
+  EXPECT_TRUE(tc.lookup(0x400000));
+  EXPECT_TRUE(tc.lookup(0x400010));  // same line (8 µops x 4B)
+}
+
+namespace fetch_helpers {
+
+/// Straight-line µops with one strongly-taken loop branch every `period`.
+std::vector<MicroOp> make_loop(int period, bool taken = true) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < period; ++i) {
+    MicroOp op;
+    op.pc = 0x400000 + i * 4;
+    op.cls = UopClass::kIntAlu;
+    op.dst = static_cast<std::int16_t>(i % 8);
+    ops.push_back(op);
+  }
+  MicroOp br;
+  br.pc = 0x400000 + period * 4;
+  br.cls = UopClass::kBranch;
+  br.taken = taken;
+  br.target = 0x400000;
+  br.fallthrough = br.pc + 4;
+  ops.push_back(br);
+  return ops;
+}
+
+FetchConfig small_config() {
+  FetchConfig cfg;
+  cfg.fetch_width = 6;
+  cfg.decode_queue_capacity = 12;
+  return cfg;
+}
+
+}  // namespace fetch_helpers
+
+TEST(FetchEngine, SelectsSmallestQueue) {
+  using namespace fetch_helpers;
+  FetchEngine fe(small_config(), 2);
+  auto t0 = std::make_shared<trace::VectorTrace>("t0", make_loop(8));
+  auto t1 = std::make_shared<trace::VectorTrace>("t1", make_loop(8));
+  fe.attach_thread(0, t0, nullptr, 1);
+  fe.attach_thread(1, t1, nullptr, 2);
+
+  EXPECT_EQ(fe.select_fetch_thread(0b11, 0), 0);  // both empty: lowest id
+  // First access to a page walks the I-TLB and stalls the thread; warm it.
+  fe.fetch_cycle(0, 0);
+  EXPECT_EQ(fe.queue_size(0), 0);
+  ASSERT_TRUE(fe.stalled(0, 1));
+  fe.fetch_cycle(0, 100);
+  EXPECT_GT(fe.queue_size(0), 0);
+  EXPECT_EQ(fe.select_fetch_thread(0b11, 101), 1);  // t1 now emptier
+  EXPECT_EQ(fe.select_fetch_thread(0b01, 101), 0);  // mask excludes t1
+  EXPECT_EQ(fe.select_fetch_thread(0b00, 101), -1);
+}
+
+TEST(FetchEngine, RoundRobinRotatesRegardlessOfDepth) {
+  using namespace fetch_helpers;
+  FetchConfig cfg = small_config();
+  cfg.selection = FetchSelection::kRoundRobin;
+  FetchEngine fe(cfg, 2);
+  fe.attach_thread(0, std::make_shared<trace::VectorTrace>("t0", make_loop(8)),
+                   nullptr, 1);
+  fe.attach_thread(1, std::make_shared<trace::VectorTrace>("t1", make_loop(8)),
+                   nullptr, 2);
+
+  // The cursor alternates even while both queues are empty (fewest-in-queue
+  // would keep picking thread 0 on ties).
+  EXPECT_EQ(fe.select_fetch_thread(0b11, 0), 0);
+  EXPECT_EQ(fe.select_fetch_thread(0b11, 0), 1);
+  EXPECT_EQ(fe.select_fetch_thread(0b11, 0), 0);
+
+  // Masked threads are skipped without stalling the rotation.
+  EXPECT_EQ(fe.select_fetch_thread(0b10, 0), 1);
+  EXPECT_EQ(fe.select_fetch_thread(0b10, 0), 1);
+  EXPECT_EQ(fe.select_fetch_thread(0b00, 0), -1);
+}
+
+TEST(FetchEngine, RoundRobinSkipsFullQueues) {
+  using namespace fetch_helpers;
+  FetchConfig cfg = small_config();
+  cfg.selection = FetchSelection::kRoundRobin;
+  FetchEngine fe(cfg, 2);
+  fe.attach_thread(0, std::make_shared<trace::VectorTrace>("t0", make_loop(8)),
+                   nullptr, 1);
+  fe.attach_thread(1, std::make_shared<trace::VectorTrace>("t1", make_loop(8)),
+                   nullptr, 2);
+
+  // Fill thread 0's decode queue to capacity (warm the I-TLB first).
+  fe.fetch_cycle(0, 0);
+  Cycle now = 100;
+  while (fe.queue_size(0) < cfg.decode_queue_capacity) {
+    fe.fetch_cycle(0, now);
+    now += 20;  // clear of any predicted-taken refetch stalls
+  }
+  EXPECT_EQ(fe.select_fetch_thread(0b11, now), 1);
+  EXPECT_EQ(fe.select_fetch_thread(0b11, now), 1);
+}
+
+TEST(FetchEngine, StallBlocksSelection) {
+  using namespace fetch_helpers;
+  FetchEngine fe(small_config(), 1);
+  fe.attach_thread(0, std::make_shared<trace::VectorTrace>("t", make_loop(8)),
+                   nullptr, 1);
+  fe.stall_until(0, 10);
+  EXPECT_TRUE(fe.stalled(0, 5));
+  EXPECT_EQ(fe.select_fetch_thread(0b1, 5), -1);
+  EXPECT_FALSE(fe.stalled(0, 10));
+  EXPECT_EQ(fe.select_fetch_thread(0b1, 10), 0);
+}
+
+TEST(FetchEngine, FetchStopsAtPredictedTakenBranch) {
+  using namespace fetch_helpers;
+  FetchEngine fe(small_config(), 1);
+  // 2 µops then a taken loop branch; predictor warms to taken.
+  fe.attach_thread(0, std::make_shared<trace::VectorTrace>("t", make_loop(2)),
+                   nullptr, 1);
+  Cycle now = 0;
+  for (int i = 0; i < 50; ++i) {  // train the predictor
+    fe.fetch_cycle(0, now);
+    now += 20;
+    while (!fe.queue_empty(0)) {
+      const FetchedUop fu = fe.pop_front(0);
+      if (fu.op.is_branch() && !fu.wrong_path) {
+        fe.predictor().train(0, fu.history_checkpoint, fu.op.pc, fu.op.taken);
+        if (fu.mispredicted) {
+          fe.resolve_mispredict(0, fu.history_checkpoint, fu.op.taken, now);
+        }
+      }
+    }
+    now += 20;
+  }
+  // Trained: one fetch cycle delivers exactly one loop body (3 µops),
+  // stopping at the taken branch even though width is 6.
+  ASSERT_FALSE(fe.stalled(0, now));
+  fe.fetch_cycle(0, now);
+  EXPECT_EQ(fe.queue_size(0), 3);
+  EXPECT_TRUE(fe.queue_front(0).op.pc == 0x400000);
+}
+
+TEST(FetchEngine, MispredictEntersWrongPathAndRecovers) {
+  using namespace fetch_helpers;
+  FetchConfig cfg = fetch_helpers::small_config();
+  cfg.mispredict_penalty = 14;
+  FetchEngine fe(cfg, 1);
+  // Not-taken branch: a cold gshare (counters init weakly-taken) predicts
+  // taken -> mispredict on first encounter.
+  const trace::TraceProfile profile =
+      trace::make_profile(trace::Category::kISpec00, trace::TraceKind::kIlp, 0);
+  fe.attach_thread(
+      0, std::make_shared<trace::VectorTrace>("t", make_loop(2, false)),
+      &profile, 1);
+  fe.fetch_cycle(0, 0);  // I-TLB walk
+  fe.fetch_cycle(0, 100);
+  // Find the mispredicted branch in the queue.
+  bool saw_mispredict = false;
+  std::uint64_t checkpoint = 0;
+  while (!fe.queue_empty(0)) {
+    const FetchedUop fu = fe.pop_front(0);
+    if (fu.mispredicted) {
+      saw_mispredict = true;
+      checkpoint = fu.history_checkpoint;
+      break;
+    }
+  }
+  ASSERT_TRUE(saw_mispredict);
+  EXPECT_TRUE(fe.on_wrong_path(0));
+  // Wrong-path µops flow while the branch is unresolved (the wrong-path
+  // page needs its own I-TLB walk first).
+  fe.fetch_cycle(0, 101);
+  fe.fetch_cycle(0, 200);
+  EXPECT_GT(fe.queue_size(0), 0);
+  EXPECT_TRUE(fe.queue_front(0).wrong_path);
+  // Resolution: queue cleared, wrong path exits, fetch stalls 14 cycles.
+  fe.resolve_mispredict(0, checkpoint, /*actual_taken=*/false, 300);
+  EXPECT_FALSE(fe.on_wrong_path(0));
+  EXPECT_EQ(fe.queue_size(0), 0);
+  EXPECT_TRUE(fe.stalled(0, 313));
+  EXPECT_FALSE(fe.stalled(0, 314));
+  // Correct path resumes from the fall-through.
+  fe.fetch_cycle(0, 314);
+  ASSERT_FALSE(fe.queue_empty(0));
+  EXPECT_FALSE(fe.queue_front(0).wrong_path);
+}
+
+TEST(FetchEngine, FlushReplaysSquashedUops) {
+  using namespace fetch_helpers;
+  FetchEngine fe(small_config(), 1);
+  fe.attach_thread(0,
+                   std::make_shared<trace::VectorTrace>("t", make_loop(20)),
+                   nullptr, 1);
+  fe.fetch_cycle(0, 0);  // I-TLB walk
+  fe.fetch_cycle(0, 100);
+  ASSERT_GE(fe.queue_size(0), 3);
+  // Drain two µops (pretend they renamed), keep their ops for replay.
+  const MicroOp first = fe.pop_front(0).op;
+  const MicroOp second = fe.pop_front(0).op;
+  const std::vector<MicroOp> replay = {first, second};
+  fe.flush_and_replay(0, replay, std::nullopt);
+  // The queue was cleared; refetching must deliver first, second, then the
+  // previously-queued µops again, in order.
+  fe.fetch_cycle(0, 200);
+  ASSERT_GE(fe.queue_size(0), 2);
+  EXPECT_EQ(fe.pop_front(0).op.pc, first.pc);
+  EXPECT_EQ(fe.pop_front(0).op.pc, second.pc);
+}
+
+TEST(RenameMap, DefineSupersedesAndRestores) {
+  RenameMap rm(2);
+  EXPECT_FALSE(rm.get(3).anywhere());
+  const ReplicaSet prev0 = rm.define(3, 0, 10);
+  EXPECT_FALSE(prev0.anywhere());
+  EXPECT_EQ(rm.get(3).phys[0], 10);
+  rm.add_replica(3, 1, 22);
+  EXPECT_TRUE(rm.get(3).present(1));
+
+  const ReplicaSet prev1 = rm.define(3, 1, 30);  // supersedes both replicas
+  EXPECT_EQ(prev1.phys[0], 10);
+  EXPECT_EQ(prev1.phys[1], 22);
+  EXPECT_FALSE(rm.get(3).present(0));
+  EXPECT_EQ(rm.get(3).phys[1], 30);
+
+  rm.restore(3, prev1);  // squash undo
+  EXPECT_EQ(rm.get(3).phys[0], 10);
+  EXPECT_EQ(rm.get(3).phys[1], 22);
+}
+
+TEST(RenameMap, ReplicaAddRemove) {
+  RenameMap rm(2);
+  rm.define(5, 0, 7);
+  rm.add_replica(5, 1, 9);
+  EXPECT_EQ(rm.get(5).any_cluster(), 0);
+  rm.remove_replica(5, 1);
+  EXPECT_FALSE(rm.get(5).present(1));
+  EXPECT_TRUE(rm.get(5).present(0));
+}
+
+TEST(RenameMap, LifoUndoSequence) {
+  // define A; copy; define B; squash B then copy restores exact state.
+  RenameMap rm(2);
+  rm.define(2, 0, 1);
+  rm.add_replica(2, 1, 5);
+  const ReplicaSet prev = rm.define(2, 0, 8);  // B
+  EXPECT_FALSE(rm.get(2).present(1));
+  rm.restore(2, prev);        // undo B
+  rm.remove_replica(2, 1);    // undo copy
+  EXPECT_EQ(rm.get(2).phys[0], 1);
+  EXPECT_FALSE(rm.get(2).present(1));
+}
+
+}  // namespace
+}  // namespace clusmt::frontend

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "harness/presets.h"
+#include "harness/runner.h"
+#include "trace/workload.h"
+
+namespace clusmt::harness {
+namespace {
+
+TEST(Presets, MatchPaperMethodology) {
+  const core::SimConfig base = paper_baseline();
+  EXPECT_EQ(base.iq_entries, 32);
+  EXPECT_EQ(base.int_regs, 64);
+  EXPECT_EQ(base.rob_entries, 128);
+  EXPECT_FALSE(base.rf_unbounded());
+
+  const core::SimConfig iq = iq_study_config(64);
+  EXPECT_EQ(iq.iq_entries, 64);
+  EXPECT_TRUE(iq.rf_unbounded());
+  EXPECT_EQ(iq.effective_rob_entries(), 4096);
+
+  const core::SimConfig rf = rf_study_config(128);
+  EXPECT_EQ(rf.int_regs, 128);
+  EXPECT_EQ(rf.fp_regs, 128);
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const auto suite = trace::build_quick_suite(1, 1, 1);
+  Runner runner(paper_baseline(), 4000, 1000);
+  const RunResult a = runner.run_workload(suite[0]);
+  const RunResult b = runner.run_workload(suite[0]);
+  EXPECT_EQ(a.stats.committed_total(), b.stats.committed_total());
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(Runner, SuiteOrderMatchesInput) {
+  const auto suite = trace::build_quick_suite(1, 1, 2);
+  Runner runner(paper_baseline(), 2000, 500, 2);
+  const auto results = runner.run_suite(suite);
+  ASSERT_EQ(results.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(results[i].workload, suite[i].name);
+    EXPECT_EQ(results[i].category, suite[i].category);
+    EXPECT_GT(results[i].throughput, 0.0);
+  }
+}
+
+TEST(Runner, SingleThreadIpcCached) {
+  const auto suite = trace::build_quick_suite(1, 1, 1);
+  Runner runner(paper_baseline(), 3000, 1000);
+  const double first = runner.single_thread_ipc(suite[0].threads[0]);
+  const double second = runner.single_thread_ipc(suite[0].threads[0]);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_GT(first, 0.0);
+}
+
+TEST(Runner, FairnessInUnitInterval) {
+  const auto suite = trace::build_quick_suite(3, 1, 1);
+  Runner runner(paper_baseline(), 6000, 2000);
+  const RunResult result = runner.run_workload(suite[0]);
+  const double fair = runner.fairness_of(result, suite[0]);
+  EXPECT_GT(fair, 0.0);
+  EXPECT_LE(fair, 1.0);
+}
+
+TEST(Runner, RunSuiteWithFairnessFillsField) {
+  const auto suite = trace::build_quick_suite(1, 1, 1);
+  std::vector<trace::WorkloadSpec> two(suite.begin(),
+                                       suite.begin() + std::min<std::size_t>(
+                                                           2, suite.size()));
+  Runner runner(paper_baseline(), 3000, 1000, 2);
+  const auto results = runner.run_suite_with_fairness(two);
+  for (const auto& r : results) {
+    EXPECT_GT(r.fairness, 0.0);
+    EXPECT_LE(r.fairness, 1.0);
+  }
+}
+
+TEST(Runner, RejectsThreadCountMismatch) {
+  trace::WorkloadSpec bad;
+  bad.name = "bad";
+  bad.threads.resize(1);  // config expects 2
+  Runner runner(paper_baseline(), 1000);
+  EXPECT_THROW((void)runner.run_workload(bad), std::invalid_argument);
+}
+
+TEST(ByCategory, AggregatesInDisplayOrderWithAvg) {
+  const auto suite = trace::build_quick_suite(1, 1, 2);
+  std::vector<double> metric(suite.size());
+  for (std::size_t i = 0; i < metric.size(); ++i) {
+    metric[i] = static_cast<double>(i + 1);
+  }
+  const auto rows = by_category(suite, metric);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.back().first, "AVG");
+  double expected_avg = 0;
+  for (double m : metric) expected_avg += m;
+  expected_avg /= static_cast<double>(metric.size());
+  EXPECT_NEAR(rows.back().second, expected_avg, 1e-12);
+  // Categories appear in display order.
+  const auto& order = trace::category_display_order();
+  std::size_t cursor = 0;
+  for (std::size_t r = 0; r + 1 < rows.size(); ++r) {
+    while (cursor < order.size() && order[cursor] != rows[r].first) ++cursor;
+    EXPECT_LT(cursor, order.size()) << "unexpected row " << rows[r].first;
+  }
+}
+
+TEST(ByCategory, SizeMismatchThrows) {
+  const auto suite = trace::build_quick_suite(1, 1, 1);
+  EXPECT_THROW((void)by_category(suite, std::vector<double>(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clusmt::harness

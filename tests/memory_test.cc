@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "memory/cache.h"
+#include "memory/hierarchy.h"
+#include "memory/mob.h"
+#include "memory/tlb.h"
+
+namespace clusmt::memory {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache cache(1024, 2, 64);
+  EXPECT_FALSE(cache.access(0x1000, false));
+  EXPECT_TRUE(cache.access(0x1000, false));
+  EXPECT_TRUE(cache.access(0x1038, false));  // same 64B line
+  EXPECT_FALSE(cache.access(0x1040, false)); // next line
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2 sets x 2 ways x 64B lines = 256B. Addresses with bit 6 select the set.
+  SetAssocCache cache(256, 2, 64);
+  cache.access(0x0000, false);  // set 0, way A
+  cache.access(0x0080, false);  // set 0, way B (0x80 = 2 lines)
+  cache.access(0x0000, false);  // touch A: B becomes LRU
+  cache.access(0x0100, false);  // set 0: evicts B
+  EXPECT_TRUE(cache.probe(0x0000));
+  EXPECT_FALSE(cache.probe(0x0080));
+  EXPECT_TRUE(cache.probe(0x0100));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, DirtyEvictionTracked) {
+  SetAssocCache cache(256, 2, 64);
+  cache.access(0x0000, true);   // dirty
+  cache.access(0x0080, false);
+  cache.access(0x0100, false);  // evicts dirty 0x0000 (LRU)
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, ProbeDoesNotAllocateOrTouch) {
+  SetAssocCache cache(256, 2, 64);
+  EXPECT_FALSE(cache.probe(0x2000));
+  EXPECT_FALSE(cache.access(0x2000, false));  // still a miss
+  EXPECT_EQ(cache.stats().accesses, 1u);      // probe not counted
+}
+
+TEST(Cache, FlushInvalidates) {
+  SetAssocCache cache(1024, 2, 64);
+  cache.access(0x40, false);
+  cache.flush();
+  EXPECT_FALSE(cache.probe(0x40));
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(1000, 2, 64), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(1024, 0, 64), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(1024, 2, 60), std::invalid_argument);
+}
+
+TEST(Cache, StatsReset) {
+  SetAssocCache cache(1024, 2, 64);
+  cache.access(0x0, false);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_TRUE(cache.probe(0x0));  // contents survive
+}
+
+TEST(Tlb, WalkLatencyOnMissOnly) {
+  Tlb tlb(16, 4, 30);
+  EXPECT_EQ(tlb.access(0x1000), 30);
+  EXPECT_EQ(tlb.access(0x1FFF), 0);  // same 4K page
+  EXPECT_EQ(tlb.access(0x2000), 30); // next page
+}
+
+TEST(Hierarchy, LatenciesPerLevel) {
+  HierarchyConfig cfg;
+  MemoryHierarchy mem(cfg);
+  // Cold: DTLB walk + L1 miss + L2 miss -> memory.
+  const auto cold = mem.load(0x10000, 0);
+  EXPECT_EQ(cold.level, HitLevel::kMemory);
+  EXPECT_TRUE(cold.l2_miss);
+  EXPECT_GE(cold.latency,
+            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency);
+  // Warm L1.
+  const auto warm = mem.load(0x10000, 10);
+  EXPECT_EQ(warm.level, HitLevel::kL1);
+  EXPECT_EQ(warm.latency, cfg.l1_latency);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  HierarchyConfig cfg;
+  cfg.l1_size = 128;  // 2 lines, 2-way: one set
+  cfg.l1_assoc = 2;
+  MemoryHierarchy mem(cfg);
+  (void)mem.load(0x0000, 0);
+  (void)mem.load(0x1000, 200);
+  (void)mem.load(0x2000, 400);  // evicts 0x0000 from L1
+  const auto res = mem.load(0x0000, 600);
+  EXPECT_EQ(res.level, HitLevel::kL2);
+  EXPECT_FALSE(res.l2_miss);
+}
+
+TEST(Hierarchy, BusQueueingDelaysBursts) {
+  HierarchyConfig cfg;
+  MemoryHierarchy mem(cfg);
+  // Fire many L1 misses in the same cycle: later ones queue on the 2 buses.
+  int first_latency = mem.load(0x100000, 0).latency;
+  int last_latency = 0;
+  for (int i = 1; i < 8; ++i) {
+    last_latency = mem.load(0x100000 + i * 0x10000, 0).latency;
+  }
+  EXPECT_GT(last_latency, first_latency);
+}
+
+TEST(Hierarchy, SharedBetweenCallers) {
+  HierarchyConfig cfg;
+  MemoryHierarchy mem(cfg);
+  (void)mem.load(0x5000, 0);
+  // A second "thread" touching the same line hits: the hierarchy is shared.
+  EXPECT_EQ(mem.load(0x5000, 100).level, HitLevel::kL1);
+}
+
+TEST(Mob, AllocateUntilFull) {
+  MemOrderBuffer mob(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(mob.allocate(0, i, false), 0);
+  }
+  EXPECT_TRUE(mob.full());
+  EXPECT_EQ(mob.allocate(0, 99, false), -1);
+  EXPECT_EQ(mob.stats().allocations, 4u);
+}
+
+TEST(Mob, ForwardFromYoungestMatchingStore) {
+  MemOrderBuffer mob(16);
+  const int st1 = mob.allocate(0, 1, true);
+  const int st2 = mob.allocate(0, 2, true);
+  const int ld = mob.allocate(0, 3, false);
+  mob.set_address(st1, 0x100);
+  mob.set_address(st2, 0x100);
+  mob.set_address(ld, 0x100);
+  EXPECT_EQ(mob.check_load(ld), LoadCheck::kForward);
+  EXPECT_EQ(mob.stats().forwards, 1u);
+}
+
+TEST(Mob, WaitOnUnknownOlderStoreAddress) {
+  MemOrderBuffer mob(16);
+  const int st = mob.allocate(0, 1, true);
+  const int ld = mob.allocate(0, 2, false);
+  mob.set_address(ld, 0x200);
+  EXPECT_EQ(mob.check_load(ld), LoadCheck::kWait);
+  mob.set_address(st, 0x300);  // different word
+  EXPECT_EQ(mob.check_load(ld), LoadCheck::kAccess);
+}
+
+TEST(Mob, UnknownStoreHidesOlderMatch) {
+  MemOrderBuffer mob(16);
+  const int match = mob.allocate(0, 1, true);
+  const int unknown = mob.allocate(0, 2, true);
+  const int ld = mob.allocate(0, 3, false);
+  mob.set_address(match, 0x100);
+  mob.set_address(ld, 0x100);
+  // The younger store's address is unknown: must wait, despite the match.
+  EXPECT_EQ(mob.check_load(ld), LoadCheck::kWait);
+  mob.set_address(unknown, 0x900);
+  EXPECT_EQ(mob.check_load(ld), LoadCheck::kForward);
+}
+
+TEST(Mob, ThreadsAreIndependent) {
+  MemOrderBuffer mob(16);
+  const int st = mob.allocate(0, 1, true);  // thread 0 store, unknown addr
+  const int ld = mob.allocate(1, 1, false); // thread 1 load
+  mob.set_address(ld, 0x100);
+  EXPECT_EQ(mob.check_load(ld), LoadCheck::kAccess);
+  (void)st;
+}
+
+TEST(Mob, ReleaseFrontBackAndMiddle) {
+  MemOrderBuffer mob(8);
+  const int a = mob.allocate(0, 1, false);
+  const int b = mob.allocate(0, 2, false);
+  const int c = mob.allocate(0, 3, false);
+  mob.release(a);  // front (commit order)
+  mob.release(c);  // back (squash order)
+  mob.release(b);  // middle
+  EXPECT_EQ(mob.occupancy(), 0);
+  EXPECT_EQ(mob.thread_slots(0).size(), 0u);
+  // Slots are reusable.
+  EXPECT_GE(mob.allocate(0, 4, true), 0);
+}
+
+TEST(Mob, ForwardMatchesWordGranularity) {
+  MemOrderBuffer mob(8);
+  const int st = mob.allocate(0, 1, true);
+  const int ld = mob.allocate(0, 2, false);
+  mob.set_address(st, 0x100);
+  mob.set_address(ld, 0x104);  // same 8-byte word
+  EXPECT_EQ(mob.check_load(ld), LoadCheck::kForward);
+}
+
+}  // namespace
+}  // namespace clusmt::memory

@@ -1,0 +1,261 @@
+// Property-based invariants: for every resource-assignment scheme and a
+// sweep of workload seeds, step the simulator and check machine invariants
+// that must hold at every observation point.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/simulator.h"
+#include "harness/presets.h"
+#include "trace/workload.h"
+
+namespace clusmt::core {
+namespace {
+
+using Param = std::tuple<policy::PolicyKind, std::uint64_t>;
+
+class PolicyInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PolicyInvariants, HoldEveryFewCycles) {
+  const auto [kind, seed] = GetParam();
+  trace::TracePool pool(seed);
+  SimConfig config = harness::paper_baseline();
+  config.policy = kind;
+  Simulator sim(config);
+  sim.attach_thread(
+      0, pool.get(trace::Category::kISpec00, trace::TraceKind::kIlp,
+                  static_cast<int>(seed % 4)));
+  sim.attach_thread(
+      1, pool.get(trace::Category::kFSpec00, trace::TraceKind::kMem,
+                  static_cast<int>(seed % 4)));
+
+  std::uint64_t last_committed = 0;
+  for (int chunk = 0; chunk < 120; ++chunk) {
+    sim.run(50);
+    const auto& view = sim.view();
+    const auto& stats = sim.stats();
+
+    // Issue-queue occupancies decompose exactly by thread and never exceed
+    // capacity.
+    for (int c = 0; c < config.num_clusters; ++c) {
+      const auto& iq = sim.cluster(c).iq();
+      EXPECT_LE(iq.occupancy(), config.iq_entries);
+      int per_thread = 0;
+      for (int t = 0; t < config.num_threads; ++t) {
+        per_thread += iq.occupancy_of(t);
+      }
+      EXPECT_EQ(per_thread, iq.occupancy());
+    }
+
+    // Register files: free + per-thread used == capacity (no leaks, no
+    // double-frees), for every cluster and class.
+    for (int c = 0; c < config.num_clusters; ++c) {
+      for (RegClass cls : {RegClass::kInt, RegClass::kFp}) {
+        const auto& rf = sim.cluster(c).rf(cls);
+        int used = 0;
+        for (int t = 0; t < config.num_threads; ++t) used += rf.used_by(t);
+        EXPECT_EQ(used + rf.free_count(), rf.capacity())
+            << "cluster " << c << " class " << static_cast<int>(cls);
+      }
+    }
+
+    // Scheme-specific caps (evaluated on the refreshed view).
+    const int half_cluster = config.iq_entries / 2;
+    if (kind == policy::PolicyKind::kCssp ||
+        kind == policy::PolicyKind::kCssprf ||
+        kind == policy::PolicyKind::kCisprf ||
+        kind == policy::PolicyKind::kCdprf) {
+      for (int t = 0; t < config.num_threads; ++t) {
+        for (int c = 0; c < config.num_clusters; ++c) {
+          EXPECT_LE(view.iq_occ_tc[t][c], half_cluster);
+        }
+      }
+    }
+    if (kind == policy::PolicyKind::kCisp) {
+      for (int t = 0; t < config.num_threads; ++t) {
+        EXPECT_LE(view.iq_occ_thread_total(t),
+                  config.iq_entries * config.num_clusters / 2);
+      }
+    }
+    if (kind == policy::PolicyKind::kPrivateClusters) {
+      EXPECT_EQ(sim.cluster(0).iq().occupancy_of(1), 0);
+      EXPECT_EQ(sim.cluster(1).iq().occupancy_of(0), 0);
+    }
+    if (kind == policy::PolicyKind::kCssprf) {
+      const int half_rf = config.int_regs / 2;
+      for (int t = 0; t < config.num_threads; ++t) {
+        for (int c = 0; c < config.num_clusters; ++c) {
+          // The CSSPRF cap applies to speculative allocations; committed
+          // architectural state also holds registers, so allow the
+          // committed-state margin (bounded by the architectural register
+          // count).
+          EXPECT_LE(view.rf_used[t][c][0], half_rf + kNumIntArchRegs);
+        }
+      }
+    }
+
+    // MOB never exceeds capacity.
+    EXPECT_LE(sim.mob().occupancy(), config.mob_entries);
+
+    // Forward progress: both threads keep committing.
+    EXPECT_GE(stats.committed_total(), last_committed);
+    last_committed = stats.committed_total();
+  }
+
+  EXPECT_GT(sim.stats().committed[0], 100u);
+  EXPECT_GT(sim.stats().committed[1], 20u);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name{policy::policy_kind_name(std::get<0>(info.param))};
+  for (char& c : name) {
+    if (c == '+') c = 'P';
+  }
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariants,
+    ::testing::Combine(::testing::ValuesIn(policy::all_policy_kinds()),
+                       ::testing::Values(1u, 2u, 3u)),
+    param_name);
+
+// --- Four-context invariants: the same machine laws hold at SMT4 ---
+
+class Smt4Invariants : public ::testing::TestWithParam<policy::PolicyKind> {};
+
+TEST_P(Smt4Invariants, HoldEveryFewCycles) {
+  const policy::PolicyKind kind = GetParam();
+  const auto suite = trace::build_smt4_suite(29, /*mixes_count=*/1);
+  const trace::WorkloadSpec* mix = nullptr;
+  for (const auto& w : suite) {
+    if (w.category == "mixes") mix = &w;
+  }
+  ASSERT_NE(mix, nullptr);
+
+  SimConfig config = harness::smt4_baseline();
+  config.policy = kind;
+  Simulator sim(config);
+  for (int t = 0; t < 4; ++t) sim.attach_thread(t, mix->threads[t]);
+
+  std::uint64_t last_committed = 0;
+  for (int chunk = 0; chunk < 60; ++chunk) {
+    sim.run(100);
+    const auto& view = sim.view();
+
+    // Occupancy decomposition and capacity, per cluster.
+    for (int c = 0; c < config.num_clusters; ++c) {
+      const auto& iq = sim.cluster(c).iq();
+      EXPECT_LE(iq.occupancy(), config.iq_entries);
+      int per_thread = 0;
+      for (int t = 0; t < 4; ++t) per_thread += iq.occupancy_of(t);
+      EXPECT_EQ(per_thread, iq.occupancy());
+      for (RegClass cls : {RegClass::kInt, RegClass::kFp}) {
+        const auto& rf = sim.cluster(c).rf(cls);
+        int used = 0;
+        for (int t = 0; t < 4; ++t) used += rf.used_by(t);
+        EXPECT_EQ(used + rf.free_count(), rf.capacity());
+      }
+    }
+
+    // The cluster-sensitive partitions cap each of the four threads at
+    // half a cluster, exactly as with two threads.
+    if (kind == policy::PolicyKind::kCssp ||
+        kind == policy::PolicyKind::kCdprf) {
+      for (int t = 0; t < 4; ++t) {
+        for (int c = 0; c < config.num_clusters; ++c) {
+          EXPECT_LE(view.iq_occ_tc[t][c], config.iq_entries / 2);
+        }
+      }
+    }
+    // Private clusters pins thread t to cluster t mod 2.
+    if (kind == policy::PolicyKind::kPrivateClusters) {
+      EXPECT_EQ(sim.cluster(0).iq().occupancy_of(1), 0);
+      EXPECT_EQ(sim.cluster(0).iq().occupancy_of(3), 0);
+      EXPECT_EQ(sim.cluster(1).iq().occupancy_of(0), 0);
+      EXPECT_EQ(sim.cluster(1).iq().occupancy_of(2), 0);
+    }
+
+    EXPECT_GE(sim.stats().committed_total(), last_committed);
+    last_committed = sim.stats().committed_total();
+  }
+  EXPECT_GT(sim.stats().committed_total(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, Smt4Invariants,
+                         ::testing::ValuesIn(policy::all_policy_kinds()),
+                         [](const auto& info) {
+                           std::string name{
+                               policy::policy_kind_name(info.param)};
+                           for (char& c : name) {
+                             if (c == '+') c = 'P';
+                           }
+                           return name;
+                         });
+
+// --- Determinism sweep: same (policy, seed) twice => identical counters ---
+
+class Determinism : public ::testing::TestWithParam<policy::PolicyKind> {};
+
+TEST_P(Determinism, BitIdenticalRuns) {
+  const policy::PolicyKind kind = GetParam();
+  auto run_once = [&] {
+    trace::TracePool pool(17);
+    SimConfig config = harness::paper_baseline();
+    config.policy = kind;
+    Simulator sim(config);
+    sim.attach_thread(0, pool.get(trace::Category::kServer,
+                                  trace::TraceKind::kMem, 1));
+    sim.attach_thread(1, pool.get(trace::Category::kDH,
+                                  trace::TraceKind::kIlp, 1));
+    sim.run(8000);
+    return sim.stats();
+  };
+  const SimStats a = run_once();
+  const SimStats b = run_once();
+  EXPECT_EQ(a.committed[0], b.committed[0]);
+  EXPECT_EQ(a.committed[1], b.committed[1]);
+  EXPECT_EQ(a.committed_copies, b.committed_copies);
+  EXPECT_EQ(a.issued_uops, b.issued_uops);
+  EXPECT_EQ(a.squashed_uops, b.squashed_uops);
+  EXPECT_EQ(a.mispredicts_resolved, b.mispredicts_resolved);
+  EXPECT_EQ(a.load_l2_misses, b.load_l2_misses);
+  EXPECT_EQ(a.iq_pref_stall_events, b.iq_pref_stall_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, Determinism,
+                         ::testing::ValuesIn(policy::all_policy_kinds()),
+                         [](const auto& info) {
+                           std::string name{
+                               policy::policy_kind_name(info.param)};
+                           for (char& c : name) {
+                             if (c == '+') c = 'P';
+                           }
+                           return name;
+                         });
+
+// --- IQ size monotonicity: more entries never hurt badly ---
+
+class IqMonotonic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IqMonotonic, BiggerQueuesDontCollapse) {
+  const std::uint64_t seed = GetParam();
+  trace::TracePool pool(seed);
+  auto throughput_with = [&](int iq) {
+    SimConfig config = harness::iq_study_config(iq);
+    Simulator sim(config);
+    sim.attach_thread(0, pool.get(trace::Category::kMultimedia,
+                                  trace::TraceKind::kIlp, 0));
+    sim.attach_thread(1, pool.get(trace::Category::kOffice,
+                                  trace::TraceKind::kIlp, 1));
+    sim.run(15000);
+    return sim.stats().throughput();
+  };
+  // 64-entry queues should never be drastically worse than 32.
+  EXPECT_GT(throughput_with(64), 0.8 * throughput_with(32));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IqMonotonic, ::testing::Values(1u, 5u, 9u));
+
+}  // namespace
+}  // namespace clusmt::core

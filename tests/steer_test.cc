@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "steer/steering.h"
+
+namespace clusmt::steer {
+namespace {
+
+TEST(Steering, FollowsDependenceVote) {
+  Steering s(SteeringKind::kDependenceBalance, 2, 6);
+  const std::array<int, 2> deps = {0, 2};
+  const std::array<int, 2> occ = {0, 3};  // within threshold
+  EXPECT_EQ(s.preferred(deps, occ), 1);
+}
+
+TEST(Steering, DependenceFreeGoesLeastLoaded) {
+  Steering s(SteeringKind::kDependenceBalance, 2, 6);
+  const std::array<int, 2> deps = {0, 0};
+  const std::array<int, 2> occ = {5, 2};
+  EXPECT_EQ(s.preferred(deps, occ), 1);
+  EXPECT_EQ(s.stats().dependence_free, 1u);
+}
+
+TEST(Steering, TieVotesFallToBalance) {
+  Steering s(SteeringKind::kDependenceBalance, 2, 6);
+  const std::array<int, 2> deps = {1, 1};  // value replicated in both
+  const std::array<int, 2> occ = {9, 4};
+  EXPECT_EQ(s.preferred(deps, occ), 1);
+}
+
+TEST(Steering, BalanceOverrideBeyondThreshold) {
+  Steering s(SteeringKind::kDependenceBalance, 2, 4);
+  const std::array<int, 2> deps = {3, 0};
+  const std::array<int, 2> occ_ok = {6, 2};   // diff 4: not above threshold
+  EXPECT_EQ(s.preferred(deps, occ_ok), 0);
+  const std::array<int, 2> occ_over = {7, 2};  // diff 5 > 4: override
+  EXPECT_EQ(s.preferred(deps, occ_over), 1);
+  EXPECT_EQ(s.stats().balance_overrides, 1u);
+}
+
+TEST(Steering, RoundRobinCycles) {
+  Steering s(SteeringKind::kRoundRobin, 2);
+  const std::array<int, 2> deps = {5, 0};  // ignored
+  const std::array<int, 2> occ = {0, 0};
+  EXPECT_EQ(s.preferred(deps, occ), 0);
+  EXPECT_EQ(s.preferred(deps, occ), 1);
+  EXPECT_EQ(s.preferred(deps, occ), 0);
+}
+
+TEST(Steering, LeastLoadedIgnoresDependences) {
+  Steering s(SteeringKind::kLeastLoaded, 2);
+  const std::array<int, 2> deps = {5, 0};
+  const std::array<int, 2> occ = {8, 1};
+  EXPECT_EQ(s.preferred(deps, occ), 1);
+}
+
+TEST(Steering, FourClusterVote) {
+  Steering s(SteeringKind::kDependenceBalance, 4, 6);
+  const std::array<int, 4> deps = {0, 1, 3, 1};
+  const std::array<int, 4> occ = {0, 0, 2, 0};
+  EXPECT_EQ(s.preferred(deps, occ), 2);
+}
+
+TEST(Steering, RejectsBadClusterCount) {
+  EXPECT_THROW(Steering(SteeringKind::kRoundRobin, 0),
+               std::invalid_argument);
+  EXPECT_THROW(Steering(SteeringKind::kRoundRobin, kMaxClusters + 1),
+               std::invalid_argument);
+}
+
+TEST(Steering, DecisionCountTracked) {
+  Steering s(SteeringKind::kDependenceBalance, 2, 6);
+  const std::array<int, 2> deps = {1, 0};
+  const std::array<int, 2> occ = {0, 0};
+  for (int i = 0; i < 5; ++i) (void)s.preferred(deps, occ);
+  EXPECT_EQ(s.stats().decisions, 5u);
+  s.reset_stats();
+  EXPECT_EQ(s.stats().decisions, 0u);
+}
+
+}  // namespace
+}  // namespace clusmt::steer

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/profile.h"
+#include "trace/synthetic.h"
+#include "trace/trace_source.h"
+#include "trace/workload.h"
+#include "trace/wrong_path.h"
+
+namespace clusmt::trace {
+namespace {
+
+TEST(Profile, AllCategoryProfilesValidate) {
+  for (Category cat : all_plain_categories()) {
+    for (TraceKind kind : {TraceKind::kIlp, TraceKind::kMem}) {
+      for (int v = 0; v < TracePool::kVariantsPerKind; ++v) {
+        const TraceProfile p = make_profile(cat, kind, v);
+        EXPECT_EQ(p.validate(), "") << p.name;
+        EXPECT_NEAR(p.mix_sum(), 1.0, 1e-9) << p.name;
+      }
+    }
+  }
+}
+
+TEST(Profile, MemTracesHaveLargerFootprints) {
+  for (Category cat : all_plain_categories()) {
+    const TraceProfile ilp = make_profile(cat, TraceKind::kIlp, 0);
+    const TraceProfile mem = make_profile(cat, TraceKind::kMem, 0);
+    EXPECT_GT(mem.footprint_bytes, 4 * 1024 * 1024u) << mem.name;
+    EXPECT_LT(ilp.footprint_bytes, 1 * 1024 * 1024u) << ilp.name;
+    EXPECT_GT(mem.chase_fraction, 0.0) << mem.name;
+  }
+}
+
+TEST(Profile, VariantsAreDistinct) {
+  const TraceProfile a = make_profile(Category::kISpec00, TraceKind::kIlp, 0);
+  const TraceProfile b = make_profile(Category::kISpec00, TraceKind::kIlp, 1);
+  EXPECT_NE(a.name, b.name);
+  EXPECT_NE(a.footprint_bytes, b.footprint_bytes);
+}
+
+TEST(Profile, DeterministicConstruction) {
+  const TraceProfile a = make_profile(Category::kOffice, TraceKind::kMem, 2);
+  const TraceProfile b = make_profile(Category::kOffice, TraceKind::kMem, 2);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.footprint_bytes, b.footprint_bytes);
+  EXPECT_DOUBLE_EQ(a.dep_geo_p, b.dep_geo_p);
+}
+
+TEST(Profile, ValidationCatchesBadMix) {
+  TraceProfile p = make_profile(Category::kDH, TraceKind::kIlp, 0);
+  p.frac_load += 0.5;  // mix no longer sums to 1
+  EXPECT_NE(p.validate(), "");
+}
+
+TEST(Profile, EffectiveFpLoadFraction) {
+  TraceProfile p;
+  p.frac_fp_add = p.frac_fp_mul = p.frac_simd = 0.0;
+  p.frac_int_alu = 0.5;
+  EXPECT_DOUBLE_EQ(p.effective_fp_load_fraction(), 0.0);
+  p.fp_load_fraction = 0.7;
+  EXPECT_DOUBLE_EQ(p.effective_fp_load_fraction(), 0.7);
+}
+
+TEST(Synthetic, DeterministicStream) {
+  const TraceProfile p = make_profile(Category::kISpec00, TraceKind::kIlp, 0);
+  SyntheticTrace a(p, 42), b(p, 42);
+  for (int i = 0; i < 5000; ++i) {
+    const MicroOp ua = a.next();
+    const MicroOp ub = b.next();
+    ASSERT_EQ(ua.pc, ub.pc);
+    ASSERT_EQ(ua.cls, ub.cls);
+    ASSERT_EQ(ua.dst, ub.dst);
+    ASSERT_EQ(ua.src0, ub.src0);
+    ASSERT_EQ(ua.mem_addr, ub.mem_addr);
+    ASSERT_EQ(ua.taken, ub.taken);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const TraceProfile p = make_profile(Category::kISpec00, TraceKind::kIlp, 0);
+  SyntheticTrace a(p, 1), b(p, 2);
+  int diff = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next().mem_addr != b.next().mem_addr) ++diff;
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Synthetic, MixMatchesProfileRoughly) {
+  const TraceProfile p = make_profile(Category::kFSpec00, TraceKind::kIlp, 1);
+  SyntheticTrace t(p, 7);
+  std::map<UopClass, int> counts;
+  const int n = 50000;
+  int branches = 0;
+  for (int i = 0; i < n; ++i) {
+    const MicroOp op = t.next();
+    if (op.is_branch()) {
+      ++branches;
+    } else {
+      ++counts[op.cls];
+    }
+  }
+  const int non_branch = n - branches;
+  // FP-heavy profile: fp_add+fp_mul should clearly dominate int_mul.
+  EXPECT_GT(counts[UopClass::kFpAdd], counts[UopClass::kIntMul]);
+  EXPECT_NEAR(static_cast<double>(counts[UopClass::kLoad]) / non_branch,
+              p.frac_load, 0.05);
+  EXPECT_NEAR(static_cast<double>(counts[UopClass::kStore]) / non_branch,
+              p.frac_store, 0.05);
+  // Branch rate ~ 1/(avg_block_len+1).
+  EXPECT_NEAR(static_cast<double>(branches) / n, 1.0 / (p.avg_block_len + 1),
+              0.08);
+}
+
+TEST(Synthetic, AddressesStayInFootprint) {
+  const TraceProfile p = make_profile(Category::kServer, TraceKind::kMem, 0);
+  SyntheticTrace t(p, 3);
+  std::uint64_t base = ~0ULL, top = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const MicroOp op = t.next();
+    if (!is_memory(op.cls)) continue;
+    base = std::min(base, op.mem_addr);
+    top = std::max(top, op.mem_addr);
+  }
+  EXPECT_LT(top - base, p.footprint_bytes + 4096);
+}
+
+TEST(Synthetic, BranchTargetsAreBlockStarts) {
+  const TraceProfile p = make_profile(Category::kDH, TraceKind::kIlp, 0);
+  SyntheticTrace t(p, 9);
+  std::set<std::uint64_t> starts;
+  for (const BasicBlock& b : t.program().blocks()) starts.insert(b.start_pc);
+  for (int i = 0; i < 10000; ++i) {
+    const MicroOp op = t.next();
+    if (op.is_branch()) {
+      EXPECT_TRUE(starts.count(op.target)) << std::hex << op.target;
+      EXPECT_TRUE(starts.count(op.fallthrough));
+    }
+  }
+}
+
+TEST(Synthetic, LoopBranchesAreMostlyTaken) {
+  const TraceProfile p = make_profile(Category::kFSpec00, TraceKind::kIlp, 0);
+  SyntheticTrace t(p, 11);
+  int taken = 0, total = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const MicroOp op = t.next();
+    if (op.is_branch() && !op.indirect) {
+      ++total;
+      taken += op.taken ? 1 : 0;
+    }
+  }
+  ASSERT_GT(total, 100);
+  // Loop-heavy predictable code is mostly taken branches.
+  EXPECT_GT(static_cast<double>(taken) / total, 0.4);
+}
+
+TEST(WrongPath, DeterministicAndArmed) {
+  const TraceProfile p = make_profile(Category::kISpec00, TraceKind::kIlp, 0);
+  WrongPathSource a, b;
+  EXPECT_FALSE(a.armed());
+  a.reset(&p, 5, 0x400100, 0x400200);
+  b.reset(&p, 5, 0x400100, 0x400200);
+  EXPECT_TRUE(a.armed());
+  for (int i = 0; i < 200; ++i) {
+    const MicroOp ua = a.next();
+    const MicroOp ub = b.next();
+    ASSERT_EQ(ua.pc, ub.pc);
+    ASSERT_EQ(ua.cls, ub.cls);
+    ASSERT_EQ(ua.mem_addr, ub.mem_addr);
+  }
+  a.disarm();
+  EXPECT_FALSE(a.armed());
+}
+
+TEST(WrongPath, StartsAtWrongTarget) {
+  const TraceProfile p = make_profile(Category::kISpec00, TraceKind::kIlp, 0);
+  WrongPathSource w;
+  w.reset(&p, 5, 0x400100, 0xDEAD00);
+  EXPECT_EQ(w.next().pc, 0xDEAD00u);
+  EXPECT_EQ(w.next().pc, 0xDEAD04u);
+}
+
+TEST(WrongPath, NoBranchesEmitted) {
+  // Wrong-path µops never spawn nested wrong paths in the model.
+  const TraceProfile p = make_profile(Category::kOffice, TraceKind::kMem, 0);
+  WrongPathSource w;
+  w.reset(&p, 1, 0x400000, 0x500000);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(w.next().cls, UopClass::kBranch);
+  }
+}
+
+TEST(VectorTrace, LoopsForever) {
+  std::vector<MicroOp> ops(3);
+  ops[0].pc = 0;
+  ops[1].pc = 4;
+  ops[2].pc = 8;
+  VectorTrace t("loop", ops);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(t.next().pc, static_cast<std::uint64_t>((i % 3) * 4));
+  }
+  EXPECT_EQ(t.emitted(), 10u);
+}
+
+TEST(Workload, FullSuiteIs120) {
+  const auto suite = build_full_suite(1);
+  EXPECT_EQ(suite.size(), 120u);
+  std::map<std::string, int> counts;
+  for (const auto& w : suite) {
+    ++counts[w.category];
+    EXPECT_EQ(w.threads.size(), 2u);
+  }
+  EXPECT_EQ(counts["mixes"], 32);
+  EXPECT_EQ(counts["ISPEC-FSPEC"], 16);
+  EXPECT_EQ(counts["ISPEC00"], 8);
+  EXPECT_EQ(counts.size(), 11u);
+}
+
+TEST(Workload, IspecFspecPairsIntWithFp) {
+  const auto suite = build_full_suite(1);
+  for (const auto& w : suite) {
+    if (w.category != "ISPEC-FSPEC") continue;
+    EXPECT_NE(w.threads[0].id().find("ISPEC00"), std::string::npos);
+    EXPECT_NE(w.threads[1].id().find("FSPEC00"), std::string::npos);
+  }
+}
+
+TEST(Workload, MixesPairDistinctCategories) {
+  const auto suite = build_full_suite(7);
+  for (const auto& w : suite) {
+    if (w.category != "mixes") continue;
+    const auto cat_of = [](const std::string& id) {
+      return id.substr(0, id.find('.'));
+    };
+    EXPECT_NE(cat_of(w.threads[0].id()), cat_of(w.threads[1].id()))
+        << w.name;
+  }
+}
+
+TEST(Workload, QuickSuiteRespectsLimits) {
+  const auto quick = build_quick_suite(1, 1, 4);
+  std::map<std::string, int> per_group;
+  int mixes = 0;
+  for (const auto& w : quick) {
+    if (w.category == "mixes") {
+      ++mixes;
+    } else {
+      ++per_group[w.category + "/" + w.type];
+    }
+  }
+  EXPECT_EQ(mixes, 4);
+  for (const auto& [group, n] : per_group) EXPECT_EQ(n, 1) << group;
+}
+
+TEST(Workload, SeedsDeterministicAndTraceIdentityStable) {
+  const auto a = build_full_suite(99);
+  const auto b = build_full_suite(99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].threads[0].seed, b[i].threads[0].seed);
+  }
+  // Same trace id appearing in multiple workloads carries the same seed
+  // (the single-thread baseline cache relies on this).
+  std::map<std::string, std::uint64_t> seeds;
+  for (const auto& w : a) {
+    for (const auto& t : w.threads) {
+      const auto it = seeds.find(t.id());
+      if (it != seeds.end()) {
+        EXPECT_EQ(it->second, t.seed) << t.id();
+      } else {
+        seeds.emplace(t.id(), t.seed);
+      }
+    }
+  }
+}
+
+TEST(Workload, TracePoolLookupBounds) {
+  TracePool pool(1);
+  EXPECT_EQ(pool.size(), 9u * 2 * TracePool::kVariantsPerKind);
+  EXPECT_THROW(pool.get(Category::kDH, TraceKind::kIlp, -1),
+               std::out_of_range);
+  EXPECT_THROW(
+      pool.get(Category::kDH, TraceKind::kIlp, TracePool::kVariantsPerKind),
+      std::out_of_range);
+}
+
+TEST(Workload, CategoryDisplayOrderCoversSuite) {
+  const auto suite = build_full_suite(1);
+  const auto& order = category_display_order();
+  for (const auto& w : suite) {
+    EXPECT_NE(std::find(order.begin(), order.end(), w.category), order.end())
+        << w.category;
+  }
+  EXPECT_EQ(workloads_in_category(suite, "mixes").size(), 32u);
+}
+
+}  // namespace
+}  // namespace clusmt::trace
