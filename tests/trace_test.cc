@@ -282,10 +282,13 @@ TEST(Workload, SeedsDeterministicAndTraceIdentityStable) {
 TEST(Workload, TracePoolLookupBounds) {
   TracePool pool(1);
   EXPECT_EQ(pool.size(), 9u * 2 * TracePool::kVariantsPerKind);
-  EXPECT_THROW(pool.get(Category::kDH, TraceKind::kIlp, -1),
+  // get() is [[nodiscard]]; the casts keep -Wunused-result quiet since only
+  // the throw matters here.
+  EXPECT_THROW((void)pool.get(Category::kDH, TraceKind::kIlp, -1),
                std::out_of_range);
   EXPECT_THROW(
-      pool.get(Category::kDH, TraceKind::kIlp, TracePool::kVariantsPerKind),
+      (void)pool.get(Category::kDH, TraceKind::kIlp,
+                     TracePool::kVariantsPerKind),
       std::out_of_range);
 }
 
