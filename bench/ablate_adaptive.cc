@@ -16,35 +16,22 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  std::vector<double> baseline;
+  harness::SweepSpec spec = opt.sweep(suite);
   {
     core::SimConfig config = harness::paper_baseline();
     config.policy = policy::PolicyKind::kIcount;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    baseline = bench::metric_of(
-        runner.run_suite(suite),
-        [](const harness::RunResult& r) { return r.throughput; });
-    std::fprintf(stderr, "done: Icount baseline\n");
+    spec.points.push_back({"Icount", config});
   }
-
-  std::vector<std::pair<std::string, std::vector<double>>> series;
-  auto run_config = [&](const core::SimConfig& config,
-                        const std::string& label) {
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    auto throughput = bench::metric_of(
-        runner.run_suite(suite),
-        [](const harness::RunResult& r) { return r.throughput; });
-    series.emplace_back(label, bench::ratio_of(throughput, baseline));
-    std::fprintf(stderr, "done: %s\n", label.c_str());
-  };
 
   // HillClimb epoch sweep at the default delta (1/16).
   for (Cycle epoch : {Cycle{2048}, Cycle{8192}, Cycle{32768}}) {
     core::SimConfig config = harness::paper_baseline();
     config.policy = policy::PolicyKind::kHillClimb;
     config.policy_config.hillclimb_epoch = epoch;
-    run_config(config, "HC/e" + std::to_string(epoch / 1024) + "K");
+    spec.points.push_back(
+        {"HC/e" + std::to_string(epoch / 1024) + "K", config});
   }
 
   // HillClimb delta sweep at a mid epoch (8K).
@@ -56,7 +43,7 @@ int main(int argc, char** argv) {
     char label[32];
     std::snprintf(label, sizeof label, "HC/d1:%d",
                   static_cast<int>(1.0 / delta));
-    run_config(config, label);
+    spec.points.push_back({label, config});
   }
 
   // UnreadyGate threshold sweep (fraction of total IQ capacity).
@@ -66,7 +53,17 @@ int main(int argc, char** argv) {
     config.policy_config.unready_gate_fraction = fraction;
     char label[32];
     std::snprintf(label, sizeof label, "UG@%.3f", fraction);
-    run_config(config, label);
+    spec.points.push_back({label, config});
+  }
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto baseline = res.throughput(res.point_index("Icount"));
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 1; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

@@ -5,9 +5,6 @@
 // Icount baseline and the paper's final scheme (CDPRF). Expected shape:
 // fewest-in-queue >= round-robin everywhere, with the gap widening on
 // asymmetric (mix) workloads where one thread drains its queue faster.
-#include <cstdio>
-#include <string>
-
 #include "bench_util.h"
 #include "harness/presets.h"
 #include "policy/policy.h"
@@ -18,33 +15,35 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  std::vector<double> baseline;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::paper_baseline();
+  spec.axes = {
+      bench::scheme_axis(
+          {policy::PolicyKind::kIcount, policy::PolicyKind::kCdprf}),
+      {"fetch",
+       {{"fewest",
+         [](core::SimConfig& c) {
+           c.fetch_selection = frontend::FetchSelection::kFewestInQueue;
+         }},
+        {"rr",
+         [](core::SimConfig& c) {
+           c.fetch_selection = frontend::FetchSelection::kRoundRobin;
+         }}}},
+  };
+  spec.label_fn = [](const std::vector<std::string>& parts) {
+    return parts[0] + "/" + parts[1];
+  };
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto baseline = res.throughput(res.point_index("Icount/fewest"));
+
   std::vector<std::pair<std::string, std::vector<double>>> series;
-
-  for (policy::PolicyKind kind :
-       {policy::PolicyKind::kIcount, policy::PolicyKind::kCdprf}) {
-    for (frontend::FetchSelection selection :
-         {frontend::FetchSelection::kFewestInQueue,
-          frontend::FetchSelection::kRoundRobin}) {
-      core::SimConfig config = harness::paper_baseline();
-      config.policy = kind;
-      config.fetch_selection = selection;
-      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-      auto throughput = bench::metric_of(
-          runner.run_suite(suite),
-          [](const harness::RunResult& r) { return r.throughput; });
-      const bool is_baseline =
-          kind == policy::PolicyKind::kIcount &&
-          selection == frontend::FetchSelection::kFewestInQueue;
-      if (is_baseline) baseline = throughput;
-      const std::string label =
-          std::string(policy::policy_kind_name(kind)) +
-          (selection == frontend::FetchSelection::kFewestInQueue ? "/fewest"
-                                                                 : "/rr");
-      series.emplace_back(label, bench::ratio_of(throughput, baseline));
-      std::fprintf(stderr, "done: %s\n", label.c_str());
-    }
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

@@ -11,30 +11,30 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::BenchOptions::parse(
       argc, argv, /*default_cycles=*/200000, /*default_warmup=*/80000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  std::vector<double> baseline;
+  harness::SweepSpec spec = opt.sweep(suite);
   {
     core::SimConfig config = harness::rf_study_config(64);
     config.policy = policy::PolicyKind::kIcount;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    baseline = bench::metric_of(runner.run_suite(suite),
-                                [](const auto& r) { return r.throughput; });
-    std::fprintf(stderr, "done: Icount baseline\n");
+    spec.points.push_back({"Icount", config});
   }
-
-  std::vector<std::pair<std::string, std::vector<double>>> series;
   for (Cycle interval : {8192u, 32768u, 131072u, 524288u}) {
     core::SimConfig config = harness::rf_study_config(64);
     config.policy = policy::PolicyKind::kCdprf;
     config.policy_config.cdprf_interval = interval;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    auto throughput =
-        bench::metric_of(runner.run_suite(suite),
-                         [](const auto& r) { return r.throughput; });
-    series.emplace_back("CDPRF@" + std::to_string(interval / 1024) + "K",
-                        bench::ratio_of(throughput, baseline));
-    std::fprintf(stderr, "done: interval %llu\n",
-                 static_cast<unsigned long long>(interval));
+    spec.points.push_back(
+        {"CDPRF@" + std::to_string(interval / 1024) + "K", config});
+  }
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto baseline = res.throughput(res.point_index("Icount"));
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 1; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

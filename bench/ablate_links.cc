@@ -11,29 +11,38 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  std::vector<double> baseline;
-  std::vector<std::pair<std::string, std::vector<double>>> series;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::iq_study_config(32);
+  spec.base.policy = policy::PolicyKind::kCssp;
+
+  harness::Axis links_axis{"links", {}};
   for (int links : {1, 2, 4}) {
-    for (int latency : {1, 2, 4}) {
-      core::SimConfig config = harness::iq_study_config(32);
-      config.policy = policy::PolicyKind::kCssp;
-      config.num_links = links;
-      config.link_latency = latency;
-      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-      auto throughput = bench::metric_of(
-          runner.run_suite(suite),
-          [](const auto& r) { return r.throughput; });
-      if (links == 2 && latency == 1) baseline = throughput;
-      series.emplace_back(
-          std::to_string(links) + "links/" + std::to_string(latency) + "cyc",
-          throughput);
-      std::fprintf(stderr, "done: %d links, %d cycles\n", links, latency);
-    }
+    links_axis.values.push_back(
+        {std::to_string(links) + "links",
+         [links](core::SimConfig& c) { c.num_links = links; }});
   }
+  harness::Axis latency_axis{"latency", {}};
+  for (int latency : {1, 2, 4}) {
+    latency_axis.values.push_back(
+        {std::to_string(latency) + "cyc",
+         [latency](core::SimConfig& c) { c.link_latency = latency; }});
+  }
+  spec.axes = {links_axis, latency_axis};
+  spec.label_fn = [](const std::vector<std::string>& parts) {
+    return parts[0] + "/" + parts[1];
+  };
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+
   // Normalise to the Table 1 interconnect (2 links, 1 cycle).
-  for (auto& [label, values] : series) {
-    values = bench::ratio_of(values, baseline);
+  const auto baseline = res.throughput(res.point_index("2links/1cyc"));
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

@@ -17,33 +17,23 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  std::vector<double> baseline;  // Icount
+  harness::SweepSpec spec = opt.sweep(suite);
   {
     core::SimConfig config = harness::iq_study_config(32);
     config.policy = policy::PolicyKind::kIcount;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    baseline = bench::metric_of(
-        runner.run_suite(suite),
-        [](const harness::RunResult& r) { return r.throughput; });
-    std::fprintf(stderr, "done: Icount baseline\n");
+    spec.points.push_back({"Icount", config});
   }
-
-  std::vector<std::pair<std::string, std::vector<double>>> series;
 
   // CSSP partition-fraction sweep (paper value: 0.50).
   for (double fraction : {0.375, 0.5, 0.625, 0.75}) {
     core::SimConfig config = harness::iq_study_config(32);
     config.policy = policy::PolicyKind::kCssp;
     config.policy_config.partition_fraction = fraction;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    auto throughput = bench::metric_of(
-        runner.run_suite(suite),
-        [](const harness::RunResult& r) { return r.throughput; });
     char label[32];
     std::snprintf(label, sizeof label, "CSSP@%.3f", fraction);
-    series.emplace_back(label, bench::ratio_of(throughput, baseline));
-    std::fprintf(stderr, "done: %s\n", label);
+    spec.points.push_back({label, config});
   }
 
   // CSPSP guarantee sweep (paper value: 0.25).
@@ -51,14 +41,19 @@ int main(int argc, char** argv) {
     core::SimConfig config = harness::iq_study_config(32);
     config.policy = policy::PolicyKind::kCspsp;
     config.policy_config.cspsp_guarantee_fraction = guarantee;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    auto throughput = bench::metric_of(
-        runner.run_suite(suite),
-        [](const harness::RunResult& r) { return r.throughput; });
     char label[32];
     std::snprintf(label, sizeof label, "CSPSP@%.3f", guarantee);
-    series.emplace_back(label, bench::ratio_of(throughput, baseline));
-    std::fprintf(stderr, "done: %s\n", label);
+    spec.points.push_back({label, config});
+  }
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto baseline = res.throughput(res.point_index("Icount"));
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 1; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

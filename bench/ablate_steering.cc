@@ -11,37 +11,39 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  struct Variant {
-    const char* label;
-    steer::SteeringKind kind;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::iq_study_config(32);
+  spec.axes = {
+      bench::scheme_axis(
+          {policy::PolicyKind::kIcount, policy::PolicyKind::kCssp}),
+      {"steering",
+       {{"dep+bal",
+         [](core::SimConfig& c) {
+           c.steering = steer::SteeringKind::kDependenceBalance;
+         }},
+        {"round-robin",
+         [](core::SimConfig& c) {
+           c.steering = steer::SteeringKind::kRoundRobin;
+         }},
+        {"least-loaded",
+         [](core::SimConfig& c) {
+           c.steering = steer::SteeringKind::kLeastLoaded;
+         }}}},
   };
-  const Variant variants[] = {
-      {"dep+bal", steer::SteeringKind::kDependenceBalance},
-      {"round-robin", steer::SteeringKind::kRoundRobin},
-      {"least-loaded", steer::SteeringKind::kLeastLoaded},
+  spec.label_fn = [](const std::vector<std::string>& parts) {
+    return parts[0] + "/" + parts[1];
   };
 
-  std::vector<double> baseline;
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto baseline = res.throughput(res.point_index("Icount/dep+bal"));
+
   std::vector<std::pair<std::string, std::vector<double>>> series;
-  for (policy::PolicyKind kind :
-       {policy::PolicyKind::kIcount, policy::PolicyKind::kCssp}) {
-    for (const Variant& v : variants) {
-      core::SimConfig config = harness::iq_study_config(32);
-      config.policy = kind;
-      config.steering = v.kind;
-      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-      auto throughput = bench::metric_of(
-          runner.run_suite(suite),
-          [](const auto& r) { return r.throughput; });
-      if (baseline.empty()) baseline = throughput;
-      series.emplace_back(
-          std::string(policy::policy_kind_name(kind)) + "/" + v.label,
-          bench::ratio_of(throughput, baseline));
-      std::fprintf(stderr, "done: %s/%s\n",
-                   std::string(policy::policy_kind_name(kind)).c_str(),
-                   v.label);
-    }
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

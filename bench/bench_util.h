@@ -1,14 +1,20 @@
 // Shared plumbing for the figure-reproduction benches: common CLI flags,
-// suite construction, grid running and table/CSV emission.
+// suite construction, and table emission. Grid running itself lives in the
+// sweep engine (harness/sweep.h); a bench declares a SweepSpec, calls
+// run_sweep, shapes the cells into per-workload series and emits them.
 //
 // Common flags (all benches):
-//   --cycles N    simulated cycles per run (default per bench)
-//   --full        run the full 120-workload suite (default: quick subset)
-//   --per-type N  quick-suite workloads per (category, type)   [default 1]
-//   --mixes N     quick-suite cross-category mixes             [default 4]
-//   --seed S      master workload seed                          [default 1]
-//   --csv PATH    also write the table as CSV
-//   --jobs N      host threads (default: all cores)
+//   --cycles N     simulated cycles per run (default per bench)
+//   --warmup N     warmup cycles before stats reset
+//   --full         run the full 120-workload suite (default: quick subset)
+//   --per-type N   quick-suite workloads per (category, type)   [default 1]
+//   --mixes N      quick-suite cross-category mixes             [default 8]
+//   --seed S       master workload seed                          [default 1]
+//   --filter SUB   keep only workloads whose name contains SUB
+//   --list         print the selected suite and exit
+//   --csv PATH     also write the table as CSV
+//   --json PATH    also write the table as JSON
+//   --jobs N       host threads (default: all cores)
 #pragma once
 
 #include <cstdio>
@@ -17,9 +23,9 @@
 #include <vector>
 
 #include "common/cli.h"
-#include "common/csv.h"
 #include "common/table.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
+#include "policy/policy.h"
 #include "trace/workload.h"
 
 namespace clusmt::bench {
@@ -31,7 +37,10 @@ struct BenchOptions {
   int per_type = 1;
   int mixes = 8;
   std::uint64_t seed = 1;
+  std::string filter;
+  bool list = false;
   std::string csv_path;
+  std::string json_path;
   std::size_t jobs = 0;
 
   static BenchOptions parse(int argc, char** argv, Cycle default_cycles,
@@ -46,44 +55,105 @@ struct BenchOptions {
     opt.per_type = static_cast<int>(args.get_int("per-type", 1));
     opt.mixes = static_cast<int>(args.get_int("mixes", 8));
     opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opt.filter = args.get_string("filter", "");
+    opt.list = args.get_bool("list", false);
     opt.csv_path = args.get_string("csv", "");
+    opt.json_path = args.get_string("json", "");
     opt.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
     return opt;
   }
 
+  /// Drops workloads whose name does not contain --filter.
+  void apply_filter(std::vector<trace::WorkloadSpec>& suite) const {
+    if (filter.empty()) return;
+    std::erase_if(suite, [&](const trace::WorkloadSpec& w) {
+      return w.name.find(filter) == std::string::npos;
+    });
+  }
+
   [[nodiscard]] std::vector<trace::WorkloadSpec> suite() const {
-    return full ? trace::build_full_suite(seed)
-                : trace::build_quick_suite(seed, per_type, mixes);
+    std::vector<trace::WorkloadSpec> s =
+        full ? trace::build_full_suite(seed)
+             : trace::build_quick_suite(seed, per_type, mixes);
+    apply_filter(s);
+    return s;
+  }
+
+  /// Honors --list: prints the selected suite and returns true, in which
+  /// case the bench should exit 0 without running anything.
+  [[nodiscard]] bool handle_list(
+      const std::vector<trace::WorkloadSpec>& suite) const {
+    if (!list) return false;
+    for (const auto& w : suite) {
+      std::string threads;
+      for (const auto& t : w.threads) {
+        if (!threads.empty()) threads += " + ";
+        threads += t.id();
+      }
+      std::printf("%-24s %-12s %-4s %s\n", w.name.c_str(),
+                  w.category.c_str(), w.type.c_str(), threads.c_str());
+    }
+    std::printf("%zu workloads\n", suite.size());
+    return true;
+  }
+
+  /// A SweepSpec with the bench-wide knobs (suite, cycle budget, host
+  /// threads) filled in; the bench adds base/axes/points.
+  [[nodiscard]] harness::SweepSpec sweep(
+      std::vector<trace::WorkloadSpec> s) const {
+    harness::SweepSpec spec;
+    spec.suite = std::move(s);
+    spec.cycles = cycles;
+    spec.warmup = warmup;
+    spec.jobs = jobs;
+    return spec;
   }
 };
 
-/// Per-category table: first column = category, one column per series.
+/// Axis over resource-assignment schemes, labelled with the paper names.
+[[nodiscard]] inline harness::Axis scheme_axis(
+    const std::vector<policy::PolicyKind>& kinds,
+    std::string name = "scheme") {
+  harness::Axis axis{std::move(name), {}};
+  axis.values.reserve(kinds.size());
+  for (policy::PolicyKind kind : kinds) {
+    axis.values.push_back(
+        {std::string(policy::policy_kind_name(kind)),
+         [kind](core::SimConfig& c) { c.policy = kind; }});
+  }
+  return axis;
+}
+
+/// Mirrors a finished table to --csv/--json when given, with uniform
+/// success/failure diagnostics. Every bench that renders a custom TableDoc
+/// calls this instead of hand-rolling the write block.
+inline void emit_doc(const harness::TableDoc& doc, const BenchOptions& opt) {
+  if (!opt.csv_path.empty()) {
+    if (doc.write_csv(opt.csv_path)) {
+      std::printf("CSV written to %s\n", opt.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write CSV %s\n", opt.csv_path.c_str());
+    }
+  }
+  if (!opt.json_path.empty()) {
+    if (doc.write_json(opt.json_path)) {
+      std::printf("JSON written to %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write JSON %s\n",
+                   opt.json_path.c_str());
+    }
+  }
+}
+
+/// Prints the per-category table (and mirrors it to --csv/--json when
+/// given). First column = category, one column per series;
 /// `series[s].second[i]` is the metric of workload i under series s.
 inline void emit_category_table(
     const std::string& title, const std::vector<trace::WorkloadSpec>& suite,
     const std::vector<std::pair<std::string, std::vector<double>>>& series,
     const BenchOptions& opt, int precision = 3) {
-  std::vector<std::string> header = {"category"};
-  for (const auto& [label, _] : series) header.push_back(label);
-
-  TextTable table(header);
-  CsvWriter csv(header);
-
-  // Aggregate each series by category (display order + AVG).
-  std::vector<std::vector<std::pair<std::string, double>>> per_series;
-  per_series.reserve(series.size());
-  for (const auto& [label, metric] : series) {
-    per_series.push_back(harness::by_category(suite, metric));
-  }
-  const std::size_t rows = per_series.empty() ? 0 : per_series[0].size();
-  for (std::size_t r = 0; r < rows; ++r) {
-    std::vector<std::string> cells = {per_series[0][r].first};
-    for (const auto& s : per_series) {
-      cells.push_back(format_double(s[r].second, precision));
-    }
-    table.add_row(cells);
-    csv.add_row(cells);
-  }
+  const harness::TableDoc doc =
+      harness::category_table(suite, series, precision);
 
   std::printf(
       "%s\n(workloads: %zu%s, %llu warmup + %llu measured cycles/run, "
@@ -91,34 +161,8 @@ inline void emit_category_table(
       title.c_str(), suite.size(), opt.full ? " [full suite]" : "",
       static_cast<unsigned long long>(opt.warmup),
       static_cast<unsigned long long>(opt.cycles),
-      static_cast<unsigned long long>(opt.seed), table.render().c_str());
-  if (!opt.csv_path.empty()) {
-    if (csv.write_file(opt.csv_path)) {
-      std::printf("CSV written to %s\n", opt.csv_path.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write CSV %s\n", opt.csv_path.c_str());
-    }
-  }
-}
-
-/// Extracts a per-workload metric vector from run results.
-template <typename Fn>
-[[nodiscard]] std::vector<double> metric_of(
-    const std::vector<harness::RunResult>& results, Fn&& fn) {
-  std::vector<double> out;
-  out.reserve(results.size());
-  for (const auto& r : results) out.push_back(fn(r));
-  return out;
-}
-
-/// Element-wise ratio helper for normalised (speedup) series.
-[[nodiscard]] inline std::vector<double> ratio_of(
-    const std::vector<double>& num, const std::vector<double>& den) {
-  std::vector<double> out(num.size());
-  for (std::size_t i = 0; i < num.size(); ++i) {
-    out[i] = den[i] == 0.0 ? 0.0 : num[i] / den[i];
-  }
-  return out;
+      static_cast<unsigned long long>(opt.seed), doc.render_text().c_str());
+  emit_doc(doc, opt);
 }
 
 }  // namespace clusmt::bench

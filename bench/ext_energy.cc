@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
   const std::vector<policy::PolicyKind> schemes = {
       policy::PolicyKind::kIcount, policy::PolicyKind::kStall,
@@ -25,36 +26,38 @@ int main(int argc, char** argv) {
       policy::PolicyKind::kPrivateClusters, policy::PolicyKind::kCdprf,
   };
 
-  std::vector<double> epu_base;
-  std::vector<double> edp_base;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::paper_baseline();
+  spec.axes = {bench::scheme_axis(schemes)};
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+
   std::vector<std::pair<std::string, std::vector<double>>> epu_series;
   std::vector<std::pair<std::string, std::vector<double>>> edp_series;
-
-  for (policy::PolicyKind kind : schemes) {
-    core::SimConfig config = harness::paper_baseline();
-    config.policy = kind;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    const auto results = runner.run_suite(suite);
-
-    auto epu = bench::metric_of(results, [&](const harness::RunResult& r) {
+  std::vector<double> epu_base;
+  std::vector<double> edp_base;
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    const core::SimConfig& config = res.points[p].config;
+    auto epu = res.metric(p, [&config](const harness::RunResult& r) {
       return core::estimate_energy(r.stats, config).per_committed_uop(
           r.stats);
     });
-    auto edp = bench::metric_of(results, [&](const harness::RunResult& r) {
+    auto edp = res.metric(p, [&config](const harness::RunResult& r) {
       return core::estimate_energy(r.stats, config).edp(r.stats);
     });
-    if (kind == policy::PolicyKind::kIcount) {
+    if (res.points[p].config.policy == policy::PolicyKind::kIcount) {
       epu_base = epu;
       edp_base = edp;
     }
-    const std::string label{policy::policy_kind_name(kind)};
-    epu_series.emplace_back(label, bench::ratio_of(epu, epu_base));
-    edp_series.emplace_back(label, bench::ratio_of(edp, edp_base));
-    std::fprintf(stderr, "done: %s\n", label.c_str());
+    epu_series.emplace_back(res.points[p].label,
+                            harness::ratio_to_baseline(epu, epu_base));
+    edp_series.emplace_back(res.points[p].label,
+                            harness::ratio_to_baseline(edp, edp_base));
   }
 
   bench::BenchOptions edp_opt = opt;
   if (!opt.csv_path.empty()) edp_opt.csv_path = opt.csv_path + ".edp";
+  if (!opt.json_path.empty()) edp_opt.json_path = opt.json_path + ".edp";
 
   bench::emit_category_table(
       "Extension — energy per committed µop vs Icount (lower is better)",

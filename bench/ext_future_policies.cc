@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
   const std::vector<policy::PolicyKind> schemes = {
       policy::PolicyKind::kIcount,    policy::PolicyKind::kCssp,
@@ -24,37 +25,33 @@ int main(int argc, char** argv) {
       policy::PolicyKind::kHillClimb, policy::PolicyKind::kUnreadyGate,
   };
 
-  std::vector<double> throughput_base;
-  std::vector<double> fairness_base;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::paper_baseline();
+  // Epochs must fit the measured window a few times over.
+  spec.base.policy_config.hillclimb_epoch = 4096;
+  spec.axes = {bench::scheme_axis(schemes)};
+  spec.with_fairness = true;
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto throughput_base = res.throughput(res.point_index("Icount"));
+  const auto fairness_base = res.fairness(res.point_index("Icount"));
+
   std::vector<std::pair<std::string, std::vector<double>>> throughput_series;
   std::vector<std::pair<std::string, std::vector<double>>> fairness_series;
-
-  for (policy::PolicyKind kind : schemes) {
-    core::SimConfig config = harness::paper_baseline();
-    config.policy = kind;
-    // Epochs must fit the measured window a few times over.
-    config.policy_config.hillclimb_epoch = 4096;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    const auto results = runner.run_suite_with_fairness(suite);
-    auto throughput = bench::metric_of(
-        results, [](const harness::RunResult& r) { return r.throughput; });
-    auto fairness = bench::metric_of(
-        results, [](const harness::RunResult& r) { return r.fairness; });
-    if (kind == policy::PolicyKind::kIcount) {
-      throughput_base = throughput;
-      fairness_base = fairness;
-    }
-    const std::string label{policy::policy_kind_name(kind)};
-    throughput_series.emplace_back(label,
-                                   bench::ratio_of(throughput,
-                                                   throughput_base));
-    fairness_series.emplace_back(label,
-                                 bench::ratio_of(fairness, fairness_base));
-    std::fprintf(stderr, "done: %s\n", label.c_str());
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    throughput_series.emplace_back(
+        res.points[p].label,
+        harness::ratio_to_baseline(res.throughput(p), throughput_base));
+    fairness_series.emplace_back(
+        res.points[p].label,
+        harness::ratio_to_baseline(res.fairness(p), fairness_base));
   }
 
   bench::BenchOptions fairness_opt = opt;  // avoid double CSV writes
   if (!opt.csv_path.empty()) fairness_opt.csv_path = opt.csv_path + ".fair";
+  if (!opt.json_path.empty()) {
+    fairness_opt.json_path = opt.json_path + ".fair";
+  }
 
   bench::emit_category_table(
       "Extension — future-work schemes (throughput vs Icount)", suite,

@@ -15,7 +15,9 @@ using namespace clusmt;
 int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
-  const auto suite = trace::build_smt4_suite(opt.seed, opt.mixes);
+  auto suite = trace::build_smt4_suite(opt.seed, opt.mixes);
+  opt.apply_filter(suite);
+  if (opt.handle_list(suite)) return 0;
 
   const std::vector<policy::PolicyKind> schemes = {
       policy::PolicyKind::kIcount,        policy::PolicyKind::kStall,
@@ -24,20 +26,18 @@ int main(int argc, char** argv) {
       policy::PolicyKind::kCdprf,
   };
 
-  std::vector<double> baseline;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::smt4_baseline();
+  spec.axes = {bench::scheme_axis(schemes)};
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto baseline = res.throughput(res.point_index("Icount"));
+
   std::vector<std::pair<std::string, std::vector<double>>> series;
-  for (policy::PolicyKind kind : schemes) {
-    core::SimConfig config = harness::smt4_baseline();
-    config.policy = kind;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    const auto results = runner.run_suite(suite);
-    auto throughput = bench::metric_of(
-        results, [](const harness::RunResult& r) { return r.throughput; });
-    if (kind == policy::PolicyKind::kIcount) baseline = throughput;
-    series.emplace_back(std::string(policy::policy_kind_name(kind)),
-                        bench::ratio_of(throughput, baseline));
-    std::fprintf(stderr, "done: %s\n",
-                 std::string(policy::policy_kind_name(kind)).c_str());
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

@@ -14,27 +14,24 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const Cycle interval = static_cast<Cycle>(args.get_int("interval", 32768));
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  auto fairness_of = [&](policy::PolicyKind kind) {
-    core::SimConfig config = harness::rf_study_config(64);
-    config.policy = kind;
-    config.policy_config.cdprf_interval = interval;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    const auto results = runner.run_suite_with_fairness(suite);
-    std::fprintf(stderr, "done: %s\n",
-                 std::string(policy::policy_kind_name(kind)).c_str());
-    return bench::metric_of(results,
-                            [](const auto& r) { return r.fairness; });
-  };
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::rf_study_config(64);
+  spec.base.policy_config.cdprf_interval = interval;
+  spec.axes = {bench::scheme_axis(
+      {policy::PolicyKind::kIcount, policy::PolicyKind::kStall,
+       policy::PolicyKind::kFlushPlus, policy::PolicyKind::kCssp,
+       policy::PolicyKind::kCdprf})};
+  spec.with_fairness = true;
 
-  const std::vector<double> base = fairness_of(policy::PolicyKind::kIcount);
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto base = res.fairness(res.point_index("Icount"));
 
   std::vector<std::pair<std::string, std::vector<double>>> series;
-  for (policy::PolicyKind kind :
-       {policy::PolicyKind::kStall, policy::PolicyKind::kFlushPlus,
-        policy::PolicyKind::kCssp, policy::PolicyKind::kCdprf}) {
-    series.emplace_back(std::string(policy::policy_kind_name(kind)),
-                        bench::ratio_of(fairness_of(kind), base));
+  for (std::size_t p = 1; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.fairness(p), base));
   }
 
   bench::emit_category_table(

@@ -3,8 +3,6 @@
 // cluster. Register files and ROB are unbounded to isolate IQ effects.
 // Values are speedups normalised, per workload, to Icount with 32 entries,
 // then averaged per category — the paper's Figure 2 layout.
-#include <cstdio>
-
 #include "bench_util.h"
 #include "harness/presets.h"
 #include "policy/policy.h"
@@ -15,6 +13,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
   const std::vector<policy::PolicyKind> schemes = {
       policy::PolicyKind::kIcount,       policy::PolicyKind::kStall,
@@ -23,28 +22,28 @@ int main(int argc, char** argv) {
       policy::PolicyKind::kPrivateClusters,
   };
 
-  // Baseline: Icount @ 32 entries.
-  std::vector<double> baseline;
-  std::vector<std::pair<std::string, std::vector<double>>> series;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::iq_study_config(32);
+  spec.axes = {
+      {"iq",
+       {{"32", [](core::SimConfig& c) { c.iq_entries = 32; }},
+        {"64", [](core::SimConfig& c) { c.iq_entries = 64; }}}},
+      bench::scheme_axis(schemes),
+  };
+  // Paper-style labels: scheme first, IQ size second ("Icount@32").
+  spec.label_fn = [](const std::vector<std::string>& parts) {
+    return parts[1] + "@" + parts[0];
+  };
 
-  for (int iq : {32, 64}) {
-    for (policy::PolicyKind kind : schemes) {
-      core::SimConfig config = harness::iq_study_config(iq);
-      config.policy = kind;
-      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-      const auto results = runner.run_suite(suite);
-      auto throughput = bench::metric_of(
-          results, [](const harness::RunResult& r) { return r.throughput; });
-      if (kind == policy::PolicyKind::kIcount && iq == 32) {
-        baseline = throughput;
-      }
-      std::string label = std::string(policy::policy_kind_name(kind)) + "@" +
-                          std::to_string(iq);
-      series.emplace_back(std::move(label),
-                          bench::ratio_of(throughput, baseline));
-      std::fprintf(stderr, "done: %s@%d\n",
-                   std::string(policy::policy_kind_name(kind)).c_str(), iq);
-    }
+  const harness::SweepResult res = harness::run_sweep(spec);
+
+  // Baseline: Icount @ 32 entries.
+  const auto baseline = res.throughput(res.point_index("Icount@32"));
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
   const std::vector<policy::PolicyKind> schemes = {
       policy::PolicyKind::kIcount,       policy::PolicyKind::kStall,
@@ -17,18 +18,18 @@ int main(int argc, char** argv) {
       policy::PolicyKind::kPrivateClusters,
   };
 
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::iq_study_config(32);
+  spec.axes = {bench::scheme_axis(schemes)};
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+
   std::vector<std::pair<std::string, std::vector<double>>> series;
-  for (policy::PolicyKind kind : schemes) {
-    core::SimConfig config = harness::iq_study_config(32);
-    config.policy = kind;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    const auto results = runner.run_suite(suite);
-    series.emplace_back(std::string(policy::policy_kind_name(kind)),
-                        bench::metric_of(results, [](const auto& r) {
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        res.metric(p, [](const harness::RunResult& r) {
                           return r.stats.copies_per_retired();
                         }));
-    std::fprintf(stderr, "done: %s\n",
-                 std::string(policy::policy_kind_name(kind)).c_str());
   }
 
   bench::emit_category_table(

@@ -17,22 +17,24 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
   const std::vector<policy::PolicyKind> schemes = {
       policy::PolicyKind::kIcount, policy::PolicyKind::kCisp,
       policy::PolicyKind::kCssp, policy::PolicyKind::kPrivateClusters};
 
-  const std::vector<std::string> header = {
-      "category/scheme", "0 Integer", "0 Fp/Simd", "0 Mem",
-      "1 Integer",       "1 Fp/Simd", "1 Mem"};
-  TextTable table(header);
-  CsvWriter csv(header);
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::iq_study_config(32);
+  spec.axes = {bench::scheme_axis(schemes)};
 
-  for (policy::PolicyKind kind : schemes) {
-    core::SimConfig config = harness::iq_study_config(32);
-    config.policy = kind;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    const auto results = runner.run_suite(suite);
+  const harness::SweepResult res = harness::run_sweep(spec);
+
+  harness::TableDoc doc;
+  doc.header = {"category/scheme", "0 Integer", "0 Fp/Simd", "0 Mem",
+                "1 Integer",       "1 Fp/Simd", "1 Mem"};
+
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    const auto& results = res.cells[p];
 
     // Aggregate the six event counters per category.
     auto rows = trace::category_display_order();
@@ -51,22 +53,18 @@ int main(int argc, char** argv) {
       double total = 0;
       for (double e : events) total += e;
       if (total == 0) continue;
-      std::vector<std::string> cells = {
-          category + "/" + std::string(policy::policy_kind_name(kind))};
+      std::vector<std::string> cells = {category + "/" + res.points[p].label};
       for (double e : events) {
         cells.push_back(format_double(100.0 * e / total, 1));
       }
-      table.add_row(cells);
-      csv.add_row(cells);
+      doc.add_row(std::move(cells));
     }
-    std::fprintf(stderr, "done: %s\n",
-                 std::string(policy::policy_kind_name(kind)).c_str());
   }
 
   std::printf(
       "Figure 5 — Workload imbalance breakdown (%% of imbalance events;\n"
       "'1 <class>' = the other cluster had a free compatible slot)\n\n%s\n",
-      table.render().c_str());
-  if (!opt.csv_path.empty()) csv.write_file(opt.csv_path);
+      doc.render_text().c_str());
+  bench::emit_doc(doc, opt);
   return 0;
 }

@@ -11,37 +11,42 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt =
       bench::BenchOptions::parse(argc, argv, /*default_cycles=*/150000);
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
   const std::vector<policy::PolicyKind> schemes = {
       policy::PolicyKind::kCssp, policy::PolicyKind::kCssprf,
       policy::PolicyKind::kCisprf};
 
-  // Baseline: Icount with 64 registers per cluster.
-  std::vector<double> baseline;
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::rf_study_config(64);
+  spec.axes = {
+      {"regs",
+       {{"64",
+         [](core::SimConfig& c) { c.int_regs = c.fp_regs = 64; }},
+        {"128",
+         [](core::SimConfig& c) { c.int_regs = c.fp_regs = 128; }}}},
+      bench::scheme_axis(schemes),
+  };
+  spec.label_fn = [](const std::vector<std::string>& parts) {
+    return parts[1] + "@" + parts[0];
+  };
+  // Baseline point: Icount with 64 registers per cluster.
   {
     core::SimConfig config = harness::rf_study_config(64);
     config.policy = policy::PolicyKind::kIcount;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    baseline = bench::metric_of(runner.run_suite(suite),
-                                [](const auto& r) { return r.throughput; });
-    std::fprintf(stderr, "done: Icount@64 baseline\n");
+    spec.points.push_back({"Icount@64", config});
   }
 
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const std::size_t base_point = res.point_index("Icount@64");
+  const auto baseline = res.throughput(base_point);
+
   std::vector<std::pair<std::string, std::vector<double>>> series;
-  for (int regs : {64, 128}) {
-    for (policy::PolicyKind kind : schemes) {
-      core::SimConfig config = harness::rf_study_config(regs);
-      config.policy = kind;
-      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-      const auto throughput = bench::metric_of(
-          runner.run_suite(suite),
-          [](const auto& r) { return r.throughput; });
-      series.emplace_back(std::string(policy::policy_kind_name(kind)) + "@" +
-                              std::to_string(regs),
-                          bench::ratio_of(throughput, baseline));
-      std::fprintf(stderr, "done: %s@%d\n",
-                   std::string(policy::policy_kind_name(kind)).c_str(), regs);
-    }
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    if (p == base_point) continue;
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
   }
 
   bench::emit_category_table(

@@ -8,6 +8,9 @@
 //
 // Extra flag: --interval N  (CDPRF measurement interval; default 32768 —
 // the paper's 128K assumes full-length traces, we scale it to bench runs).
+//
+// Runs two sweeps over the same grid points (ISPEC-FSPEC subset, then the
+// full suite); the RunCache serves the subset's cells to the second sweep.
 #include "bench_util.h"
 #include "common/cli.h"
 #include "harness/presets.h"
@@ -21,6 +24,7 @@ int main(int argc, char** argv) {
   const Cycle interval = static_cast<Cycle>(args.get_int("interval", 32768));
 
   const auto all = opt.suite();
+  if (opt.handle_list(all)) return 0;
   const auto ispec_fspec = trace::workloads_in_category(all, "ISPEC-FSPEC");
 
   const std::vector<policy::PolicyKind> schemes = {
@@ -28,24 +32,27 @@ int main(int argc, char** argv) {
       policy::PolicyKind::kCisprf, policy::PolicyKind::kCdprf};
 
   auto run_grid = [&](const std::vector<trace::WorkloadSpec>& suite) {
-    std::vector<std::vector<double>> grid;  // [scheme][workload] speedup
-    core::SimConfig base = harness::rf_study_config(64);
-    base.policy = policy::PolicyKind::kIcount;
-    harness::Runner base_runner(base, opt.cycles, opt.warmup, opt.jobs);
-    const auto baseline =
-        bench::metric_of(base_runner.run_suite(suite),
-                         [](const auto& r) { return r.throughput; });
+    harness::SweepSpec spec = opt.sweep(suite);
+    {
+      core::SimConfig base = harness::rf_study_config(64);
+      base.policy = policy::PolicyKind::kIcount;
+      spec.points.push_back({"Icount", base});
+    }
     for (policy::PolicyKind kind : schemes) {
       core::SimConfig config = harness::rf_study_config(64);
       config.policy = kind;
       config.policy_config.cdprf_interval = interval;
-      harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-      grid.push_back(bench::ratio_of(
-          bench::metric_of(runner.run_suite(suite),
-                           [](const auto& r) { return r.throughput; }),
-          baseline));
-      std::fprintf(stderr, "done: %s\n",
-                   std::string(policy::policy_kind_name(kind)).c_str());
+      spec.points.push_back(
+          {std::string(policy::policy_kind_name(kind)), config});
+    }
+    const harness::SweepResult res = harness::run_sweep(spec);
+
+    std::vector<std::vector<double>> grid;  // [scheme][workload] speedup
+    const auto baseline = res.throughput(res.point_index("Icount"));
+    for (policy::PolicyKind kind : schemes) {
+      const std::size_t p =
+          res.point_index(std::string(policy::policy_kind_name(kind)));
+      grid.push_back(harness::ratio_to_baseline(res.throughput(p), baseline));
     }
     return grid;
   };
@@ -53,19 +60,17 @@ int main(int argc, char** argv) {
   const auto grid = run_grid(ispec_fspec);
   const auto grid_all = run_grid(all);
 
-  std::vector<std::string> header = {"workload"};
+  harness::TableDoc doc;
+  doc.header = {"workload"};
   for (policy::PolicyKind kind : schemes) {
-    header.push_back(std::string(policy::policy_kind_name(kind)));
+    doc.header.push_back(std::string(policy::policy_kind_name(kind)));
   }
-  TextTable table(header);
-  CsvWriter csv(header);
 
   auto add_row = [&](const std::string& label,
                      const std::vector<double>& values) {
     std::vector<std::string> cells = {label};
     for (double v : values) cells.push_back(format_double(v, 3));
-    table.add_row(cells);
-    csv.add_row(cells);
+    doc.add_row(std::move(cells));
   };
 
   for (std::size_t w = 0; w < ispec_fspec.size(); ++w) {
@@ -88,7 +93,7 @@ int main(int argc, char** argv) {
   std::printf(
       "Figure 9 — CDPRF on ISPEC-FSPEC (throughput vs Icount, 64 "
       "regs/cluster,\nCDPRF interval %llu cycles)\n\n%s\n",
-      static_cast<unsigned long long>(interval), table.render().c_str());
-  if (!opt.csv_path.empty()) csv.write_file(opt.csv_path);
+      static_cast<unsigned long long>(interval), doc.render_text().c_str());
+  bench::emit_doc(doc, opt);
   return 0;
 }

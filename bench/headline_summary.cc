@@ -1,7 +1,9 @@
 // Headline reproduction: the paper's abstract claims CDPRF achieves a
 // 17.6% average throughput speedup over Icount while improving fairness by
 // 24%. This bench measures both on the Table 1 baseline machine and prints
-// paper-vs-measured.
+// paper-vs-measured. One sweep covers all three schemes; the single-thread
+// fairness baselines are shared across them through the RunCache instead of
+// being recomputed per scheme.
 #include "bench_util.h"
 #include "common/cli.h"
 #include "harness/presets.h"
@@ -14,54 +16,47 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const Cycle interval = static_cast<Cycle>(args.get_int("interval", 32768));
   const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
 
-  struct Outcome {
-    std::vector<double> throughput;
-    std::vector<double> fairness;
-  };
-  auto measure = [&](policy::PolicyKind kind) {
-    core::SimConfig config = harness::rf_study_config(64);
-    config.policy = kind;
-    config.policy_config.cdprf_interval = interval;
-    harness::Runner runner(config, opt.cycles, opt.warmup, opt.jobs);
-    const auto results = runner.run_suite_with_fairness(suite);
-    Outcome out;
-    out.throughput = bench::metric_of(
-        results, [](const auto& r) { return r.throughput; });
-    out.fairness =
-        bench::metric_of(results, [](const auto& r) { return r.fairness; });
-    std::fprintf(stderr, "done: %s\n",
-                 std::string(policy::policy_kind_name(kind)).c_str());
-    return out;
-  };
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::rf_study_config(64);
+  spec.base.policy_config.cdprf_interval = interval;
+  spec.axes = {bench::scheme_axis({policy::PolicyKind::kIcount,
+                                   policy::PolicyKind::kCssp,
+                                   policy::PolicyKind::kCdprf})};
+  spec.with_fairness = true;
 
-  const Outcome icount = measure(policy::PolicyKind::kIcount);
-  const Outcome cssp = measure(policy::PolicyKind::kCssp);
-  const Outcome cdprf = measure(policy::PolicyKind::kCdprf);
+  const harness::SweepResult res = harness::run_sweep(spec);
+  const auto icount_thr = res.throughput(res.point_index("Icount"));
+  const auto icount_fair = res.fairness(res.point_index("Icount"));
+  const std::size_t cssp = res.point_index("CSSP");
+  const std::size_t cdprf = res.point_index("CDPRF");
 
   const double thr_cssp =
-      mean_of(bench::ratio_of(cssp.throughput, icount.throughput));
+      mean_of(harness::ratio_to_baseline(res.throughput(cssp), icount_thr));
   const double thr_cdprf =
-      mean_of(bench::ratio_of(cdprf.throughput, icount.throughput));
+      mean_of(harness::ratio_to_baseline(res.throughput(cdprf), icount_thr));
   const double fair_cdprf =
-      mean_of(bench::ratio_of(cdprf.fairness, icount.fairness));
+      mean_of(harness::ratio_to_baseline(res.fairness(cdprf), icount_fair));
   const double fair_cssp =
-      mean_of(bench::ratio_of(cssp.fairness, icount.fairness));
+      mean_of(harness::ratio_to_baseline(res.fairness(cssp), icount_fair));
 
-  TextTable table({"claim", "paper", "measured"});
-  table.add_row({"CDPRF throughput speedup vs Icount", "+17.6%",
-                 format_double(100.0 * (thr_cdprf - 1.0), 1) + "%"});
-  table.add_row({"CDPRF fairness improvement vs Icount", "+24%",
-                 format_double(100.0 * (fair_cdprf - 1.0), 1) + "%"});
-  table.add_row({"CSSP throughput speedup vs Icount", "~+16%",
-                 format_double(100.0 * (thr_cssp - 1.0), 1) + "%"});
-  table.add_row({"CSSP fairness vs Icount", "(not headline)",
-                 format_double(100.0 * (fair_cssp - 1.0), 1) + "%"});
+  harness::TableDoc doc;
+  doc.header = {"claim", "paper", "measured"};
+  doc.add_row({"CDPRF throughput speedup vs Icount", "+17.6%",
+               format_double(100.0 * (thr_cdprf - 1.0), 1) + "%"});
+  doc.add_row({"CDPRF fairness improvement vs Icount", "+24%",
+               format_double(100.0 * (fair_cdprf - 1.0), 1) + "%"});
+  doc.add_row({"CSSP throughput speedup vs Icount", "~+16%",
+               format_double(100.0 * (thr_cssp - 1.0), 1) + "%"});
+  doc.add_row({"CSSP fairness vs Icount", "(not headline)",
+               format_double(100.0 * (fair_cssp - 1.0), 1) + "%"});
 
   std::printf(
       "Headline summary (%zu workloads, 64 regs/cluster, CDPRF interval "
       "%llu)\n\n%s\n",
       suite.size(), static_cast<unsigned long long>(interval),
-      table.render().c_str());
+      doc.render_text().c_str());
+  bench::emit_doc(doc, opt);
   return 0;
 }

@@ -68,7 +68,9 @@ int main(int argc, char** argv) {
 
   // Part 1: Table 2 — suite composition.
   {
-    const auto suite = trace::build_full_suite(opt.seed);
+    auto suite = trace::build_full_suite(opt.seed);
+    opt.apply_filter(suite);
+    if (opt.handle_list(suite)) return 0;
     std::map<std::string, std::map<std::string, int>> counts;
     for (const auto& w : suite) ++counts[w.category][w.type];
     TextTable table({"Category", "ILP", "MEM", "MIX", "#wkloads"});
@@ -89,22 +91,23 @@ int main(int argc, char** argv) {
         suite.size(), table.render().c_str());
   }
 
-  // Part 2: measured characterisation of the trace pool.
+  // Part 2: measured characterisation of the trace pool, fanned out as one
+  // bulk submission on the shared worker pool.
   {
     trace::TracePool pool(opt.seed);
     const auto& traces = pool.all();
     std::vector<TraceCharacter> chars(traces.size());
-    parallel_for(
-        traces.size(),
-        [&](std::size_t i) {
-          chars[i] = characterise(traces[i], opt.warmup, opt.cycles);
-        },
-        opt.jobs);
+    ThreadPool workers(opt.jobs);
+    auto done = workers.submit_bulk(traces.size(), [&](std::size_t i) {
+      chars[i] = characterise(traces[i], opt.warmup, opt.cycles);
+    });
+    for (auto& f : done) f.get();
 
+    harness::TableDoc doc;
+    doc.header = {"trace", "ipc", "l1_miss", "l2_miss", "l2_mpki",
+                  "bp_misp", "tc_hit", "copies"};
     TextTable table({"trace", "IPC", "L1 miss", "L2 miss", "L2 MPKI",
                      "BP misp", "TC hit", "copies"});
-    CsvWriter csv({"trace", "ipc", "l1_miss", "l2_miss", "l2_mpki",
-                   "bp_misp", "tc_hit", "copies"});
     for (std::size_t i = 0; i < traces.size(); ++i) {
       const auto& c = chars[i];
       std::vector<std::string> cells = {
@@ -113,12 +116,12 @@ int main(int argc, char** argv) {
           format_double(c.l2_mpki, 1), format_double(c.bp_misp_rate, 3),
           format_double(c.tc_hit, 3),  format_double(c.copies, 3)};
       table.add_row(cells);
-      csv.add_row(cells);
+      doc.add_row(std::move(cells));
     }
     std::printf("Trace pool characterisation (single-thread, %llu cycles)\n\n%s\n",
                 static_cast<unsigned long long>(opt.cycles),
                 table.render().c_str());
-    if (!opt.csv_path.empty()) csv.write_file(opt.csv_path);
+    bench::emit_doc(doc, opt);
   }
   return 0;
 }

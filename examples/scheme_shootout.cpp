@@ -1,6 +1,8 @@
 // Scheme shootout: run one workload under *every* resource-assignment
 // scheme of the paper and print a detailed comparison — the experiment an
 // SMT architect would run first when evaluating a clustered design.
+// Declared as a one-workload sweep: the scheme axis × a single-element
+// suite, with fairness baselines shared through the run cache.
 //
 //   ./examples/scheme_shootout [--category ISPEC00] [--type mix]
 //                              [--cycles N] [--warmup N] [--seed S]
@@ -12,7 +14,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "harness/presets.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "trace/workload.h"
 
 using namespace clusmt;
@@ -48,27 +50,37 @@ int main(int argc, char** argv) {
               chosen->threads[0].id().c_str(),
               chosen->threads[1].id().c_str());
 
-  TextTable table({"scheme", "throughput", "IPC[0]", "IPC[1]", "fairness",
-                   "copies/ret", "IQstall/ret", "flushes", "squashed"});
-  double icount_throughput = 0.0;
-  double icount_fairness = 0.0;
+  harness::SweepSpec spec;
+  spec.suite = {*chosen};
+  spec.cycles = cycles;
+  spec.warmup = warmup;
+  spec.with_fairness = true;
+  spec.progress = false;
   for (policy::PolicyKind kind : policy::all_policy_kinds()) {
     core::SimConfig config = harness::paper_baseline();
     config.policy = kind;
     config.policy_config.cdprf_interval = 32768;  // scaled to run length
-    harness::Runner runner(config, cycles, warmup);
-    const harness::RunResult r = runner.run_workload(*chosen);
-    const double fairness = runner.fairness_of(r, *chosen);
-    if (kind == policy::PolicyKind::kIcount) {
+    spec.points.push_back(
+        {std::string(policy::policy_kind_name(kind)), config});
+  }
+  const harness::SweepResult res = harness::run_sweep(spec);
+
+  TextTable table({"scheme", "throughput", "IPC[0]", "IPC[1]", "fairness",
+                   "copies/ret", "IQstall/ret", "flushes", "squashed"});
+  double icount_throughput = 0.0;
+  double icount_fairness = 0.0;
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    const harness::RunResult& r = res.cells[p][0];
+    if (res.points[p].config.policy == policy::PolicyKind::kIcount) {
       icount_throughput = r.throughput;
-      icount_fairness = fairness;
+      icount_fairness = r.fairness;
     }
     table.new_row()
-        .add_cell(std::string(policy::policy_kind_name(kind)))
+        .add_cell(res.points[p].label)
         .add_cell(r.throughput)
         .add_cell(r.ipc[0])
         .add_cell(r.ipc[1])
-        .add_cell(fairness)
+        .add_cell(r.fairness)
         .add_cell(r.stats.copies_per_retired())
         .add_cell(r.stats.iq_stalls_per_retired())
         .add_cell(r.stats.policy_flushes)

@@ -1,5 +1,7 @@
 #include "common/csv.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -17,6 +19,59 @@ std::string quote(const std::string& cell) {
   }
   out += '"';
   return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// A cell is emitted as a bare token only when it matches the strict JSON
+/// number grammar -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — strtod
+/// would also accept "inf"/"nan"/"0x1A", which are not valid JSON.
+bool is_number(const std::string& cell) {
+  const auto digit = [](char ch) { return ch >= '0' && ch <= '9'; };
+  std::size_t i = 0;
+  const std::size_t n = cell.size();
+  if (i < n && cell[i] == '-') ++i;
+  if (i >= n || !digit(cell[i])) return false;
+  if (cell[i] == '0') {
+    ++i;
+  } else {
+    while (i < n && digit(cell[i])) ++i;
+  }
+  if (i < n && cell[i] == '.') {
+    ++i;
+    if (i >= n || !digit(cell[i])) return false;
+    while (i < n && digit(cell[i])) ++i;
+  }
+  if (i < n && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (i >= n || !digit(cell[i])) return false;
+    while (i < n && digit(cell[i])) ++i;
+  }
+  return i == n;
 }
 }  // namespace
 
@@ -41,10 +96,35 @@ std::string CsvWriter::to_string() const {
   return out.str();
 }
 
+std::string CsvWriter::to_json() const {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "  {";
+    const auto& row = rows_[r];
+    const std::size_t cols = std::min(header_.size(), row.size());
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c) out << ", ";
+      out << json_escape(header_[c]) << ": "
+          << (is_number(row[c]) ? row[c] : json_escape(row[c]));
+    }
+    out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+  return out.str();
+}
+
 bool CsvWriter::write_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   out << to_string();
+  return static_cast<bool>(out);
+}
+
+bool CsvWriter::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
   return static_cast<bool>(out);
 }
 

@@ -1,5 +1,5 @@
-// Minimal CSV writer; every bench binary mirrors its text table into a CSV
-// file so results can be re-plotted.
+// Minimal CSV/JSON table writer; every bench binary mirrors its text table
+// into a CSV (and optionally JSON) file so results can be re-plotted.
 #pragma once
 
 #include <string>
@@ -16,9 +16,17 @@ class CsvWriter {
   /// Serialises the full document (header + rows), RFC-4180 quoting.
   [[nodiscard]] std::string to_string() const;
 
+  /// Serialises the rows as a JSON array of objects. Keys follow header
+  /// order (stable column order); cells that parse fully as numbers are
+  /// emitted unquoted, everything else as JSON strings.
+  [[nodiscard]] std::string to_json() const;
+
   /// Writes to a file; returns false (and leaves no partial file
   /// guarantees) on I/O failure.
   bool write_file(const std::string& path) const;
+
+  /// Writes the to_json() document to a file.
+  bool write_json_file(const std::string& path) const;
 
   [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
 

@@ -1,0 +1,75 @@
+// Incremental FNV-1a content hashing. The harness uses it to derive
+// RunCache keys from simulation inputs (SimConfig, trace profiles, seeds),
+// so two runs hash equal exactly when every behavioural knob is equal.
+// Header-only; values are canonicalised to fixed-width little-endian
+// before hashing so the digest is stable across platforms.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace clusmt {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x00000100000001b3ull;
+
+  /// `seed` perturbs the starting state so independent digests of the same
+  /// stream (e.g. the two halves of a 128-bit key) are distinct.
+  explicit constexpr Fnv1a(std::uint64_t seed = 0) noexcept
+      : state_(kOffsetBasis ^ (seed * kPrime)) {}
+
+  constexpr void add_byte(std::uint8_t b) noexcept {
+    state_ = (state_ ^ b) * kPrime;
+  }
+
+  void add_bytes(const void* data, std::size_t n) noexcept {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) add_byte(bytes[i]);
+  }
+
+  /// Integral values (including bool and enums via add_enum) hash as their
+  /// 64-bit two's-complement image, so `int` and `int64_t` of equal value
+  /// hash identically.
+  template <std::integral T>
+  constexpr void add(T v) noexcept {
+    auto x = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    for (int i = 0; i < 8; ++i) {
+      add_byte(static_cast<std::uint8_t>(x & 0xFF));
+      x >>= 8;
+    }
+  }
+
+  /// Doubles hash by bit pattern (+0.0 and -0.0 differ; harmless for cache
+  /// keying — at worst a spurious miss, never a wrong hit).
+  constexpr void add(double v) noexcept {
+    add(std::bit_cast<std::uint64_t>(v));
+  }
+
+  void add(std::string_view s) noexcept {
+    add(s.size());  // length-prefix: "ab","c" must differ from "a","bc"
+    add_bytes(s.data(), s.size());
+  }
+  void add(const std::string& s) noexcept { add(std::string_view(s)); }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  constexpr void add_enum(E e) noexcept {
+    add(static_cast<std::underlying_type_t<E>>(e));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace clusmt

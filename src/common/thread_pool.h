@@ -6,9 +6,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace clusmt {
@@ -24,6 +28,24 @@ class ThreadPool {
 
   /// Enqueue a task. Tasks must not throw; exceptions terminate.
   void submit(std::function<void()> task);
+
+  /// Enqueue a callable and get its result (or exception) as a future.
+  /// This is the form the sweep engine schedules cells with: one flat
+  /// queue, completion observed per cell, no intermediate barriers.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  [[nodiscard]] std::future<R> submit_task(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    submit([task = std::move(task)] { (*task)(); });
+    return future;
+  }
+
+  /// Bulk submit: enqueues fn(i) for every i in [0, count) in one lock
+  /// acquisition and returns per-index futures (exceptions propagate
+  /// through the matching future).
+  [[nodiscard]] std::vector<std::future<void>> submit_bulk(
+      std::size_t count, std::function<void(std::size_t)> fn);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();

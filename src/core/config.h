@@ -1,4 +1,7 @@
 // Machine configuration (paper Table 1 defaults).
+//
+// Every field here feeds the RunCache content hash: when adding a knob,
+// also extend hash_config() in src/harness/run_key.cc.
 #pragma once
 
 #include <cstdint>

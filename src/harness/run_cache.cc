@@ -1,0 +1,80 @@
+#include "harness/run_cache.h"
+
+namespace clusmt::harness {
+
+RunCache& RunCache::instance() {
+  static RunCache cache;
+  return cache;
+}
+
+RunResult RunCache::get_or_run(const RunKey& key,
+                               const std::function<RunResult()>& compute) {
+  std::promise<RunResult> promise;
+  std::shared_future<RunResult> future;
+  bool owner = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = promise.get_future().share();
+      owner = true;
+    }
+    future = it->second;
+  }
+  if (!owner) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return future.get();
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    promise.set_value(compute());
+  } catch (...) {
+    // Cache the failure too: every requester of an invalid cell sees the
+    // same exception instead of half of them re-running it.
+    promise.set_exception(std::current_exception());
+  }
+  return future.get();
+}
+
+std::size_t RunCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void RunCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Wraps one trace as the single-thread workload its baseline runs as.
+trace::WorkloadSpec alone_workload(const trace::TraceSpec& trace) {
+  trace::WorkloadSpec alone;
+  alone.name = trace.id();
+  alone.threads.push_back(trace);
+  return alone;
+}
+
+}  // namespace
+
+RunKey baseline_key(const core::SimConfig& config,
+                    const trace::TraceSpec& trace, Cycle cycles,
+                    Cycle warmup) {
+  return run_key(baseline_config(config), alone_workload(trace), cycles,
+                 warmup);
+}
+
+RunResult baseline_run(RunCache& cache, const core::SimConfig& config,
+                       const trace::TraceSpec& trace, Cycle cycles,
+                       Cycle warmup) {
+  const core::SimConfig single = baseline_config(config);
+  const trace::WorkloadSpec alone = alone_workload(trace);
+  return cache.get_or_run(
+      run_key(single, alone, cycles, warmup),
+      [&] { return simulate_workload(single, alone, cycles, warmup); });
+}
+
+}  // namespace clusmt::harness

@@ -1,0 +1,72 @@
+// Process-wide, thread-safe memoisation of simulation runs, keyed by the
+// RunKey content hash. Identical cells — repeated grid points, shared
+// fairness baselines — are simulated exactly once per process no matter how
+// many Runners or sweeps request them; concurrent requesters of an
+// in-flight cell block on its future instead of recomputing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+
+#include "harness/run_key.h"
+#include "harness/runner.h"
+
+namespace clusmt::harness {
+
+class RunCache {
+ public:
+  RunCache() = default;
+  RunCache(const RunCache&) = delete;
+  RunCache& operator=(const RunCache&) = delete;
+
+  /// The process-wide instance every Runner and sweep shares by default.
+  [[nodiscard]] static RunCache& instance();
+
+  /// Returns the result for `key`, invoking `compute` at most once per key
+  /// process-wide. The first requester computes inline (on its own thread —
+  /// never by re-entering a pool queue, so cells may resolve dependencies
+  /// through the cache without deadlock); later requesters count a hit and
+  /// wait. A throwing `compute` propagates to every waiter.
+  [[nodiscard]] RunResult get_or_run(
+      const RunKey& key, const std::function<RunResult()>& compute);
+
+  /// Requests served from a finished or in-flight entry.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  /// Requests that had to compute.
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every finished entry and resets counters. Must not race with
+  /// in-flight get_or_run calls (intended for tests).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<RunKey, std::shared_future<RunResult>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Key of the single-thread fairness-baseline cell of `trace` on
+/// baseline_config(config). The ONE place baseline cells are keyed —
+/// Runner::single_thread_ipc and both sweep-engine baseline paths go
+/// through this pair, so their cache entries are shared by construction.
+[[nodiscard]] RunKey baseline_key(const core::SimConfig& config,
+                                  const trace::TraceSpec& trace, Cycle cycles,
+                                  Cycle warmup);
+
+/// Fetches (or runs exactly once) that baseline cell through `cache`.
+[[nodiscard]] RunResult baseline_run(RunCache& cache,
+                                     const core::SimConfig& config,
+                                     const trace::TraceSpec& trace,
+                                     Cycle cycles, Cycle warmup);
+
+}  // namespace clusmt::harness

@@ -1,13 +1,47 @@
 #include "harness/runner.h"
 
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/metrics.h"
+#include "harness/run_cache.h"
+#include "harness/run_key.h"
 
 namespace clusmt::harness {
+
+RunResult simulate_workload(const core::SimConfig& config,
+                            const trace::WorkloadSpec& spec, Cycle cycles,
+                            Cycle warmup) {
+  if (spec.threads.size() != static_cast<std::size_t>(config.num_threads)) {
+    std::ostringstream err;
+    err << "workload " << spec.name << " has " << spec.threads.size()
+        << " threads; config expects " << config.num_threads;
+    throw std::invalid_argument(err.str());
+  }
+  core::Simulator sim(config);
+  for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+    sim.attach_thread(static_cast<ThreadId>(t), spec.threads[t]);
+  }
+  if (warmup > 0) {
+    sim.run(warmup);
+    sim.reset_stats();
+  }
+  sim.run(cycles);
+
+  RunResult result;
+  result.workload = spec.name;
+  result.category = spec.category;
+  result.type = spec.type;
+  result.stats = sim.stats();
+  result.throughput = sim.stats().throughput();
+  for (int t = 0; t < config.num_threads; ++t) {
+    result.ipc[t] = sim.stats().ipc(t);
+  }
+  return result;
+}
 
 Runner::Runner(core::SimConfig base_config, Cycle cycles, Cycle warmup,
                std::size_t host_threads)
@@ -17,32 +51,7 @@ Runner::Runner(core::SimConfig base_config, Cycle cycles, Cycle warmup,
       host_threads_(host_threads) {}
 
 RunResult Runner::run_workload(const trace::WorkloadSpec& spec) const {
-  if (spec.threads.size() != static_cast<std::size_t>(config_.num_threads)) {
-    std::ostringstream err;
-    err << "workload " << spec.name << " has " << spec.threads.size()
-        << " threads; config expects " << config_.num_threads;
-    throw std::invalid_argument(err.str());
-  }
-  core::Simulator sim(config_);
-  for (std::size_t t = 0; t < spec.threads.size(); ++t) {
-    sim.attach_thread(static_cast<ThreadId>(t), spec.threads[t]);
-  }
-  if (warmup_ > 0) {
-    sim.run(warmup_);
-    sim.reset_stats();
-  }
-  sim.run(cycles_);
-
-  RunResult result;
-  result.workload = spec.name;
-  result.category = spec.category;
-  result.type = spec.type;
-  result.stats = sim.stats();
-  result.throughput = sim.stats().throughput();
-  for (int t = 0; t < config_.num_threads; ++t) {
-    result.ipc[t] = sim.stats().ipc(t);
-  }
-  return result;
+  return simulate_workload(config_, spec, cycles_, warmup_);
 }
 
 std::vector<RunResult> Runner::run_suite(
@@ -56,29 +65,8 @@ std::vector<RunResult> Runner::run_suite(
 }
 
 double Runner::single_thread_ipc(const trace::TraceSpec& spec) const {
-  {
-    std::lock_guard lock(cache_mutex_);
-    const auto it = single_ipc_cache_.find(spec.id());
-    if (it != single_ipc_cache_.end()) return it->second;
-  }
-
-  core::SimConfig single = config_;
-  single.num_threads = 1;
-  // The baseline machine runs the scheme-independent Icount front end: with
-  // one thread no resource-assignment decision is exercised.
-  single.policy = policy::PolicyKind::kIcount;
-  core::Simulator sim(single);
-  sim.attach_thread(0, spec);
-  if (warmup_ > 0) {
-    sim.run(warmup_);
-    sim.reset_stats();
-  }
-  sim.run(cycles_);
-  const double ipc = sim.stats().ipc(0);
-
-  std::lock_guard lock(cache_mutex_);
-  single_ipc_cache_.emplace(spec.id(), ipc);
-  return ipc;
+  return baseline_run(RunCache::instance(), config_, spec, cycles_, warmup_)
+      .ipc[0];
 }
 
 double Runner::fairness_of(const RunResult& result,
@@ -94,15 +82,16 @@ double Runner::fairness_of(const RunResult& result,
 
 std::vector<RunResult> Runner::run_suite_with_fairness(
     const std::vector<trace::WorkloadSpec>& suite) const {
-  // Warm the baseline cache in parallel first (unique traces only), then
+  // Warm the baseline cache in parallel first (unique traces only — by
+  // content, so same-name-different-content traces each get a run), then
   // run the SMT configurations.
   std::vector<const trace::TraceSpec*> unique;
   {
-    std::map<std::string, const trace::TraceSpec*> seen;
+    std::map<RunKey, const trace::TraceSpec*> seen;
     for (const auto& w : suite) {
-      for (const auto& t : w.threads) seen.emplace(t.id(), &t);
+      for (const auto& t : w.threads) seen.emplace(trace_content_key(t), &t);
     }
-    for (const auto& [id, ptr] : seen) unique.push_back(ptr);
+    for (const auto& [key, ptr] : seen) unique.push_back(ptr);
   }
   parallel_for(
       unique.size(),

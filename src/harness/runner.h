@@ -1,11 +1,14 @@
 // Experiment runner: executes workloads under a machine configuration and
-// scheme, fanning independent simulations across host cores, and caches
-// single-thread baseline IPCs for the fairness metric.
+// scheme, fanning independent simulations across host cores. Single-thread
+// fairness baselines go through the process-wide RunCache, keyed by full
+// trace *content* (harness/run_key.h) — never by workload name.
+//
+// For grid-shaped experiments (scheme × config × suite) prefer the sweep
+// engine in harness/sweep.h, which schedules every cell of the whole grid
+// on one queue and shares the RunCache across grid points.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,14 @@ struct RunResult {
   double fairness = 0.0;
 };
 
+/// Simulates one workload on `config` for `warmup` + `cycles` cycles and
+/// collects the per-run metrics. Deterministic in its arguments alone (the
+/// simulator draws all randomness from the workload's trace seeds), so the
+/// result is cacheable by content hash and independent of host scheduling.
+[[nodiscard]] RunResult simulate_workload(const core::SimConfig& config,
+                                          const trace::WorkloadSpec& spec,
+                                          Cycle cycles, Cycle warmup);
+
 class Runner {
  public:
   /// `cycles`: measured cycles per run; `warmup`: cycles simulated before
@@ -53,7 +64,10 @@ class Runner {
       const std::vector<trace::WorkloadSpec>& suite) const;
 
   /// Single-thread baseline IPC of a trace on the same machine with the
-  /// whole back-end to itself (cached; thread-safe).
+  /// whole back-end to itself. Served from the process-wide RunCache keyed
+  /// by trace content, so distinct traces that share a display name never
+  /// collide, and identical baselines are simulated once per process even
+  /// across Runner instances (thread-safe).
   [[nodiscard]] double single_thread_ipc(const trace::TraceSpec& spec) const;
 
   /// Computes the fairness metric for a finished run (triggers baseline
@@ -70,9 +84,6 @@ class Runner {
   Cycle cycles_;
   Cycle warmup_;
   std::size_t host_threads_;
-
-  mutable std::mutex cache_mutex_;
-  mutable std::map<std::string, double> single_ipc_cache_;
 };
 
 /// Arithmetic mean of `metric` over the workloads of each category, in the

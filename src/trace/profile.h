@@ -23,7 +23,9 @@ namespace clusmt::trace {
 enum class TraceKind : std::uint8_t { kIlp = 0, kMem = 1 };
 
 /// All knobs of the synthetic generator. Fractions are of non-branch µops
-/// and must sum to 1 (validated by `validate()`).
+/// and must sum to 1 (validated by `validate()`). Every knob feeds the
+/// RunCache content hash: when adding one, also extend hash_trace() in
+/// src/harness/run_key.cc.
 struct TraceProfile {
   std::string name;
 

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -183,6 +186,37 @@ TEST(Csv, QuotesSpecialCharacters) {
   EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
 }
 
+TEST(Csv, JsonKeepsColumnOrderAndNumberTyping) {
+  CsvWriter csv({"name", "value"});
+  csv.add_row({"alpha", "1.500"});
+  csv.add_row({"be\"ta", "12%"});
+  const std::string out = csv.to_json();
+  // Keys in header order; numeric cells bare, non-numeric cells quoted.
+  EXPECT_NE(out.find("{\"name\": \"alpha\", \"value\": 1.500}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"name\": \"be\\\"ta\", \"value\": \"12%\"}"),
+            std::string::npos);
+}
+
+TEST(Csv, JsonQuotesTokensStrtodWouldAccept) {
+  // strtod consumes these fully, but they are not JSON numbers — they must
+  // be emitted as strings or the document is unparseable.
+  CsvWriter csv({"v"});
+  for (const char* cell : {"nan", "inf", "-inf", "0x1A", " 1", "1.", "017"}) {
+    csv.add_row({cell});
+  }
+  csv.add_row({"-12.5e3"});  // and this one IS a JSON number
+  const std::string out = csv.to_json();
+  EXPECT_NE(out.find("{\"v\": \"nan\"}"), std::string::npos);
+  EXPECT_NE(out.find("{\"v\": \"inf\"}"), std::string::npos);
+  EXPECT_NE(out.find("{\"v\": \"-inf\"}"), std::string::npos);
+  EXPECT_NE(out.find("{\"v\": \"0x1A\"}"), std::string::npos);
+  EXPECT_NE(out.find("{\"v\": \" 1\"}"), std::string::npos);
+  EXPECT_NE(out.find("{\"v\": \"1.\"}"), std::string::npos);
+  EXPECT_NE(out.find("{\"v\": \"017\"}"), std::string::npos);
+  EXPECT_NE(out.find("{\"v\": -12.5e3}"), std::string::npos);
+}
+
 TEST(ThreadPool, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
@@ -191,6 +225,41 @@ TEST(ThreadPool, RunsAllTasks) {
   }
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitTaskReturnsValue) {
+  ThreadPool pool(2);
+  auto doubled = pool.submit_task([] { return 21 * 2; });
+  auto text = pool.submit_task([] { return std::string("ok"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitTaskPropagatesException) {
+  ThreadPool pool(2);
+  auto failing = pool.submit_task(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitBulkCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  auto futures =
+      pool.submit_bulk(hits.size(), [&](std::size_t i) { hits[i]++; });
+  ASSERT_EQ(futures.size(), hits.size());
+  for (auto& f : futures) f.get();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitBulkReportsPerIndexFailure) {
+  ThreadPool pool(2);
+  auto futures = pool.submit_bulk(3, [](std::size_t i) {
+    if (i == 1) throw std::runtime_error("index 1");
+  });
+  EXPECT_NO_THROW(futures[0].get());
+  EXPECT_THROW(futures[1].get(), std::runtime_error);
+  EXPECT_NO_THROW(futures[2].get());
 }
 
 TEST(ParallelFor, CoversAllIndices) {

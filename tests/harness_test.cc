@@ -54,6 +54,32 @@ TEST(Runner, SingleThreadIpcCached) {
   EXPECT_GT(first, 0.0);
 }
 
+// Regression: the baseline cache used to key by workload *name*, so two
+// distinct traces sharing a name silently served one trace's IPC for both.
+// Content keying must give each its own baseline.
+TEST(Runner, SingleThreadIpcKeyedByContentNotName) {
+  const auto suite = trace::build_quick_suite(1, 1, 1);
+  Runner runner(paper_baseline(), 3000, 1000);
+
+  trace::TraceSpec ilp = suite[0].threads[0];
+  trace::TraceSpec mem = ilp;  // same display name...
+  mem.seed ^= 0x9e3779b97f4a7c15ull;
+  mem.profile.dep_geo_p = 0.9;  // ...but a very different program
+  mem.profile.chase_fraction = 0.3;
+  ASSERT_EQ(ilp.id(), mem.id());
+
+  const double ipc_ilp = runner.single_thread_ipc(ilp);
+  const double ipc_mem = runner.single_thread_ipc(mem);
+  EXPECT_GT(ipc_ilp, 0.0);
+  EXPECT_GT(ipc_mem, 0.0);
+  EXPECT_NE(ipc_ilp, ipc_mem);
+
+  // And identical content under a different name shares the cached run.
+  trace::TraceSpec alias = ilp;
+  alias.profile.name = "alias-of-" + ilp.id();
+  EXPECT_DOUBLE_EQ(runner.single_thread_ipc(alias), ipc_ilp);
+}
+
 TEST(Runner, FairnessInUnitInterval) {
   const auto suite = trace::build_quick_suite(3, 1, 1);
   Runner runner(paper_baseline(), 6000, 2000);
