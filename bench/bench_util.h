@@ -15,9 +15,14 @@
 //   --csv PATH     also write the table as CSV
 //   --json PATH    also write the table as JSON
 //   --jobs N       host threads (default: all cores)
+//   --cache-dir D  persist finished runs under D and reuse them across
+//                  invocations (falls back to $CLUSMT_CACHE_DIR)
+//   --golden-emit PATH  also write the table as golden JSON (the format
+//                  tools/golden_diff compares; see bench/golden/)
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +46,8 @@ struct BenchOptions {
   bool list = false;
   std::string csv_path;
   std::string json_path;
+  std::string golden_path;
+  std::string cache_dir;
   std::size_t jobs = 0;
 
   static BenchOptions parse(int argc, char** argv, Cycle default_cycles,
@@ -59,7 +66,17 @@ struct BenchOptions {
     opt.list = args.get_bool("list", false);
     opt.csv_path = args.get_string("csv", "");
     opt.json_path = args.get_string("json", "");
+    opt.golden_path = args.get_string("golden-emit", "");
     opt.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+    opt.cache_dir = args.get_string("cache-dir", "");
+    if (opt.cache_dir.empty()) {
+      if (const char* env = std::getenv("CLUSMT_CACHE_DIR")) {
+        opt.cache_dir = env;
+      }
+    }
+    // Attach the disk tier here so every bench gets --cache-dir for free:
+    // all simulations funnel through the process-wide RunCache.
+    harness::RunCache::instance().set_store_dir(opt.cache_dir);
     return opt;
   }
 
@@ -124,25 +141,29 @@ struct BenchOptions {
   return axis;
 }
 
-/// Mirrors a finished table to --csv/--json when given, with uniform
-/// success/failure diagnostics. Every bench that renders a custom TableDoc
-/// calls this instead of hand-rolling the write block.
+/// Mirrors a finished table to --csv/--json/--golden-emit when given, with
+/// uniform success/failure diagnostics. Every bench that renders a custom
+/// TableDoc calls this instead of hand-rolling the write block. All writes
+/// are attempted; any failure then exits(1) so callers (notably
+/// tools/run_golden_suite.sh under set -e) never mistake a failed
+/// regeneration for a refreshed artifact.
 inline void emit_doc(const harness::TableDoc& doc, const BenchOptions& opt) {
-  if (!opt.csv_path.empty()) {
-    if (doc.write_csv(opt.csv_path)) {
-      std::printf("CSV written to %s\n", opt.csv_path.c_str());
+  bool failed = false;
+  const auto write = [&](const std::string& path, bool as_json,
+                         const char* what) {
+    if (path.empty()) return;
+    if (as_json ? doc.write_json(path) : doc.write_csv(path)) {
+      std::printf("%s written to %s\n", what, path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write CSV %s\n", opt.csv_path.c_str());
+      std::fprintf(stderr, "error: failed to write %s %s\n", what,
+                   path.c_str());
+      failed = true;
     }
-  }
-  if (!opt.json_path.empty()) {
-    if (doc.write_json(opt.json_path)) {
-      std::printf("JSON written to %s\n", opt.json_path.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write JSON %s\n",
-                   opt.json_path.c_str());
-    }
-  }
+  };
+  write(opt.csv_path, false, "CSV");
+  write(opt.json_path, true, "JSON");
+  write(opt.golden_path, true, "golden JSON");
+  if (failed) std::exit(1);
 }
 
 /// Prints the per-category table (and mirrors it to --csv/--json when

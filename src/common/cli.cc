@@ -1,8 +1,25 @@
 #include "common/cli.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace clusmt {
+
+namespace {
+
+/// A malformed flag value is a fatal usage error: silently truncating
+/// "--cycles=10k" to 10 cycles (what a bare strtoll did) produces a
+/// plausible-looking table from the wrong experiment.
+[[noreturn]] void die_bad_value(const std::string& name,
+                                const std::string& value,
+                                const char* expected) {
+  std::fprintf(stderr, "error: --%s expects %s, got '%s'\n", name.c_str(),
+               expected, value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -40,13 +57,29 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t value = std::strtoll(begin, &end, 10);
+  // The whole token must parse: "10k", "", and a bare boolean "--cycles"
+  // (value "true") are errors, not 10/0 — as is an out-of-range literal.
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    die_bad_value(name, it->second, "an integer");
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    die_bad_value(name, it->second, "a number");
+  }
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -17,6 +17,9 @@ class CliArgs {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
+  /// Numeric getters require the flag's whole value to parse (leading
+  /// whitespace aside): a malformed value like "--cycles=10k" prints a
+  /// usage error and exits(2) instead of silently truncating to 10.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,

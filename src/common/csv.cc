@@ -1,9 +1,9 @@
 #include "common/csv.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "common/fsio.h"
 
 namespace clusmt {
 
@@ -102,11 +102,17 @@ std::string CsvWriter::to_json() const {
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     out << "  {";
     const auto& row = rows_[r];
-    const std::size_t cols = std::min(header_.size(), row.size());
-    for (std::size_t c = 0; c < cols; ++c) {
+    // Every header key appears in every object (the stable-column
+    // contract); a short row pads its missing trailing cells with null
+    // instead of silently dropping the keys.
+    for (std::size_t c = 0; c < header_.size(); ++c) {
       if (c) out << ", ";
-      out << json_escape(header_[c]) << ": "
-          << (is_number(row[c]) ? row[c] : json_escape(row[c]));
+      out << json_escape(header_[c]) << ": ";
+      if (c >= row.size()) {
+        out << "null";
+      } else {
+        out << (is_number(row[c]) ? row[c] : json_escape(row[c]));
+      }
     }
     out << (r + 1 < rows_.size() ? "},\n" : "}\n");
   }
@@ -115,17 +121,11 @@ std::string CsvWriter::to_json() const {
 }
 
 bool CsvWriter::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << to_string();
-  return static_cast<bool>(out);
+  return write_file_atomic(path, to_string());
 }
 
 bool CsvWriter::write_json_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << to_json();
-  return static_cast<bool>(out);
+  return write_file_atomic(path, to_json());
 }
 
 }  // namespace clusmt

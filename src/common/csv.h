@@ -17,15 +17,18 @@ class CsvWriter {
   [[nodiscard]] std::string to_string() const;
 
   /// Serialises the rows as a JSON array of objects. Keys follow header
-  /// order (stable column order); cells that parse fully as numbers are
-  /// emitted unquoted, everything else as JSON strings.
+  /// order (stable column order) and every object carries every header key:
+  /// a row shorter than the header pads the missing trailing columns with
+  /// null. Cells that match the strict JSON number grammar are emitted
+  /// unquoted, everything else ("nan", "inf", "12%") as JSON strings.
   [[nodiscard]] std::string to_json() const;
 
-  /// Writes to a file; returns false (and leaves no partial file
-  /// guarantees) on I/O failure.
+  /// Writes the CSV atomically (write-temp-then-rename via
+  /// common/fsio.h): on failure the previous file survives untouched, and
+  /// a killed process never leaves a truncated document behind.
   bool write_file(const std::string& path) const;
 
-  /// Writes the to_json() document to a file.
+  /// Writes the to_json() document, with the same atomicity guarantee.
   bool write_json_file(const std::string& path) const;
 
   [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }

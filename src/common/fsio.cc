@@ -1,0 +1,41 @@
+#include "common/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+namespace clusmt {
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  // Unique per process *and* per call, so concurrent writers targeting the
+  // same destination never share a temp file; the final rename picks a
+  // last-writer-wins but always-complete version.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  bool ok = true;
+  const char* data = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      ok = false;
+      break;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+}  // namespace clusmt

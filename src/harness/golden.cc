@@ -1,0 +1,287 @@
+#include "harness/golden.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace clusmt::harness {
+
+namespace {
+
+/// Recursive-descent parser for the subset of JSON the tables use: an
+/// array of flat objects whose values are strings, numbers, or null.
+/// Nested containers are rejected — a golden file is a table, not a tree.
+class TableParser {
+ public:
+  explicit TableParser(std::string_view text) : text_(text) {}
+
+  GoldenTable parse() {
+    GoldenTable table;
+    skip_ws();
+    expect('[');
+    skip_ws();
+    if (!eat(']')) {
+      do {
+        table.rows.push_back(parse_row());
+        skip_ws();
+      } while (eat(','));
+      expect(']');
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after table");
+    return table;
+  }
+
+ private:
+  GoldenRow parse_row() {
+    GoldenRow row;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (!eat('}')) {
+      do {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        row.emplace_back(std::move(key), parse_value());
+        skip_ws();
+      } while (eat(','));
+      expect('}');
+    }
+    return row;
+  }
+
+  GoldenValue parse_value() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    const char c = text_[pos_];
+    if (c == '"') return GoldenValue::of_string(parse_string());
+    if (c == 'n') {
+      expect_word("null");
+      return GoldenValue::null();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("expected a string, number, or null value");
+  }
+
+  GoldenValue parse_number() {
+    const std::size_t start = pos_;
+    eat('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return GoldenValue::of_number(v);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // Tables only \u-escape control bytes (< 0x20); decode the
+          // low byte and reject anything beyond Latin-1.
+          if (text_.size() - pos_ < 4) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          if (code > 0xFF) fail("unsupported \\u escape above 0xFF");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) {
+      char msg[48];
+      std::snprintf(msg, sizeof msg, "expected '%c'", c);
+      fail(msg);
+    }
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("malformed literal");
+    pos_ += word.size();
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("golden JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string value_text(const GoldenValue& v) {
+  switch (v.kind) {
+    case GoldenValue::Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v.number);
+      return buf;
+    }
+    case GoldenValue::Kind::kString: return "\"" + v.text + "\"";
+    case GoldenValue::Kind::kNull: return "null";
+  }
+  return "?";
+}
+
+std::string row_key_of(const GoldenRow& row) {
+  if (row.empty()) return "";
+  return value_text(row.front().second);
+}
+
+}  // namespace
+
+GoldenTable parse_json_table(std::string_view json) {
+  return TableParser(json).parse();
+}
+
+GoldenDiffResult diff_golden_tables(const GoldenTable& golden,
+                                    const GoldenTable& fresh,
+                                    const GoldenTolerance& tol) {
+  GoldenDiffResult out;
+  auto mismatch = [&](std::size_t r, const std::string& metric,
+                      const std::string& g, const std::string& f,
+                      double rel) {
+    const std::string key =
+        r < golden.rows.size() ? row_key_of(golden.rows[r]) : "";
+    out.mismatches.push_back({r, key, metric, g, f, rel});
+  };
+
+  if (golden.rows.size() != fresh.rows.size()) {
+    mismatch(0, "<row count>", std::to_string(golden.rows.size()),
+             std::to_string(fresh.rows.size()), 0.0);
+    return out;  // index-aligned comparison is meaningless past this point
+  }
+
+  for (std::size_t r = 0; r < golden.rows.size(); ++r) {
+    const GoldenRow& grow = golden.rows[r];
+    const GoldenRow& frow = fresh.rows[r];
+    if (grow.size() != frow.size()) {
+      mismatch(r, "<column count>", std::to_string(grow.size()),
+               std::to_string(frow.size()), 0.0);
+      continue;
+    }
+    for (std::size_t c = 0; c < grow.size(); ++c) {
+      const auto& [gkey, gval] = grow[c];
+      const auto& [fkey, fval] = frow[c];
+      if (gkey != fkey) {
+        mismatch(r, gkey, "metric '" + gkey + "'", "metric '" + fkey + "'",
+                 0.0);
+        continue;
+      }
+      ++out.metrics_compared;
+      if (gval.kind != fval.kind) {
+        mismatch(r, gkey, value_text(gval), value_text(fval), 0.0);
+        continue;
+      }
+      switch (gval.kind) {
+        case GoldenValue::Kind::kNumber: {
+          const double g = gval.number;
+          const double f = fval.number;
+          const double scale = std::max(std::fabs(g), std::fabs(f));
+          const double abs_err = std::fabs(g - f);
+          const double rel = scale == 0.0 ? 0.0 : abs_err / scale;
+          if (abs_err > tol.atol + tol.rtol_for(gkey) * scale) {
+            mismatch(r, gkey, value_text(gval), value_text(fval), rel);
+          }
+          break;
+        }
+        case GoldenValue::Kind::kString:
+          if (gval.text != fval.text) {
+            mismatch(r, gkey, value_text(gval), value_text(fval), 0.0);
+          }
+          break;
+        case GoldenValue::Kind::kNull: break;  // null == null
+      }
+    }
+  }
+  return out;
+}
+
+std::string GoldenDiffResult::report() const {
+  std::ostringstream out;
+  if (pass()) {
+    out << "OK: " << metrics_compared << " metrics within tolerance\n";
+    return out.str();
+  }
+  for (const GoldenMismatch& m : mismatches) {
+    out << "FAIL row " << m.row;
+    if (!m.row_key.empty()) out << " (" << m.row_key << ")";
+    out << " metric '" << m.metric << "': golden " << m.golden << ", fresh "
+        << m.fresh;
+    if (m.rel_error > 0.0) {
+      char rel[32];
+      std::snprintf(rel, sizeof rel, "%.3g", m.rel_error);
+      out << " (rel err " << rel << ")";
+    }
+    out << "\n";
+  }
+  out << mismatches.size() << " metric(s) out of tolerance ("
+      << metrics_compared << " compared)\n";
+  return out.str();
+}
+
+}  // namespace clusmt::harness

@@ -1,0 +1,89 @@
+// Golden-numbers regression gate: parse the JSON tables the benches emit
+// (CsvWriter::to_json — a flat array of objects with string/number/null
+// values) and diff a freshly generated table against a checked-in golden
+// with per-metric tolerances. tools/golden_diff is the CLI front end; CI
+// runs it over bench/golden/ on every PR so a scheme-number drift fails
+// the build with the offending metric named instead of slipping past by
+// eyeball.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clusmt::harness {
+
+/// One parsed JSON cell. Exactly one of the shapes is active: a number, a
+/// null, or a string (anything the table quoted — including "nan"/"12%").
+struct GoldenValue {
+  enum class Kind { kNumber, kString, kNull } kind = Kind::kNull;
+  double number = 0.0;
+  std::string text;
+
+  [[nodiscard]] static GoldenValue of_number(double v) {
+    return {Kind::kNumber, v, {}};
+  }
+  [[nodiscard]] static GoldenValue of_string(std::string s) {
+    return {Kind::kString, 0.0, std::move(s)};
+  }
+  [[nodiscard]] static GoldenValue null() { return {}; }
+};
+
+/// One table row: (metric name, value) pairs in document order.
+using GoldenRow = std::vector<std::pair<std::string, GoldenValue>>;
+
+struct GoldenTable {
+  std::vector<GoldenRow> rows;
+};
+
+/// Parses a CsvWriter::to_json-shaped document (array of flat objects).
+/// Throws std::runtime_error with a position-tagged message on anything
+/// malformed — a truncated or hand-mangled golden must fail loudly, not
+/// diff as empty.
+[[nodiscard]] GoldenTable parse_json_table(std::string_view json);
+
+struct GoldenTolerance {
+  /// Relative tolerance applied to numeric metrics without an override.
+  double rtol = 1e-9;
+  /// Absolute floor so metrics near zero don't demand infinite precision.
+  double atol = 1e-12;
+  /// Per-metric relative overrides, keyed by column name.
+  std::map<std::string, double> per_metric;
+
+  [[nodiscard]] double rtol_for(const std::string& metric) const {
+    const auto it = per_metric.find(metric);
+    return it == per_metric.end() ? rtol : it->second;
+  }
+};
+
+/// One out-of-tolerance (or structurally mismatched) metric.
+struct GoldenMismatch {
+  std::size_t row = 0;        ///< row index in the golden table
+  std::string row_key;        ///< first column's value, for readability
+  std::string metric;         ///< offending column name
+  std::string golden;         ///< golden value as text
+  std::string fresh;          ///< fresh value as text
+  double rel_error = 0.0;     ///< relative error (0 for structural issues)
+};
+
+struct GoldenDiffResult {
+  std::vector<GoldenMismatch> mismatches;
+  std::size_t metrics_compared = 0;
+
+  [[nodiscard]] bool pass() const noexcept { return mismatches.empty(); }
+  /// Human-readable per-metric report (one line per mismatch; "OK" line
+  /// when passing) — what the CI job prints.
+  [[nodiscard]] std::string report() const;
+};
+
+/// Compares `fresh` against `golden` row by row (tables are ordered):
+/// numbers must agree within |g-f| <= atol + rtol(metric)*max(|g|,|f|),
+/// strings and nulls must match exactly, and any structural drift — row
+/// count, metric set, value kind — is itself a mismatch.
+[[nodiscard]] GoldenDiffResult diff_golden_tables(const GoldenTable& golden,
+                                                  const GoldenTable& fresh,
+                                                  const GoldenTolerance& tol);
+
+}  // namespace clusmt::harness

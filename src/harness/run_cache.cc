@@ -11,6 +11,7 @@ RunResult RunCache::get_or_run(const RunKey& key,
                                const std::function<RunResult()>& compute) {
   std::promise<RunResult> promise;
   std::shared_future<RunResult> future;
+  std::shared_ptr<const RunStore> store;
   bool owner = false;
   {
     std::lock_guard lock(mutex_);
@@ -18,6 +19,7 @@ RunResult RunCache::get_or_run(const RunKey& key,
     if (inserted) {
       it->second = promise.get_future().share();
       owner = true;
+      store = store_;
     }
     future = it->second;
   }
@@ -25,15 +27,39 @@ RunResult RunCache::get_or_run(const RunKey& key,
     hits_.fetch_add(1, std::memory_order_relaxed);
     return future.get();
   }
+  // Disk tier before compute: a record persisted by an earlier process (or
+  // a concurrent one — records are atomic, so a partial write is never
+  // visible) satisfies the cell without simulating.
+  if (store != nullptr) {
+    if (std::optional<RunResult> loaded = store->load(key)) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(*std::move(loaded));
+      return future.get();
+    }
+  }
   misses_.fetch_add(1, std::memory_order_relaxed);
   try {
-    promise.set_value(compute());
+    RunResult result = compute();
+    // Best-effort spill: a full disk or read-only cache dir degrades to
+    // process-local caching, it does not fail the run.
+    if (store != nullptr) (void)store->save(key, result);
+    promise.set_value(std::move(result));
   } catch (...) {
     // Cache the failure too: every requester of an invalid cell sees the
     // same exception instead of half of them re-running it.
     promise.set_exception(std::current_exception());
   }
   return future.get();
+}
+
+void RunCache::set_store_dir(const std::string& dir) {
+  std::lock_guard lock(mutex_);
+  store_ = dir.empty() ? nullptr : std::make_shared<const RunStore>(dir);
+}
+
+std::string RunCache::store_dir() const {
+  std::lock_guard lock(mutex_);
+  return store_ == nullptr ? std::string() : store_->dir();
 }
 
 std::size_t RunCache::size() const {
@@ -46,6 +72,7 @@ void RunCache::clear() {
   entries_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  disk_hits_.store(0, std::memory_order_relaxed);
 }
 
 namespace {

@@ -3,6 +3,11 @@
 // fairness baselines — are simulated exactly once per process no matter how
 // many Runners or sweeps request them; concurrent requesters of an
 // in-flight cell block on its future instead of recomputing.
+//
+// Attaching a RunStore (set_store_dir) adds a disk tier: a memory miss
+// first tries to load the cell's persisted record, and freshly computed
+// cells are spilled back, so identical cells are simulated at most once
+// across *processes* sharing the cache directory.
 #pragma once
 
 #include <atomic>
@@ -10,9 +15,12 @@
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 
 #include "harness/run_key.h"
+#include "harness/run_store.h"
 #include "harness/runner.h"
 
 namespace clusmt::harness {
@@ -27,32 +35,47 @@ class RunCache {
   [[nodiscard]] static RunCache& instance();
 
   /// Returns the result for `key`, invoking `compute` at most once per key
-  /// process-wide. The first requester computes inline (on its own thread —
-  /// never by re-entering a pool queue, so cells may resolve dependencies
-  /// through the cache without deadlock); later requesters count a hit and
-  /// wait. A throwing `compute` propagates to every waiter.
+  /// process-wide. The first requester loads the cell from the attached
+  /// store (if any) or computes inline (on its own thread — never by
+  /// re-entering a pool queue, so cells may resolve dependencies through
+  /// the cache without deadlock), spilling a fresh compute back to the
+  /// store; later requesters count a hit and wait. A throwing `compute`
+  /// propagates to every waiter.
   [[nodiscard]] RunResult get_or_run(
       const RunKey& key, const std::function<RunResult()>& compute);
 
-  /// Requests served from a finished or in-flight entry.
+  /// Attaches (or, with an empty dir, detaches) the disk tier. Safe to call
+  /// concurrently with get_or_run; in-flight owners keep the store they
+  /// started with.
+  void set_store_dir(const std::string& dir);
+  [[nodiscard]] std::string store_dir() const;
+
+  /// Requests served from a finished or in-flight in-memory entry.
   [[nodiscard]] std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
-  /// Requests that had to compute.
+  /// Requests that invoked `compute` (actual simulations).
   [[nodiscard]] std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Requests served by loading a persisted record instead of computing.
+  [[nodiscard]] std::uint64_t disk_hits() const noexcept {
+    return disk_hits_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t size() const;
 
-  /// Drops every finished entry and resets counters. Must not race with
-  /// in-flight get_or_run calls (intended for tests).
+  /// Drops every finished in-memory entry and resets counters (the disk
+  /// tier is untouched). Must not race with in-flight get_or_run calls
+  /// (intended for tests).
   void clear();
 
  private:
   mutable std::mutex mutex_;
   std::map<RunKey, std::shared_future<RunResult>> entries_;
+  std::shared_ptr<const RunStore> store_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
 };
 
 /// Key of the single-thread fairness-baseline cell of `trace` on

@@ -1,0 +1,239 @@
+#include "harness/run_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/fsio.h"
+#include "common/hash.h"
+
+namespace clusmt::harness {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e524c43;  // "CLRN" little-endian
+
+// Fixed-width little-endian primitives; the record layout is platform
+// independent so a cache dir can be shared across hosts.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(char(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(char(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  [[nodiscard]] std::string take() && { return std::move(buf_); }
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    if (!take(4)) return 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t(std::uint8_t(data_[pos_ - 4 + i])) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    if (!take(8)) return 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t(std::uint8_t(data_[pos_ - 8 + i])) << (8 * i);
+    }
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!take(n)) return {};
+    return std::string(data_.substr(pos_ - n, n));
+  }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return ok_ && pos_ == data_.size();
+  }
+
+ private:
+  bool take(std::uint64_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// NOTE: keep these two in field-for-field lockstep, and bump
+// kRunStoreFormatVersion whenever RunResult or core::SimStats gains,
+// drops, or reorders a field — stale-format records must read as misses.
+void write_stats(ByteWriter& w, const core::SimStats& s) {
+  w.u64(s.cycles);
+  for (auto c : s.committed) w.u64(c);
+  w.u64(s.committed_copies);
+  w.u64(s.committed_branches);
+  w.u64(s.committed_loads);
+  w.u64(s.committed_stores);
+  w.u64(s.renamed_uops);
+  w.u64(s.copies_created);
+  w.u64(s.rename_cycles);
+  w.u64(s.rename_blocked_cycles);
+  w.u64(s.rename_block_iq);
+  w.u64(s.rename_block_rf);
+  w.u64(s.rename_block_rob);
+  w.u64(s.rename_block_mob);
+  w.u64(s.iq_pref_stall_events);
+  w.u64(s.non_preferred_dispatches);
+  w.u64(s.issued_uops);
+  w.u64(s.cycles_with_issue);
+  for (const auto& side : s.imbalance_events) {
+    for (auto e : side) w.u64(e);
+  }
+  w.u64(s.squashed_uops);
+  w.u64(s.branches_resolved);
+  w.u64(s.mispredicts_resolved);
+  w.u64(s.policy_flushes);
+  w.u64(s.load_l2_misses);
+  w.u64(s.store_l2_misses);
+  w.u64(s.load_forwards);
+}
+
+void read_stats(ByteReader& r, core::SimStats& s) {
+  s.cycles = r.u64();
+  for (auto& c : s.committed) c = r.u64();
+  s.committed_copies = r.u64();
+  s.committed_branches = r.u64();
+  s.committed_loads = r.u64();
+  s.committed_stores = r.u64();
+  s.renamed_uops = r.u64();
+  s.copies_created = r.u64();
+  s.rename_cycles = r.u64();
+  s.rename_blocked_cycles = r.u64();
+  s.rename_block_iq = r.u64();
+  s.rename_block_rf = r.u64();
+  s.rename_block_rob = r.u64();
+  s.rename_block_mob = r.u64();
+  s.iq_pref_stall_events = r.u64();
+  s.non_preferred_dispatches = r.u64();
+  s.issued_uops = r.u64();
+  s.cycles_with_issue = r.u64();
+  for (auto& side : s.imbalance_events) {
+    for (auto& e : side) e = r.u64();
+  }
+  s.squashed_uops = r.u64();
+  s.branches_resolved = r.u64();
+  s.mispredicts_resolved = r.u64();
+  s.policy_flushes = r.u64();
+  s.load_l2_misses = r.u64();
+  s.store_l2_misses = r.u64();
+  s.load_forwards = r.u64();
+}
+
+std::uint64_t checksum(std::string_view bytes) {
+  Fnv1a h(~0ull);  // distinct seed from the RunKey passes
+  h.add_bytes(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+}  // namespace
+
+std::string encode_run_record(const RunKey& key, const RunResult& result) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kRunStoreFormatVersion);
+  w.u64(key.hi);
+  w.u64(key.lo);
+  w.str(result.workload);
+  w.str(result.category);
+  w.str(result.type);
+  write_stats(w, result.stats);
+  for (double v : result.ipc) w.f64(v);
+  w.f64(result.throughput);
+  w.f64(result.fairness);
+  w.u64(checksum(w.bytes()));
+  return std::move(w).take();
+}
+
+std::optional<RunResult> decode_run_record(const RunKey& key,
+                                           std::string_view record) {
+  if (record.size() < sizeof(std::uint64_t)) return std::nullopt;
+  const std::string_view body =
+      record.substr(0, record.size() - sizeof(std::uint64_t));
+
+  ByteReader r(record);
+  if (r.u32() != kMagic) return std::nullopt;
+  if (r.u32() != kRunStoreFormatVersion) return std::nullopt;
+  if (r.u64() != key.hi || r.u64() != key.lo) return std::nullopt;
+
+  RunResult result;
+  result.workload = r.str();
+  result.category = r.str();
+  result.type = r.str();
+  read_stats(r, result.stats);
+  for (double& v : result.ipc) v = r.f64();
+  result.throughput = r.f64();
+  result.fairness = r.f64();
+  const std::uint64_t stored_sum = r.u64();
+  // The checksum covers everything before it; a flipped bit or a record cut
+  // short (string lengths can mask truncation) fails here.
+  if (!r.exhausted() || stored_sum != checksum(body)) return std::nullopt;
+  return result;
+}
+
+RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string RunStore::path_of(const RunKey& key) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "%02x/%016llx%016llx.run",
+                static_cast<unsigned>(key.hi >> 56),
+                static_cast<unsigned long long>(key.hi),
+                static_cast<unsigned long long>(key.lo));
+  return dir_ + "/" + name;
+}
+
+std::optional<RunResult> RunStore::load(const RunKey& key) const {
+  std::ifstream in(path_of(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string record((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return decode_run_record(key, record);
+}
+
+bool RunStore::save(const RunKey& key, const RunResult& result) const {
+  const std::string path = path_of(key);
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  if (ec) return false;
+  return write_file_atomic(path, encode_run_record(key, result));
+}
+
+}  // namespace clusmt::harness

@@ -1,0 +1,63 @@
+// Disk tier of the run cache: finished simulation cells serialized as
+// compact, versioned binary records under a cache directory, keyed by
+// their 128-bit RunKey. A record survives the process, so repeated bench
+// invocations (figure regeneration, CI golden runs) reuse each other's
+// simulations — and the record is the wire format for farming cells to
+// other processes/hosts.
+//
+// Layout: <dir>/<hi-byte-of-key>/<032-hex-key>.run, one cell per file,
+// written atomically (common/fsio.h) so concurrent writers and killed
+// processes never leave a partial record in place. Records carry a format
+// version, the full key, and a trailing checksum; load() treats any
+// mismatch — version bump, truncation, bit rot, foreign key — as a miss
+// and returns nothing, so corruption can only cost a recompute, never a
+// wrong result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "harness/run_key.h"
+#include "harness/runner.h"
+
+namespace clusmt::harness {
+
+/// Bump whenever the record layout changes — a field added to RunResult or
+/// core::SimStats, a string re-ordered, kMaxThreads resized. Old records
+/// then read as misses instead of deserializing garbage.
+inline constexpr std::uint32_t kRunStoreFormatVersion = 1;
+
+/// Serializes `result` (with its `key`) to a self-contained record.
+[[nodiscard]] std::string encode_run_record(const RunKey& key,
+                                            const RunResult& result);
+
+/// Decodes a record, validating magic, version, embedded key (must equal
+/// `key`), and checksum. Any failure yields nullopt.
+[[nodiscard]] std::optional<RunResult> decode_run_record(
+    const RunKey& key, std::string_view record);
+
+class RunStore {
+ public:
+  /// `dir` is created (with parents) on first save; a missing dir just
+  /// means every load misses.
+  explicit RunStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Record path of `key` under the store's directory.
+  [[nodiscard]] std::string path_of(const RunKey& key) const;
+
+  /// Reads the cell for `key`; nullopt when absent, unreadable, or the
+  /// record fails validation (never throws — a bad record is a miss).
+  [[nodiscard]] std::optional<RunResult> load(const RunKey& key) const;
+
+  /// Spills a finished cell. Best-effort: returns false on I/O failure
+  /// (read-only dir, disk full) and leaves any existing record intact.
+  bool save(const RunKey& key, const RunResult& result) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace clusmt::harness

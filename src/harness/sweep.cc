@@ -95,6 +95,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
   RunCache& cache = spec.cache != nullptr ? *spec.cache : RunCache::instance();
   const std::uint64_t hits_before = cache.hits();
   const std::uint64_t misses_before = cache.misses();
+  const std::uint64_t disk_hits_before = cache.disk_hits();
 
   const std::size_t num_points = out.points.size();
   const std::size_t num_workloads = out.suite.size();
@@ -185,12 +186,16 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   out.cache_hits = cache.hits() - hits_before;
   out.cache_misses = cache.misses() - misses_before;
+  out.cache_disk_hits = cache.disk_hits() - disk_hits_before;
   if (spec.progress) {
     std::fprintf(
-        stderr, "[sweep] %zu points x %zu workloads: %llu simulated, %llu cached\n",
+        stderr,
+        "[sweep] %zu points x %zu workloads: %llu simulated, %llu cached, "
+        "%llu loaded from disk\n",
         num_points, num_workloads,
         static_cast<unsigned long long>(out.cache_misses),
-        static_cast<unsigned long long>(out.cache_hits));
+        static_cast<unsigned long long>(out.cache_hits),
+        static_cast<unsigned long long>(out.cache_disk_hits));
   }
   return out;
 }

@@ -100,9 +100,12 @@ struct SweepResult {
   /// cells[p][w]: point p of `points`, workload w of `suite`.
   std::vector<std::vector<RunResult>> cells;
 
-  /// Cache traffic attributable to this sweep (delta over its run).
+  /// Cache traffic attributable to this sweep (delta over its run):
+  /// `cache_misses` cells were actually simulated, `cache_hits` served from
+  /// memory, `cache_disk_hits` loaded from a persisted record (--cache-dir).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_disk_hits = 0;
 
   /// Index of the point labelled `label`; throws std::out_of_range.
   [[nodiscard]] std::size_t point_index(const std::string& label) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -11,6 +13,7 @@
 
 #include "common/cli.h"
 #include "common/csv.h"
+#include "common/fsio.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -215,6 +218,95 @@ TEST(Csv, JsonQuotesTokensStrtodWouldAccept) {
   EXPECT_NE(out.find("{\"v\": \"1.\"}"), std::string::npos);
   EXPECT_NE(out.find("{\"v\": \"017\"}"), std::string::npos);
   EXPECT_NE(out.find("{\"v\": -12.5e3}"), std::string::npos);
+}
+
+TEST(Csv, JsonPadsShortRowsWithNull) {
+  // A short row must still carry every header key (the stable-column
+  // contract the golden gate diffs against), with null flagging the gap.
+  CsvWriter csv({"a", "b", "c"});
+  csv.add_row({"full", "1.0", "2.0"});
+  csv.add_row({"short"});
+  const std::string out = csv.to_json();
+  EXPECT_NE(out.find("{\"a\": \"full\", \"b\": 1.0, \"c\": 2.0}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"a\": \"short\", \"b\": null, \"c\": null}"),
+            std::string::npos);
+}
+
+TEST(Csv, WriteFilesAreAtomicAndComplete) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "clusmt_csv_test").string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/out.csv";
+
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"x", "1"});
+  ASSERT_TRUE(csv.write_file(path));
+  ASSERT_TRUE(csv.write_json_file(path + ".json"));
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, csv.to_string());
+
+  // No temp droppings, and a failed write reports rather than truncates.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(e.path().filename().string().find(".tmp."), std::string::npos);
+  }
+  EXPECT_EQ(files, 2u);
+  EXPECT_FALSE(csv.write_file(dir + "/missing/sub/dir.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fsio, AtomicWriteReplacesWholeFile) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "clusmt_fsio_test").string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/data.txt";
+  ASSERT_TRUE(write_file_atomic(path, "first version"));
+  ASSERT_TRUE(write_file_atomic(path, "second"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second");
+  EXPECT_FALSE(write_file_atomic(dir + "/no/such/dir.txt", "x"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliDeath, MalformedIntegerExitsWithError) {
+  // "--cycles=10k" must not silently run 10 cycles.
+  const char* argv[] = {"prog", "--cycles=10k"};
+  const CliArgs args(2, argv);
+  EXPECT_EXIT((void)args.get_int("cycles", 0),
+              ::testing::ExitedWithCode(2), "--cycles expects an integer");
+}
+
+TEST(CliDeath, BareFlagAskedAsIntegerExitsWithError) {
+  // "--jobs" with no value parses as boolean "true"; reading it as a
+  // number must not silently become 0.
+  const char* argv[] = {"prog", "--jobs"};
+  const CliArgs args(2, argv);
+  EXPECT_EXIT((void)args.get_int("jobs", 4), ::testing::ExitedWithCode(2),
+              "--jobs expects an integer");
+}
+
+TEST(CliDeath, MalformedDoubleExitsWithError) {
+  const char* argv[] = {"prog", "--frac=abc"};
+  const CliArgs args(2, argv);
+  EXPECT_EXIT((void)args.get_double("frac", 0.5),
+              ::testing::ExitedWithCode(2), "--frac expects a number");
+}
+
+TEST(Cli, WellFormedNumbersStillParse) {
+  const char* argv[] = {"prog", "--n=-42", "--x=2.5e-3", "--big=123456789"};
+  const CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int("n", 0), -42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 2.5e-3);
+  EXPECT_EQ(args.get_int("big", 0), 123456789);
+  EXPECT_DOUBLE_EQ(args.get_double("n", 0.0), -42.0);  // int as double: fine
+  EXPECT_EQ(args.get_int("absent", 7), 7);
 }
 
 TEST(ThreadPool, RunsAllTasks) {

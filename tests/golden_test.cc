@@ -1,0 +1,163 @@
+// Golden-numbers gate: JSON table parsing (the CsvWriter::to_json shape)
+// and the tolerance comparator behind tools/golden_diff.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/csv.h"
+#include "harness/golden.h"
+
+namespace clusmt::harness {
+namespace {
+
+// ---- parse_json_table ----------------------------------------------------
+
+TEST(GoldenParse, RoundTripsCsvWriterOutput) {
+  CsvWriter csv({"category", "Icount", "CDPRF", "note"});
+  csv.add_row({"DH", "1.000", "1.176", "he said \"hi\""});
+  csv.add_row({"AVG", "-12.5e3", "0.5", "nan"});
+  csv.add_row({"short"});  // padded with nulls by to_json
+
+  const GoldenTable table = parse_json_table(csv.to_json());
+  ASSERT_EQ(table.rows.size(), 3u);
+  ASSERT_EQ(table.rows[0].size(), 4u);
+
+  EXPECT_EQ(table.rows[0][0].first, "category");
+  EXPECT_EQ(table.rows[0][0].second.kind, GoldenValue::Kind::kString);
+  EXPECT_EQ(table.rows[0][0].second.text, "DH");
+  EXPECT_EQ(table.rows[0][2].first, "CDPRF");
+  EXPECT_EQ(table.rows[0][2].second.kind, GoldenValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(table.rows[0][2].second.number, 1.176);
+  EXPECT_EQ(table.rows[0][3].second.text, "he said \"hi\"");
+
+  EXPECT_DOUBLE_EQ(table.rows[1][1].second.number, -12.5e3);
+  // "nan" is quoted by to_json, so it parses back as the string "nan".
+  EXPECT_EQ(table.rows[1][3].second.kind, GoldenValue::Kind::kString);
+  EXPECT_EQ(table.rows[1][3].second.text, "nan");
+
+  // The short row carries every header key, trailing ones null.
+  EXPECT_EQ(table.rows[2][0].second.text, "short");
+  EXPECT_EQ(table.rows[2][1].second.kind, GoldenValue::Kind::kNull);
+  EXPECT_EQ(table.rows[2][3].second.kind, GoldenValue::Kind::kNull);
+}
+
+TEST(GoldenParse, EmptyTableAndWhitespace) {
+  EXPECT_TRUE(parse_json_table("[]").rows.empty());
+  EXPECT_TRUE(parse_json_table(" [\n]\n").rows.empty());
+  const GoldenTable t = parse_json_table("[{}]");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_TRUE(t.rows[0].empty());
+}
+
+TEST(GoldenParse, MalformedDocumentsThrow) {
+  for (const char* bad :
+       {"", "[", "[{]", "[{\"a\":}]", "[{\"a\": 1} {\"b\": 2}]",
+        "[{\"a\": 1}] trailing", "[{\"a\": [1]}]", "[{\"a\": 1.2.3}]",
+        "[{\"a\": \"unterminated}]", "{\"not\": \"an array\"}"}) {
+    EXPECT_THROW((void)parse_json_table(bad), std::runtime_error) << bad;
+  }
+}
+
+// ---- diff_golden_tables --------------------------------------------------
+
+GoldenTable table_of(const std::string& json) {
+  return parse_json_table(json);
+}
+
+TEST(GoldenDiff, IdenticalTablesPass) {
+  const std::string doc =
+      R"([{"category": "DH", "CDPRF": 1.176, "note": "x"}])";
+  const auto diff =
+      diff_golden_tables(table_of(doc), table_of(doc), GoldenTolerance{});
+  EXPECT_TRUE(diff.pass());
+  EXPECT_EQ(diff.metrics_compared, 3u);
+  EXPECT_NE(diff.report().find("OK"), std::string::npos);
+}
+
+TEST(GoldenDiff, OutOfToleranceNamesTheMetricAndRow) {
+  const auto golden = table_of(R"([{"category": "AVG", "CDPRF": 1.176}])");
+  const auto fresh = table_of(R"([{"category": "AVG", "CDPRF": 1.300}])");
+  const auto diff = diff_golden_tables(golden, fresh, GoldenTolerance{});
+  ASSERT_EQ(diff.mismatches.size(), 1u);
+  EXPECT_EQ(diff.mismatches[0].metric, "CDPRF");
+  EXPECT_EQ(diff.mismatches[0].row_key, "\"AVG\"");
+  EXPECT_GT(diff.mismatches[0].rel_error, 0.09);
+  EXPECT_NE(diff.report().find("CDPRF"), std::string::npos);
+}
+
+TEST(GoldenDiff, ToleranceScalesRelative) {
+  const auto golden = table_of(R"([{"m": 100.0}])");
+  const auto close = table_of(R"([{"m": 100.0001}])");
+
+  GoldenTolerance strict;
+  strict.rtol = 1e-9;
+  EXPECT_FALSE(diff_golden_tables(golden, close, strict).pass());
+
+  GoldenTolerance loose;
+  loose.rtol = 1e-5;
+  EXPECT_TRUE(diff_golden_tables(golden, close, loose).pass());
+}
+
+TEST(GoldenDiff, PerMetricOverrideBeatsDefault) {
+  const auto golden = table_of(R"([{"noisy": 1.0, "exact": 1.0}])");
+  const auto fresh = table_of(R"([{"noisy": 1.01, "exact": 1.01}])");
+
+  GoldenTolerance tol;
+  tol.rtol = 1e-9;
+  tol.per_metric["noisy"] = 0.05;
+  const auto diff = diff_golden_tables(golden, fresh, tol);
+  ASSERT_EQ(diff.mismatches.size(), 1u);
+  EXPECT_EQ(diff.mismatches[0].metric, "exact");
+}
+
+TEST(GoldenDiff, AbsoluteFloorCoversZeroMetrics) {
+  const auto golden = table_of(R"([{"m": 0.0}])");
+  const auto fresh = table_of(R"([{"m": 1e-13}])");
+  // Pure relative comparison would fail (rel err 1.0); atol absorbs it.
+  EXPECT_TRUE(
+      diff_golden_tables(golden, fresh, GoldenTolerance{}).pass());
+}
+
+TEST(GoldenDiff, StructuralDriftFails) {
+  const auto base = table_of(R"([{"a": 1.0, "b": 2.0}])");
+
+  // Row count.
+  const auto extra_row = table_of(R"([{"a": 1.0, "b": 2.0}, {"a": 1.0}])");
+  auto diff = diff_golden_tables(base, extra_row, GoldenTolerance{});
+  ASSERT_FALSE(diff.pass());
+  EXPECT_EQ(diff.mismatches[0].metric, "<row count>");
+
+  // Column count.
+  const auto missing_col = table_of(R"([{"a": 1.0}])");
+  diff = diff_golden_tables(base, missing_col, GoldenTolerance{});
+  ASSERT_FALSE(diff.pass());
+  EXPECT_EQ(diff.mismatches[0].metric, "<column count>");
+
+  // Renamed metric.
+  const auto renamed = table_of(R"([{"a": 1.0, "c": 2.0}])");
+  EXPECT_FALSE(diff_golden_tables(base, renamed, GoldenTolerance{}).pass());
+
+  // Type drift: a number that became a string (e.g. "nan").
+  const auto nan_col = table_of(R"([{"a": 1.0, "b": "nan"}])");
+  diff = diff_golden_tables(base, nan_col, GoldenTolerance{});
+  ASSERT_FALSE(diff.pass());
+  EXPECT_EQ(diff.mismatches[0].metric, "b");
+}
+
+TEST(GoldenDiff, StringMetricsCompareExactly) {
+  const auto golden =
+      table_of(R"([{"claim": "speedup", "measured": "17.6%"}])");
+  const auto same =
+      table_of(R"([{"claim": "speedup", "measured": "17.6%"}])");
+  const auto drifted =
+      table_of(R"([{"claim": "speedup", "measured": "3.1%"}])");
+
+  EXPECT_TRUE(diff_golden_tables(golden, same, GoldenTolerance{}).pass());
+  const auto diff = diff_golden_tables(golden, drifted, GoldenTolerance{});
+  ASSERT_EQ(diff.mismatches.size(), 1u);
+  EXPECT_EQ(diff.mismatches[0].metric, "measured");
+}
+
+}  // namespace
+}  // namespace clusmt::harness

@@ -1,0 +1,334 @@
+// Persistence tier of the run cache: record round-trips, cross-instance
+// ("cross-process") reuse through a shared directory, corruption and
+// version-bump fallback to recompute, concurrent writers, and the
+// sweep-level zero-simulation guarantee on a warm cache dir.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "harness/presets.h"
+#include "harness/run_cache.h"
+#include "harness/run_store.h"
+#include "harness/sweep.h"
+#include "trace/workload.h"
+
+namespace clusmt::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh unique cache dir per test, removed on teardown.
+class RunStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (fs::temp_directory_path() / "clusmt_store_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+RunResult sample_result(double salt) {
+  RunResult r;
+  r.workload = "wl-α";  // non-ASCII survives the byte-exact string encoding
+  r.category = "ISPEC00";
+  r.type = "ILP";
+  r.stats.cycles = 12345;
+  r.stats.committed[0] = 1000;
+  r.stats.committed[1] = 2000;
+  r.stats.committed_copies = 37;
+  r.stats.rename_block_rf = 11;
+  r.stats.imbalance_events[1][2] = 99;
+  r.stats.load_forwards = 5;
+  r.ipc[0] = 1.25 + salt;
+  r.ipc[1] = 0.75;
+  r.throughput = 2.0 + salt;
+  r.fairness = 0.9;
+  return r;
+}
+
+void expect_equal(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.category, b.category);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  for (int t = 0; t < kMaxThreads; ++t) {
+    EXPECT_EQ(a.stats.committed[t], b.stats.committed[t]);
+    EXPECT_EQ(a.ipc[t], b.ipc[t]);
+  }
+  EXPECT_EQ(a.stats.committed_copies, b.stats.committed_copies);
+  EXPECT_EQ(a.stats.rename_block_rf, b.stats.rename_block_rf);
+  EXPECT_EQ(a.stats.imbalance_events[1][2], b.stats.imbalance_events[1][2]);
+  EXPECT_EQ(a.stats.load_forwards, b.stats.load_forwards);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.fairness, b.fairness);
+}
+
+// ---- Record encoding -----------------------------------------------------
+
+TEST_F(RunStoreTest, RecordRoundTripsEveryField) {
+  const RunKey key{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  const RunResult original = sample_result(0.5);
+  const std::string record = encode_run_record(key, original);
+
+  const auto decoded = decode_run_record(key, record);
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(original, *decoded);
+}
+
+TEST_F(RunStoreTest, DecodeRejectsForeignKeyAndGarbage) {
+  const RunKey key{1, 2};
+  const std::string record = encode_run_record(key, sample_result(0.0));
+
+  EXPECT_FALSE(decode_run_record(RunKey{1, 3}, record).has_value());
+  EXPECT_FALSE(decode_run_record(key, "").has_value());
+  EXPECT_FALSE(decode_run_record(key, "not a record").has_value());
+}
+
+TEST_F(RunStoreTest, DecodeRejectsTruncationAndBitFlips) {
+  const RunKey key{7, 8};
+  const std::string record = encode_run_record(key, sample_result(0.25));
+
+  for (const std::size_t cut : {record.size() - 1, record.size() / 2,
+                                std::size_t{12}}) {
+    EXPECT_FALSE(decode_run_record(key, record.substr(0, cut)).has_value())
+        << "truncated to " << cut << " bytes";
+  }
+  // A flipped bit anywhere — header, payload, or checksum — invalidates.
+  for (const std::size_t at : {std::size_t{9}, record.size() / 2,
+                               record.size() - 3}) {
+    std::string corrupt = record;
+    corrupt[at] ^= 0x40;
+    EXPECT_FALSE(decode_run_record(key, corrupt).has_value())
+        << "bit flip at byte " << at;
+  }
+  // Trailing junk after a valid record is corruption too.
+  EXPECT_FALSE(decode_run_record(key, record + "x").has_value());
+}
+
+TEST_F(RunStoreTest, VersionBumpReadsAsMiss) {
+  const RunKey key{3, 4};
+  std::string record = encode_run_record(key, sample_result(0.0));
+  ASSERT_TRUE(decode_run_record(key, record).has_value());
+  // Byte 4 is the low byte of the little-endian format version.
+  record[4] = static_cast<char>(kRunStoreFormatVersion + 1);
+  EXPECT_FALSE(decode_run_record(key, record).has_value());
+}
+
+// ---- RunStore files ------------------------------------------------------
+
+TEST_F(RunStoreTest, SaveThenLoadAcrossStoreInstances) {
+  const RunKey key{0xaa, 0xbb};
+  const RunResult original = sample_result(1.0);
+  {
+    const RunStore writer(dir_);
+    ASSERT_TRUE(writer.save(key, original));
+  }
+  const RunStore reader(dir_);
+  const auto loaded = reader.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+
+  EXPECT_FALSE(reader.load(RunKey{0xaa, 0xcc}).has_value());
+}
+
+TEST_F(RunStoreTest, TruncatedFileOnDiskIsAMiss) {
+  const RunKey key{5, 6};
+  const RunStore store(dir_);
+  ASSERT_TRUE(store.save(key, sample_result(0.0)));
+
+  const std::string path = store.path_of(key);
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size / 2);
+  EXPECT_FALSE(store.load(key).has_value());
+}
+
+TEST_F(RunStoreTest, LeavesNoTempFilesBehind) {
+  const RunStore store(dir_);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store.save(RunKey{i, i}, sample_result(0.0)));
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (entry.is_regular_file()) {
+      EXPECT_EQ(entry.path().extension(), ".run") << entry.path();
+    }
+  }
+}
+
+// ---- RunCache + store ----------------------------------------------------
+
+TEST_F(RunStoreTest, SecondCacheInstanceLoadsInsteadOfComputing) {
+  const RunKey key{11, 22};
+  std::atomic<int> computes{0};
+  const auto compute = [&] {
+    computes.fetch_add(1);
+    return sample_result(2.0);
+  };
+
+  RunCache first;
+  first.set_store_dir(dir_);
+  (void)first.get_or_run(key, compute);
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(first.misses(), 1u);
+  EXPECT_EQ(first.disk_hits(), 0u);
+
+  // A fresh cache on the same dir — a new process, effectively — loads the
+  // persisted record and never invokes compute.
+  RunCache second;
+  second.set_store_dir(dir_);
+  const RunResult loaded = second.get_or_run(key, compute);
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(second.misses(), 0u);
+  EXPECT_EQ(second.disk_hits(), 1u);
+  expect_equal(sample_result(2.0), loaded);
+
+  // Memory tier still answers repeats without touching the disk counter.
+  (void)second.get_or_run(key, compute);
+  EXPECT_EQ(second.hits(), 1u);
+  EXPECT_EQ(second.disk_hits(), 1u);
+}
+
+TEST_F(RunStoreTest, CorruptRecordFallsBackToCompute) {
+  const RunKey key{33, 44};
+  RunCache first;
+  first.set_store_dir(dir_);
+  (void)first.get_or_run(key, [] { return sample_result(0.0); });
+
+  // Mangle the record in place.
+  const std::string path = RunStore(dir_).path_of(key);
+  std::ofstream(path, std::ios::binary) << "corrupted";
+
+  RunCache second;
+  second.set_store_dir(dir_);
+  std::atomic<int> computes{0};
+  (void)second.get_or_run(key, [&] {
+    computes.fetch_add(1);
+    return sample_result(3.0);
+  });
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(second.misses(), 1u);
+  EXPECT_EQ(second.disk_hits(), 0u);
+
+  // ... and the recompute healed the record for the next instance.
+  RunCache third;
+  third.set_store_dir(dir_);
+  expect_equal(sample_result(3.0),
+               third.get_or_run(key, [] { return sample_result(9.0); }));
+  EXPECT_EQ(third.disk_hits(), 1u);
+}
+
+TEST_F(RunStoreTest, ConcurrentWritersToOneDirAgree) {
+  // Two caches (processes) x 8 workers race over the same keys in one dir;
+  // every answer must be the deterministic function of the key.
+  RunCache a;
+  RunCache b;
+  a.set_store_dir(dir_);
+  b.set_store_dir(dir_);
+
+  const auto value_of = [](std::uint64_t k) {
+    RunResult r = sample_result(0.0);
+    r.throughput = static_cast<double>(k) * 1.5;
+    return r;
+  };
+
+  ThreadPool pool(8);
+  std::vector<std::future<RunResult>> futures;
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      RunCache& cache = (round + k) % 2 == 0 ? a : b;
+      futures.push_back(pool.submit_task([&cache, k, value_of] {
+        return cache.get_or_run(RunKey{k, ~k}, [&] { return value_of(k); });
+      }));
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const std::uint64_t k = i % 8;
+    EXPECT_DOUBLE_EQ(futures[i].get().throughput,
+                     static_cast<double>(k) * 1.5);
+  }
+  // Each key computed at most once per cache (the store may have saved
+  // either copy; both encode the same bytes).
+  EXPECT_LE(a.misses() + b.misses(), 16u);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_TRUE(RunStore(dir_).load(RunKey{k, ~k}).has_value());
+  }
+}
+
+TEST_F(RunStoreTest, UnwritableDirDegradesToProcessLocalCaching) {
+  RunCache cache;
+  cache.set_store_dir("/proc/definitely/not/writable");
+  std::atomic<int> computes{0};
+  const RunKey key{1, 1};
+  (void)cache.get_or_run(key, [&] {
+    computes.fetch_add(1);
+    return sample_result(0.0);
+  });
+  (void)cache.get_or_run(key, [&] {
+    computes.fetch_add(1);
+    return sample_result(0.0);
+  });
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// ---- Sweep-level persistence (the acceptance-criterion shape) ------------
+
+TEST_F(RunStoreTest, WarmCacheDirMakesSecondSweepSimulateNothing) {
+  SweepSpec spec;
+  spec.suite = trace::build_quick_suite(1, 1, 2);
+  spec.suite.resize(3);
+  spec.cycles = 1500;
+  spec.warmup = 300;
+  spec.jobs = 2;
+  spec.with_fairness = true;
+  spec.progress = false;
+  spec.base = paper_baseline();
+  spec.axes = {{"scheme",
+                {{"Icount",
+                  [](core::SimConfig& c) {
+                    c.policy = policy::PolicyKind::kIcount;
+                  }},
+                 {"CDPRF", [](core::SimConfig& c) {
+                    c.policy = policy::PolicyKind::kCdprf;
+                  }}}}};
+
+  RunCache cold;
+  cold.set_store_dir(dir_);
+  spec.cache = &cold;
+  const SweepResult first = run_sweep(spec);
+  EXPECT_GT(first.cache_misses, 0u);
+  EXPECT_EQ(first.cache_disk_hits, 0u);
+
+  // A fresh cache over the same dir — the "second invocation of the bench"
+  // — performs zero simulations: every cell loads from disk.
+  RunCache warm;
+  warm.set_store_dir(dir_);
+  spec.cache = &warm;
+  const SweepResult second = run_sweep(spec);
+  EXPECT_EQ(second.cache_misses, 0u);
+  EXPECT_GT(second.cache_disk_hits, 0u);
+
+  // And the tables are bit-identical to the computed ones.
+  for (std::size_t p = 0; p < first.cells.size(); ++p) {
+    for (std::size_t w = 0; w < first.cells[p].size(); ++w) {
+      EXPECT_EQ(first.cells[p][w].throughput, second.cells[p][w].throughput);
+      EXPECT_EQ(first.cells[p][w].fairness, second.cells[p][w].fairness);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clusmt::harness

@@ -1,0 +1,114 @@
+// Compares a freshly generated bench table against a checked-in golden
+// (both in CsvWriter::to_json format) with per-metric relative tolerances.
+// The CI golden-gate job runs this over bench/golden/ on every PR.
+//
+// Usage:
+//   golden_diff GOLDEN.json FRESH.json [--rtol R] [--atol A]
+//               [--tol METRIC=R]...
+//
+// Exit status: 0 all metrics within tolerance, 1 mismatches (per-metric
+// report on stdout), 2 usage or file/parse errors.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/golden.h"
+
+namespace {
+
+using clusmt::harness::GoldenTable;
+using clusmt::harness::GoldenTolerance;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: golden_diff GOLDEN.json FRESH.json [--rtol R] "
+               "[--atol A] [--tol METRIC=R]...\n");
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "golden_diff: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+double parse_tol(const char* flag, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  // Reject nan/inf explicitly: a non-finite tolerance would make every
+  // comparison pass and silently disable the gate.
+  if (end == value.c_str() || *end != '\0' || !std::isfinite(v) || v < 0.0) {
+    std::fprintf(stderr, "golden_diff: bad %s value '%s'\n", flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string golden_path;
+  std::string fresh_path;
+  GoldenTolerance tol;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--rtol") {
+      tol.rtol = parse_tol("--rtol", next());
+    } else if (arg == "--atol") {
+      tol.atol = parse_tol("--atol", next());
+    } else if (arg == "--tol") {
+      // --tol METRIC=R may repeat; later entries win.
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) usage();
+      tol.per_metric[spec.substr(0, eq)] =
+          parse_tol("--tol", spec.substr(eq + 1));
+    } else if (arg.rfind("--", 0) == 0) {
+      usage();
+    } else if (golden_path.empty()) {
+      golden_path = arg;
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (golden_path.empty() || fresh_path.empty()) usage();
+
+  GoldenTable golden;
+  GoldenTable fresh;
+  try {
+    golden = clusmt::harness::parse_json_table(read_file(golden_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "golden_diff: %s: %s\n", golden_path.c_str(),
+                 e.what());
+    return 2;
+  }
+  try {
+    fresh = clusmt::harness::parse_json_table(read_file(fresh_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "golden_diff: %s: %s\n", fresh_path.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  const auto diff = clusmt::harness::diff_golden_tables(golden, fresh, tol);
+  std::printf("%s vs %s: %s", golden_path.c_str(), fresh_path.c_str(),
+              diff.report().c_str());
+  return diff.pass() ? 0 : 1;
+}
