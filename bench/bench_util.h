@@ -21,6 +21,7 @@
 //                  tools/golden_diff compares; see bench/golden/)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,6 +35,13 @@
 #include "trace/workload.h"
 
 namespace clusmt::bench {
+
+/// Monotonic wall-clock seconds for throughput benches (bench/perf_sim.cc).
+[[nodiscard]] inline double wall_time_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 struct BenchOptions {
   Cycle cycles = 150000;

@@ -1,0 +1,141 @@
+// Simulator-core throughput bench: wall-clock simulated kilocycles/sec
+// over the paper's scheme × workload-character presets on the Table 1
+// headline machine (64 registers/cluster). Unlike the figure benches this
+// measures the *host* cost of simulation, not the modelled machine — it is
+// the perf trajectory future optimization PRs defend (BENCH_sim.json).
+//
+// Every cell simulates from scratch (the run cache is deliberately not
+// consulted: a cache hit would measure nothing), times only the measured
+// phase (construction and warmup excluded), and reports the best of
+// --repeat runs to shrink scheduler noise. Simulation results are
+// deterministic, so repeats change timing only.
+//
+// Flags:
+//   --cycles N   measured cycles per cell            [default 100000]
+//   --warmup N   warmup cycles before timing          [default 20000]
+//   --repeat N   timed repetitions per cell, best-of  [default 3]
+//   --seed S     trace pool master seed               [default 1]
+//   --csv PATH / --json PATH   mirror the table
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "core/simulator.h"
+#include "harness/presets.h"
+#include "harness/sweep.h"
+#include "trace/workload.h"
+
+using namespace clusmt;
+
+namespace {
+
+struct Preset {
+  const char* name;
+  trace::Category cat0;
+  trace::TraceKind kind0;
+  trace::Category cat1;
+  trace::TraceKind kind1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::int64_t cycles_arg = args.get_int("cycles", 100000);
+  const std::int64_t warmup_arg = args.get_int("warmup", 20000);
+  const std::int64_t repeat_arg = args.get_int("repeat", 3);
+  if (cycles_arg < 1 || warmup_arg < 0 || repeat_arg < 1) {
+    std::fprintf(stderr,
+                 "error: --cycles must be >= 1, --warmup >= 0, "
+                 "--repeat >= 1\n");
+    return 2;
+  }
+  const Cycle cycles = static_cast<Cycle>(cycles_arg);
+  const Cycle warmup = static_cast<Cycle>(warmup_arg);
+  const int repeat = static_cast<int>(repeat_arg);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string csv_path = args.get_string("csv", "");
+  const std::string json_path = args.get_string("json", "");
+
+  const trace::TracePool pool(seed);
+  const Preset presets[] = {
+      {"ilp+ilp", trace::Category::kISpec00, trace::TraceKind::kIlp,
+       trace::Category::kISpec00, trace::TraceKind::kIlp},
+      {"mem+mem", trace::Category::kISpec00, trace::TraceKind::kMem,
+       trace::Category::kISpec00, trace::TraceKind::kMem},
+      {"int+fp mix", trace::Category::kISpec00, trace::TraceKind::kIlp,
+       trace::Category::kFSpec00, trace::TraceKind::kMem},
+  };
+  const policy::PolicyKind schemes[] = {policy::PolicyKind::kIcount,
+                                        policy::PolicyKind::kCssp,
+                                        policy::PolicyKind::kCdprf};
+
+  harness::TableDoc doc;
+  doc.header = {"scheme",       "workload",     "sim_kcycles",
+                "best_wall_ms", "kcycles_per_s", "commit_kuops_per_s"};
+
+  double total_wall = 0.0;
+  double total_kcycles = 0.0;
+  for (const policy::PolicyKind scheme : schemes) {
+    for (const Preset& preset : presets) {
+      double best = 0.0;
+      std::uint64_t committed = 0;
+      for (int rep = 0; rep < repeat; ++rep) {
+        core::SimConfig config = harness::rf_study_config(64);
+        config.policy = scheme;
+        core::Simulator sim(config);
+        sim.attach_thread(0, pool.get(preset.cat0, preset.kind0, 0));
+        sim.attach_thread(1, pool.get(preset.cat1, preset.kind1, 1));
+        sim.run(warmup);
+        sim.reset_stats();
+        const double start = bench::wall_time_seconds();
+        sim.run(cycles);
+        const double wall = bench::wall_time_seconds() - start;
+        if (rep == 0 || wall < best) best = wall;
+        committed = sim.stats().committed_total();  // identical every rep
+      }
+      const double kcycles = static_cast<double>(cycles) / 1000.0;
+      doc.add_row({std::string(policy::policy_kind_name(scheme)),
+                   preset.name, format_double(kcycles, 0),
+                   format_double(best * 1000.0, 2),
+                   format_double(kcycles / best, 1),
+                   format_double(static_cast<double>(committed) / 1000.0 /
+                                     best,
+                                 1)});
+      total_wall += best;
+      total_kcycles += kcycles;
+    }
+  }
+  doc.add_row({"TOTAL", "(all cells)", format_double(total_kcycles, 0),
+               format_double(total_wall * 1000.0, 2),
+               format_double(total_kcycles / total_wall, 1), "-"});
+
+  std::printf(
+      "Simulator throughput (best of %d, %llu warmup + %llu measured "
+      "cycles/cell, seed %llu)\n\n%s\n",
+      repeat, static_cast<unsigned long long>(warmup),
+      static_cast<unsigned long long>(cycles),
+      static_cast<unsigned long long>(seed), doc.render_text().c_str());
+
+  bool failed = false;
+  if (!csv_path.empty()) {
+    if (doc.write_csv(csv_path)) {
+      std::printf("CSV written to %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed to write CSV %s\n",
+                   csv_path.c_str());
+      failed = true;
+    }
+  }
+  if (!json_path.empty()) {
+    if (doc.write_json(json_path)) {
+      std::printf("JSON written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed to write JSON %s\n",
+                   json_path.c_str());
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

@@ -38,6 +38,16 @@ class Cluster {
   [[nodiscard]] PortSet& ports() noexcept { return ports_; }
   [[nodiscard]] const PortSet& ports() const noexcept { return ports_; }
 
+  /// Producer completion: marks the register ready in the scoreboard and
+  /// wakes every issue-queue entry watching it. All consumers of a
+  /// cluster's registers dispatch into the same cluster's issue queue
+  /// (cross-cluster reads go through explicit copy µops), so the wakeup
+  /// broadcast never leaves the cluster.
+  void set_ready(RegClass cls, std::int16_t index) {
+    rf(cls).set_ready(index);
+    iq_.wakeup(cls, index);
+  }
+
  private:
   IssueQueue iq_;
   RegisterFile int_rf_;

@@ -6,58 +6,296 @@
 
 namespace clusmt::backend {
 
+namespace {
+
+[[nodiscard]] constexpr std::int32_t cons_ref(int slot, int i) noexcept {
+  return static_cast<std::int32_t>(slot << 1) | i;
+}
+[[nodiscard]] constexpr int cons_slot(std::int32_t ref) noexcept {
+  return static_cast<int>(ref >> 1);
+}
+[[nodiscard]] constexpr int cons_src(std::int32_t ref) noexcept {
+  return static_cast<int>(ref & 1);
+}
+
+}  // namespace
+
+IssueQueue::OrderedIter::OrderedIter(const IssueQueue& iq, const int* heads,
+                                     bool ready_links)
+    : iq_(&iq), ready_links_(ready_links) {
+  for (int t = 0; t < kMaxThreads; ++t) cursor_[t] = heads[t];
+}
+
+int IssueQueue::OrderedIter::next() {
+  // Global age order is (seq, tid); each per-thread list is seq-sorted, so
+  // the oldest remaining entry is the minimum-seq head (ties resolved by
+  // the ascending thread order of the scan itself).
+  int best_t = -1;
+  std::uint64_t best_seq = 0;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    const int slot = cursor_[t];
+    if (slot == -1) continue;
+    const std::uint64_t seq = iq_->slots_[slot].entry.seq;
+    if (best_t < 0 || seq < best_seq) {
+      best_t = t;
+      best_seq = seq;
+    }
+  }
+  if (best_t < 0) return -1;
+  const int slot = cursor_[best_t];
+  const auto& s = iq_->slots_[slot];
+  cursor_[best_t] = ready_links_ ? s.ready_next : s.age_next;
+  return slot;
+}
+
 IssueQueue::IssueQueue(int capacity) : capacity_(capacity) {
   if (capacity < 1) throw std::invalid_argument("IQ capacity < 1");
   slots_.resize(static_cast<std::size_t>(capacity));
   free_slots_.reserve(static_cast<std::size_t>(capacity));
-  order_.reserve(static_cast<std::size_t>(capacity));
   for (int i = capacity - 1; i >= 0; --i) free_slots_.push_back(i);
+  for (int t = 0; t < kMaxThreads; ++t) {
+    age_head_[t] = age_tail_[t] = -1;
+    ready_head_[t] = ready_tail_[t] = -1;
+  }
 }
 
-bool IssueQueue::older(int a, int b) const noexcept {
-  const IqEntry& ea = slots_[a].entry;
-  const IqEntry& eb = slots_[b].entry;
-  if (ea.seq != eb.seq) return ea.seq < eb.seq;
-  return ea.tid < eb.tid;
+void IssueQueue::thread_list_insert(int slot, int* head, int* tail,
+                                    int Slot::* prev_link,
+                                    int Slot::* next_link) {
+  // Entries of one thread arrive in (nearly) increasing seq, so walking
+  // back from the tail finds the position in amortised O(1).
+  const std::uint64_t seq = slots_[slot].entry.seq;
+  int after = *tail;
+  while (after != -1 && seq < slots_[after].entry.seq) {
+    after = slots_[after].*prev_link;
+  }
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.*prev_link = after;
+  if (after == -1) {
+    s.*next_link = *head;
+    *head = slot;
+  } else {
+    s.*next_link = slots_[after].*next_link;
+    slots_[after].*next_link = slot;
+  }
+  if (s.*next_link == -1) {
+    *tail = slot;
+  } else {
+    slots_[s.*next_link].*prev_link = slot;
+  }
 }
 
-int IssueQueue::insert(const IqEntry& entry) {
+void IssueQueue::thread_list_remove(int slot, int* head, int* tail,
+                                    int Slot::* prev_link,
+                                    int Slot::* next_link) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.*prev_link == -1) {
+    *head = s.*next_link;
+  } else {
+    slots_[s.*prev_link].*next_link = s.*next_link;
+  }
+  if (s.*next_link == -1) {
+    *tail = s.*prev_link;
+  } else {
+    slots_[s.*next_link].*prev_link = s.*prev_link;
+  }
+  s.*prev_link = s.*next_link = -1;
+}
+
+void IssueQueue::ready_list_insert(int slot) {
+  const ThreadId tid = slots_[slot].entry.tid;
+  thread_list_insert(slot, &ready_head_[tid], &ready_tail_[tid],
+                     &Slot::ready_prev, &Slot::ready_next);
+  ++ready_per_thread_[tid];
+  ++ready_count_;
+}
+
+void IssueQueue::watch_source(int slot, int i, const PhysRef& ref) {
+  auto& heads = watch_heads_[static_cast<int>(ref.cls)];
+  if (static_cast<std::size_t>(ref.index) >= heads.size()) {
+    heads.resize(static_cast<std::size_t>(ref.index) + 1, -1);
+  }
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  const std::int32_t ref_id = cons_ref(slot, i);
+  const std::int32_t head = heads[static_cast<std::size_t>(ref.index)];
+  s.cons_prev[i] = -1;
+  s.cons_next[i] = head;
+  if (head != -1) slots_[cons_slot(head)].cons_prev[cons_src(head)] = ref_id;
+  heads[static_cast<std::size_t>(ref.index)] = ref_id;
+  s.watch_mask |= static_cast<std::uint8_t>(1u << i);
+  ++s.unready;
+}
+
+void IssueQueue::unwatch_source(int slot, int i) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  const PhysRef& ref = i == 0 ? s.entry.src0 : s.entry.src1;
+  auto& heads = watch_heads_[static_cast<int>(ref.cls)];
+  const std::int32_t prev = s.cons_prev[i];
+  const std::int32_t next = s.cons_next[i];
+  if (prev == -1) {
+    heads[static_cast<std::size_t>(ref.index)] = next;
+  } else {
+    slots_[cons_slot(prev)].cons_next[cons_src(prev)] = next;
+  }
+  if (next != -1) slots_[cons_slot(next)].cons_prev[cons_src(next)] = prev;
+  s.cons_prev[i] = s.cons_next[i] = -1;
+  s.watch_mask &= static_cast<std::uint8_t>(~(1u << i));
+  --s.unready;
+}
+
+int IssueQueue::insert(const IqEntry& entry, bool src0_ready,
+                       bool src1_ready) {
   assert(entry.tid >= 0 && entry.tid < kMaxThreads);
   if (free_slots_.empty()) return -1;
   const int slot = free_slots_.back();
   free_slots_.pop_back();
-  slots_[slot].entry = entry;
-  slots_[slot].in_use = true;
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.entry = entry;
+  s.in_use = true;
+  s.unready = 0;
+  s.watch_mask = 0;
   ++occupancy_;
   ++per_thread_[entry.tid];
-  // Insertions arrive in (nearly) program order, so the binary-searched
-  // position is almost always the back: amortised O(1).
-  auto pos = std::lower_bound(
-      order_.begin(), order_.end(), slot,
-      [this](int a, int b) { return older(a, b); });
-  order_.insert(pos, slot);
+  thread_list_insert(slot, &age_head_[entry.tid], &age_tail_[entry.tid],
+                     &Slot::age_prev, &Slot::age_next);
+  if (entry.src0.valid() && !src0_ready) watch_source(slot, 0, entry.src0);
+  if (entry.src1.valid() && !src1_ready) watch_source(slot, 1, entry.src1);
+  if (s.unready == 0) ready_list_insert(slot);
   return slot;
 }
 
 void IssueQueue::remove(int slot) {
-  Slot& s = slots_.at(slot);
+  Slot& s = slots_.at(static_cast<std::size_t>(slot));
   assert(s.in_use);
-  const auto pos = std::find(order_.begin(), order_.end(), slot);
-  assert(pos != order_.end());
-  order_.erase(pos);
+  const ThreadId tid = s.entry.tid;
+  if (s.unready == 0) {
+    thread_list_remove(slot, &ready_head_[tid], &ready_tail_[tid],
+                       &Slot::ready_prev, &Slot::ready_next);
+    --ready_per_thread_[tid];
+    --ready_count_;
+  } else {
+    if (s.watch_mask & 1u) unwatch_source(slot, 0);
+    if (s.watch_mask & 2u) unwatch_source(slot, 1);
+    s.unready = 0;
+  }
+  thread_list_remove(slot, &age_head_[tid], &age_tail_[tid], &Slot::age_prev,
+                     &Slot::age_next);
   s.in_use = false;
   --occupancy_;
-  --per_thread_[s.entry.tid];
-  assert(per_thread_[s.entry.tid] >= 0);
+  --per_thread_[tid];
+  assert(per_thread_[tid] >= 0);
   free_slots_.push_back(slot);
 }
 
+void IssueQueue::wakeup(RegClass cls, std::int16_t index) {
+  auto& heads = watch_heads_[static_cast<int>(cls)];
+  if (static_cast<std::size_t>(index) >= heads.size()) return;
+  std::int32_t ref = heads[static_cast<std::size_t>(index)];
+  heads[static_cast<std::size_t>(index)] = -1;
+  while (ref != -1) {
+    const int slot = cons_slot(ref);
+    const int i = cons_src(ref);
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    assert(s.in_use && (s.watch_mask & (1u << i)));
+    ref = s.cons_next[i];
+    s.cons_prev[i] = s.cons_next[i] = -1;
+    s.watch_mask &= static_cast<std::uint8_t>(~(1u << i));
+    if (--s.unready == 0) ready_list_insert(slot);
+  }
+}
+
 const IqEntry& IssueQueue::entry(int slot) const {
-  const Slot& s = slots_.at(slot);
+  const Slot& s = slots_.at(static_cast<std::size_t>(slot));
   assert(s.in_use);
   return s.entry;
 }
 
-bool IssueQueue::occupied(int slot) const { return slots_.at(slot).in_use; }
+bool IssueQueue::occupied(int slot) const {
+  return slots_.at(static_cast<std::size_t>(slot)).in_use;
+}
+
+bool IssueQueue::entry_ready(int slot) const {
+  const Slot& s = slots_.at(static_cast<std::size_t>(slot));
+  assert(s.in_use);
+  return s.unready == 0;
+}
+
+bool IssueQueue::has_consumers(RegClass cls, std::int16_t index) const {
+  const auto& heads = watch_heads_[static_cast<int>(cls)];
+  return static_cast<std::size_t>(index) < heads.size() &&
+         heads[static_cast<std::size_t>(index)] != -1;
+}
+
+bool IssueQueue::validate() const {
+  int occupied_count = 0;
+  int per_thread[kMaxThreads] = {};
+  int ready[kMaxThreads] = {};
+  for (int slot = 0; slot < capacity_; ++slot) {
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    if (!s.in_use) continue;
+    ++occupied_count;
+    ++per_thread[s.entry.tid];
+    if (s.unready == 0) ++ready[s.entry.tid];
+    // unready must mirror the watch mask, and each watched source must sit
+    // on the consumer list of its own register (reachable from the head).
+    int watched = 0;
+    for (int i = 0; i < 2; ++i) {
+      if (!(s.watch_mask & (1u << i))) continue;
+      ++watched;
+      const PhysRef& ref = i == 0 ? s.entry.src0 : s.entry.src1;
+      if (!ref.valid()) return false;
+      const auto& heads = watch_heads_[static_cast<int>(ref.cls)];
+      if (static_cast<std::size_t>(ref.index) >= heads.size()) return false;
+      std::int32_t cur = heads[static_cast<std::size_t>(ref.index)];
+      bool found = false;
+      while (cur != -1) {
+        if (cur == cons_ref(slot, i)) found = true;
+        const Slot& node = slots_[static_cast<std::size_t>(cons_slot(cur))];
+        cur = node.cons_next[cons_src(cur)];
+      }
+      if (!found) return false;
+    }
+    if (watched != s.unready) return false;
+  }
+  if (occupied_count != occupancy_) return false;
+  int ready_total = 0;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    if (per_thread[t] != per_thread_[t]) return false;
+    if (ready[t] != ready_per_thread_[t]) return false;
+    ready_total += ready[t];
+  }
+  if (ready_total != ready_count_) return false;
+  // Per-thread lists must cover exactly their slot sets in seq order, and
+  // every listed slot must belong to the thread whose list holds it.
+  for (int t = 0; t < kMaxThreads; ++t) {
+    int walked = 0;
+    for (int slot = age_head_[t]; slot != -1;
+         slot = slots_[static_cast<std::size_t>(slot)].age_next) {
+      const Slot& s = slots_[static_cast<std::size_t>(slot)];
+      if (!s.in_use || s.entry.tid != t) return false;
+      if (s.age_next != -1 &&
+          s.entry.seq >= slots_[static_cast<std::size_t>(s.age_next)]
+                             .entry.seq) {
+        return false;
+      }
+      ++walked;
+    }
+    if (walked != per_thread_[t]) return false;
+    walked = 0;
+    for (int slot = ready_head_[t]; slot != -1;
+         slot = slots_[static_cast<std::size_t>(slot)].ready_next) {
+      const Slot& s = slots_[static_cast<std::size_t>(slot)];
+      if (!s.in_use || s.entry.tid != t || s.unready != 0) return false;
+      if (s.ready_next != -1 &&
+          s.entry.seq >= slots_[static_cast<std::size_t>(s.ready_next)]
+                             .entry.seq) {
+        return false;
+      }
+      ++walked;
+    }
+    if (walked != ready_per_thread_[t]) return false;
+  }
+  return true;
+}
 
 }  // namespace clusmt::backend

@@ -2,6 +2,22 @@
 // their source operands (physical registers in *this* cluster) are ready.
 // Selection is age-ordered among ready entries, subject to the cluster's
 // issue-port constraints (arbitrated by the core's issue stage).
+//
+// Readiness is event-driven, modelling the paper's IQ wakeup CAM: a source
+// that is not ready at dispatch registers a *watch* on its physical
+// register; when the producer completes, wakeup() walks that register's
+// consumer list, and an entry whose last missing source arrived moves onto
+// its thread's age-ordered ready list. The issue stage therefore scans
+// only ready entries instead of re-probing every occupied slot every
+// cycle.
+//
+// Age and ready lists are intrusive and kept *per thread*: a thread
+// dispatches in program order and its producers complete in rough program
+// order, so per-thread inserts are O(1) appends near the tail — whereas a
+// single cross-thread list degrades to deep walks whenever two threads'
+// sequence counters diverge. Global age order (seq, then thread id) is
+// recovered on demand by OrderedIter, a k-way merge over the at-most-
+// kMaxThreads per-thread lists.
 #pragma once
 
 #include <cstdint>
@@ -26,16 +42,46 @@ struct IqEntry {
 
 class IssueQueue {
  public:
+  /// Merged age-ordered cursor over the per-thread lists (oldest first:
+  /// lowest (seq, tid)). next() returns -1 at the end. The cursor is
+  /// advanced past a slot *before* that slot is handed out, so the caller
+  /// may remove the returned slot (issue grant) while iterating; inserting
+  /// or removing any *other* slot invalidates the cursor.
+  class OrderedIter {
+   public:
+    [[nodiscard]] int next();
+
+   private:
+    friend class IssueQueue;
+    OrderedIter(const IssueQueue& iq, const int* heads, bool ready_links);
+    const IssueQueue* iq_;
+    bool ready_links_;
+    int cursor_[kMaxThreads];
+  };
+
   explicit IssueQueue(int capacity);
 
   /// Inserts an entry; returns the slot index or -1 when full.
-  int insert(const IqEntry& entry);
+  /// `src0_ready`/`src1_ready` carry the dispatch-time readiness of the
+  /// matching source register (invalid refs carry no dependency and are
+  /// always treated as ready). A not-ready source registers a wakeup watch
+  /// on its register; the watch is torn down by wakeup() or remove().
+  int insert(const IqEntry& entry, bool src0_ready = true,
+             bool src1_ready = true);
 
-  /// Frees a slot (issue grant or squash).
+  /// Frees a slot (issue grant or squash) in O(1), unregistering any
+  /// wakeup watches the entry still holds.
   void remove(int slot);
+
+  /// Producer completion for register `(cls, index)`: clears the watch of
+  /// every consumer; entries whose last missing source this was move onto
+  /// their thread's ready list.
+  void wakeup(RegClass cls, std::int16_t index);
 
   [[nodiscard]] const IqEntry& entry(int slot) const;
   [[nodiscard]] bool occupied(int slot) const;
+  /// True when every source of the entry at `slot` is ready.
+  [[nodiscard]] bool entry_ready(int slot) const;
 
   [[nodiscard]] int capacity() const noexcept { return capacity_; }
   [[nodiscard]] int occupancy() const noexcept { return occupancy_; }
@@ -44,29 +90,69 @@ class IssueQueue {
   }
   [[nodiscard]] bool full() const noexcept { return occupancy_ == capacity_; }
 
-  /// Occupied slot indices sorted oldest-first (seq, then thread id),
-  /// maintained incrementally on insert/remove. The reference is
-  /// invalidated by insert/remove — callers that mutate while iterating
-  /// must take a copy.
-  [[nodiscard]] const std::vector<int>& slots_by_age() const noexcept {
-    return order_;
+  /// Entries of `tid` still waiting on at least one source (the paper's
+  /// per-thread IQ unready counters, maintained incrementally).
+  [[nodiscard]] int waiting_of(ThreadId tid) const {
+    return per_thread_[tid] - ready_per_thread_[tid];
   }
+  [[nodiscard]] int ready_count() const noexcept { return ready_count_; }
+
+  /// True when register `(cls, index)` has at least one registered watch.
+  [[nodiscard]] bool has_consumers(RegClass cls, std::int16_t index) const;
+
+  /// Merged oldest-first cursor over all occupied entries.
+  [[nodiscard]] OrderedIter age_iter() const {
+    return OrderedIter(*this, age_head_, /*ready_links=*/false);
+  }
+  /// Merged oldest-first cursor over ready entries only.
+  [[nodiscard]] OrderedIter ready_iter() const {
+    return OrderedIter(*this, ready_head_, /*ready_links=*/true);
+  }
+
+  /// Cross-checks every incrementally-maintained structure (occupancy
+  /// counters, per-thread list order, ready membership, watch links)
+  /// against first principles. Test/debug aid; returns false on any drift.
+  [[nodiscard]] bool validate() const;
 
  private:
   struct Slot {
     IqEntry entry;
     bool in_use = false;
+    std::uint8_t unready = 0;     // sources still watched
+    std::uint8_t watch_mask = 0;  // bit i: source i is on a consumer list
+    // Intrusive links within the owning thread's lists.
+    int age_prev = -1;
+    int age_next = -1;
+    int ready_prev = -1;
+    int ready_next = -1;
+    // Consumer-list links per source; a link value encodes (slot << 1) | i.
+    std::int32_t cons_prev[2] = {-1, -1};
+    std::int32_t cons_next[2] = {-1, -1};
   };
 
-  /// True when entry at slot `a` is older than the one at `b`.
-  [[nodiscard]] bool older(int a, int b) const noexcept;
+  void thread_list_insert(int slot, int* head, int* tail,
+                          int Slot::* prev_link, int Slot::* next_link);
+  void thread_list_remove(int slot, int* head, int* tail,
+                          int Slot::* prev_link, int Slot::* next_link);
+  void ready_list_insert(int slot);
+  void watch_source(int slot, int i, const PhysRef& ref);
+  void unwatch_source(int slot, int i);
 
   std::vector<Slot> slots_;
   std::vector<int> free_slots_;
-  std::vector<int> order_;  // occupied slots, oldest first
+  // Per-register consumer-list heads, grown on demand to the largest
+  // watched register index (unbounded register files stay cheap until a
+  // high index is actually watched).
+  std::vector<std::int32_t> watch_heads_[kNumRegClasses];
+  int age_head_[kMaxThreads];
+  int age_tail_[kMaxThreads];
+  int ready_head_[kMaxThreads];
+  int ready_tail_[kMaxThreads];
   int capacity_;
   int occupancy_ = 0;
+  int ready_count_ = 0;
   int per_thread_[kMaxThreads] = {};
+  int ready_per_thread_[kMaxThreads] = {};
 };
 
 }  // namespace clusmt::backend

@@ -28,6 +28,11 @@ class PortSet {
     return busy_[port];
   }
 
+  /// True when every port is booked this cycle (no class can issue).
+  [[nodiscard]] bool all_booked() const noexcept {
+    return busy_[0] && busy_[1] && busy_[2];
+  }
+
   /// Static compatibility: can `port` execute µops of `cls`?
   [[nodiscard]] static constexpr bool compatible(
       int port, trace::PortClass cls) noexcept {

@@ -39,13 +39,15 @@ int RegisterFile::allocate(ThreadId owner) {
   return index;
 }
 
-void RegisterFile::release(std::int16_t index) {
+ThreadId RegisterFile::release(std::int16_t index) {
   assert(index >= 0 && index < capacity_);
-  assert(owner_[index] >= 0 && "double free of physical register");
-  --used_by_[owner_[index]];
-  assert(used_by_[owner_[index]] >= 0);
+  const ThreadId owner = owner_[index];
+  assert(owner >= 0 && "double free of physical register");
+  --used_by_[owner];
+  assert(used_by_[owner] >= 0);
   owner_[index] = -1;
   free_.push_back(index);
+  return owner;
 }
 
 }  // namespace clusmt::backend

@@ -26,8 +26,9 @@ class RegisterFile {
   /// free list is empty. Fresh registers start not-ready.
   int allocate(ThreadId owner);
 
-  /// Returns a register to the free list.
-  void release(std::int16_t index);
+  /// Returns a register to the free list; returns the thread that owned it
+  /// (so callers maintaining per-thread occupancy views stay O(1)).
+  ThreadId release(std::int16_t index);
 
   [[nodiscard]] bool ready(std::int16_t index) const {
     return ready_[index] != 0;

@@ -73,6 +73,20 @@ std::uint64_t Xoshiro256::geometric(double p, std::uint64_t cap) noexcept {
 
 Xoshiro256 Xoshiro256::fork() noexcept { return Xoshiro256((*this)()); }
 
+GeometricDist::GeometricDist(double p) noexcept
+    : p_(p),
+      log1p_neg_p_(p > 0.0 && p < 1.0 ? std::log1p(-p) : 0.0) {}
+
+std::uint64_t GeometricDist::sample(Xoshiro256& rng,
+                                    std::uint64_t cap) const noexcept {
+  if (p_ >= 1.0) return 0;
+  if (p_ <= 0.0) return cap;
+  const double u = rng.uniform();
+  const double draw = std::log1p(-u) / log1p_neg_p_;
+  if (!(draw >= 0.0) || draw >= static_cast<double>(cap)) return cap;
+  return static_cast<std::uint64_t>(draw);
+}
+
 std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
   std::uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
   return splitmix64(state);

@@ -48,6 +48,24 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> s_;
 };
 
+/// Geometric sampler with a fixed success probability: caches log1p(-p) at
+/// construction so each draw pays one log instead of two. sample() is
+/// bit-identical to Xoshiro256::geometric(p, cap) from the same RNG state
+/// (same guard conditions, same division operands), just cheaper for the
+/// hot per-µop distributions whose p never changes.
+class GeometricDist {
+ public:
+  GeometricDist() = default;
+  explicit GeometricDist(double p) noexcept;
+
+  [[nodiscard]] std::uint64_t sample(Xoshiro256& rng,
+                                     std::uint64_t cap) const noexcept;
+
+ private:
+  double p_ = 0.0;
+  double log1p_neg_p_ = 0.0;
+};
+
 /// Stable 64-bit hash combiner for deriving per-entity seeds
 /// (e.g. per-thread, per-category) from a master seed.
 [[nodiscard]] std::uint64_t hash_combine(std::uint64_t a,

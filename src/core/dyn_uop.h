@@ -17,32 +17,37 @@ enum class UopStage : std::uint8_t {
   kDone,            // result produced; eligible to commit
 };
 
+// Field order is deliberate: the identification and scheduling scalars the
+// event queue, issue stage and commit stage touch every visit (uid, seq,
+// stage, flags, refs, slots) share the struct's first cache line, so the
+// common resolve-and-complete path does not also pull in the trailing
+// MicroOp payload and rename-undo state.
 struct DynUop {
-  trace::MicroOp op;
-  ThreadId tid = -1;
-  std::uint64_t seq = 0;   // per-thread program order (copies included)
   std::uint64_t uid = 0;   // globally unique (guards stale events)
+  std::uint64_t seq = 0;   // per-thread program order (copies included)
+  ThreadId tid = -1;
+  ClusterId cluster = -1;  // execution cluster
+  int iq_slot = -1;        // while kDispatched
+  int mob_slot = -1;       // loads/stores until commit/squash
+
+  UopStage stage = UopStage::kDispatched;
   bool wrong_path = false;
   bool mispredicted = false;  // branch that must squash at resolution
   bool is_copy = false;
-  std::uint64_t history_checkpoint = 0;  // branches: history before predict
   bool predicted_taken = false;
+  bool has_prev = false;
+  bool l2_miss_outstanding = false;  // load with an in-flight L2 miss
+  bool steered_off_preferred = false;  // dispatched to a non-preferred cluster
 
-  ClusterId cluster = -1;  // execution cluster
   PhysRef dst;             // invalid when the µop writes no register
   PhysRef srcs[2];         // invalid entries carry no dependency
 
+  trace::MicroOp op;
+  std::uint64_t history_checkpoint = 0;  // branches: history before predict
+
   // Rename undo log.
   frontend::ReplicaSet prev_replicas;  // superseded mapping of op.dst
-  bool has_prev = false;
-  int copy_arch = -1;  // copies: which architectural register was replicated
-
-  int iq_slot = -1;   // while kDispatched
-  int mob_slot = -1;  // loads/stores until commit/squash
-
-  UopStage stage = UopStage::kDispatched;
-  bool l2_miss_outstanding = false;  // load with an in-flight L2 miss
-  bool steered_off_preferred = false;  // dispatched to a non-preferred cluster
+  std::int16_t copy_arch = -1;  // copies: replicated architectural register
 };
 
 /// Per-thread circular reorder buffer. Slots are stable (pointers remain
@@ -62,7 +67,7 @@ class Rob {
   /// Appends a fresh entry at the tail; returns nullptr when full.
   DynUop* push() {
     if (full()) return nullptr;
-    const int slot = (head_ + count_) % capacity_;
+    const int slot = wrap(head_ + count_);
     ++count_;
     buffer_[slot] = DynUop{};
     return &buffer_[slot];
@@ -70,10 +75,10 @@ class Rob {
 
   [[nodiscard]] DynUop& head() { return buffer_[head_]; }
   [[nodiscard]] DynUop& tail() {
-    return buffer_[(head_ + count_ - 1) % capacity_];
+    return buffer_[wrap(head_ + count_ - 1)];
   }
   void pop_head() {
-    head_ = (head_ + 1) % capacity_;
+    head_ = wrap(head_ + 1);
     --count_;
   }
   void pop_tail() { --count_; }
@@ -88,11 +93,17 @@ class Rob {
   template <typename Fn>
   void for_each(Fn&& fn) {
     for (int i = 0; i < count_; ++i) {
-      fn(buffer_[(head_ + i) % capacity_]);
+      fn(buffer_[wrap(head_ + i)]);
     }
   }
 
  private:
+  /// Ring wrap without the modulo's integer divide; valid for any index
+  /// in [0, 2*capacity), which every call site satisfies.
+  [[nodiscard]] int wrap(int index) const noexcept {
+    return index >= capacity_ ? index - capacity_ : index;
+  }
+
   std::vector<DynUop> buffer_;
   int capacity_;
   int head_ = 0;

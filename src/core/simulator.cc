@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -30,6 +31,18 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
   }
   if (config.num_clusters < 1 || config.num_clusters > kMaxClusters) {
     throw std::invalid_argument("unsupported cluster count");
+  }
+  // The timing-wheel event queue requires every event to land strictly in
+  // the future (schedule() asserts delta >= 1). Completion latencies are
+  // >= 1 by construction (trace::execution_latency, the 1-cycle AGU), so
+  // the only zero-latency routes are these two config knobs; reject them
+  // here rather than misfile events a wheel revolution late in release
+  // builds.
+  if (config.link_latency < 1) {
+    throw std::invalid_argument("link_latency must be >= 1");
+  }
+  if (config.memory.l1_latency < 1) {
+    throw std::invalid_argument("memory.l1_latency must be >= 1");
   }
   // Committed architectural mappings alone pin num_threads x arch-regs
   // physical registers of each class; without headroom on top, renaming
@@ -93,6 +106,9 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
       config.steering, config.num_clusters,
       config.steer_imbalance_threshold);
   policy_ = policy::make_policy(config.policy, config.policy_config);
+
+  event_wheel_.resize(kEventWheelBuckets);
+  init_view();
 }
 
 void Simulator::attach_thread(ThreadId tid,
@@ -128,6 +144,7 @@ void Simulator::run(Cycle cycles) {
 
 void Simulator::reset_stats() {
   stats_ = SimStats{};
+  for (int t = 0; t < config_.num_threads; ++t) view_.committed[t] = 0;
   hierarchy_->reset_stats();
   mob_->reset_stats();
   fetch_->reset_stats();
@@ -137,6 +154,9 @@ void Simulator::reset_stats() {
 
 void Simulator::step() {
   refresh_view();
+#ifndef NDEBUG
+  assert(validate_view());
+#endif
   policy_->begin_cycle(view_);
   handle_flush_requests();
   commit_stage();
@@ -148,7 +168,25 @@ void Simulator::step() {
   ++stats_.cycles;
 }
 
+// The PipelineView is maintained incrementally: occupancy/free/used
+// counters change at the mutation helpers (iq_insert/iq_remove, rf_alloc/
+// rf_release, rob push/pop, sync_decode_depth), iq_unready_tc is sampled
+// once per cycle by the issue stage (the view's documented one-cycle-stale
+// hardware-counter semantics), and only the rf_blocked starvation flags
+// are double-buffered here. Their publication schedule is this call's
+// placement, kept exactly where the full rebuild used to run: at the top
+// of the cycle and after each successful rename — never between the
+// rename stage's flag clear and its first policy query.
 void Simulator::refresh_view() {
+  view_.now = now_;
+  for (int t = 0; t < config_.num_threads; ++t) {
+    for (int k = 0; k < kNumRegClasses; ++k) {
+      view_.rf_blocked[t][k] = rf_blocked_flags_[t][k];
+    }
+  }
+}
+
+void Simulator::init_view() {
   view_.now = now_;
   view_.num_threads = config_.num_threads;
   view_.num_clusters = config_.num_clusters;
@@ -163,25 +201,98 @@ void Simulator::refresh_view() {
           clusters_[c].rf(static_cast<RegClass>(k)).free_count();
     }
   }
-  for (int t = 0; t < config_.num_threads; ++t) {
-    for (int c = 0; c < config_.num_clusters; ++c) {
-      view_.iq_occ_tc[t][c] = clusters_[c].iq().occupancy_of(t);
-      for (int k = 0; k < kNumRegClasses; ++k) {
-        view_.rf_used[t][c][k] =
-            clusters_[c].rf(static_cast<RegClass>(k)).used_by(t);
-      }
-    }
-    view_.decode_queue_depth[t] = fetch_->queue_size(t);
-    view_.rob_occ[t] = robs_[t].size();
-    view_.l2_pending[t] = outstanding_l2_[t] > 0;
-    view_.committed[t] = stats_.committed[t];
+}
+
+bool Simulator::validate_view() const {
+  bool ok = true;
+  const auto check = [&ok](long long view_value, long long rebuilt,
+                           const char* what) {
+    if (view_value == rebuilt) return;
+    std::fprintf(stderr,
+                 "validate_view: %s drifted (view %lld, rebuilt %lld)\n",
+                 what, view_value, rebuilt);
+    ok = false;
+  };
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    check(view_.iq_occ[c], clusters_[c].iq().occupancy(), "iq_occ");
     for (int k = 0; k < kNumRegClasses; ++k) {
-      view_.rf_blocked[t][k] = rf_blocked_flags_[t][k];
-    }
-    for (int c = 0; c < config_.num_clusters; ++c) {
-      view_.iq_unready_tc[t][c] = iq_unready_tc_[t][c];
+      check(view_.rf_free[c][k],
+            clusters_[c].rf(static_cast<RegClass>(k)).free_count(),
+            "rf_free");
     }
   }
+  for (int t = 0; t < config_.num_threads; ++t) {
+    for (int c = 0; c < config_.num_clusters; ++c) {
+      check(view_.iq_occ_tc[t][c], clusters_[c].iq().occupancy_of(t),
+            "iq_occ_tc");
+      for (int k = 0; k < kNumRegClasses; ++k) {
+        check(view_.rf_used[t][c][k],
+              clusters_[c].rf(static_cast<RegClass>(k)).used_by(t),
+              "rf_used");
+      }
+    }
+    check(view_.decode_queue_depth[t], fetch_->queue_size(t),
+          "decode_queue_depth");
+    check(view_.rob_occ[t], robs_[t].size(), "rob_occ");
+    check(view_.l2_pending[t] ? 1 : 0, outstanding_l2_[t] > 0 ? 1 : 0,
+          "l2_pending");
+    check(static_cast<long long>(view_.committed[t]),
+          static_cast<long long>(stats_.committed[t]), "committed");
+  }
+  return ok;
+}
+
+// --------------------------------------------------------------------------
+// Incremental-view mutation helpers
+// --------------------------------------------------------------------------
+
+int Simulator::iq_insert(ClusterId c, const backend::IqEntry& entry) {
+  const int slot = clusters_[c].iq().insert(entry, source_ready(entry.src0),
+                                            source_ready(entry.src1));
+  if (slot >= 0) {
+    ++view_.iq_occ[c];
+    ++view_.iq_occ_tc[entry.tid][c];
+  }
+  return slot;
+}
+
+void Simulator::iq_remove(ClusterId c, int slot) {
+  backend::IssueQueue& iq = clusters_[c].iq();
+  const ThreadId tid = iq.entry(slot).tid;
+  iq.remove(slot);
+  --view_.iq_occ[c];
+  --view_.iq_occ_tc[tid][c];
+}
+
+int Simulator::rf_alloc(ClusterId c, RegClass cls, ThreadId tid) {
+  const int index = clusters_[c].rf(cls).allocate(tid);
+  if (index >= 0) {
+    --view_.rf_free[c][static_cast<int>(cls)];
+    ++view_.rf_used[tid][c][static_cast<int>(cls)];
+  }
+  return index;
+}
+
+void Simulator::rf_release(ClusterId c, RegClass cls, std::int16_t index) {
+  assert(!clusters_[c].iq().has_consumers(cls, index) &&
+         "released a register with live issue-queue watchers");
+  const ThreadId owner = clusters_[c].rf(cls).release(index);
+  ++view_.rf_free[c][static_cast<int>(cls)];
+  --view_.rf_used[owner][c][static_cast<int>(cls)];
+}
+
+void Simulator::make_ready(const PhysRef& ref) {
+  clusters_[ref.cluster].set_ready(ref.cls, ref.index);
+}
+
+DynUop* Simulator::rob_push(ThreadId tid) {
+  DynUop* uop = robs_[tid].push();
+  if (uop != nullptr) ++view_.rob_occ[tid];
+  return uop;
+}
+
+void Simulator::sync_decode_depth(ThreadId tid) {
+  view_.decode_queue_depth[tid] = fetch_->queue_size(tid);
 }
 
 // --------------------------------------------------------------------------
@@ -189,12 +300,21 @@ void Simulator::refresh_view() {
 // --------------------------------------------------------------------------
 
 void Simulator::schedule(Cycle cycle, EventKind kind, const DynUop& uop) {
-  events_.push(Event{.cycle = cycle,
-                     .order = event_order_++,
-                     .kind = kind,
-                     .tid = uop.tid,
-                     .rob_slot = robs_[uop.tid].slot_of(uop),
-                     .uid = uop.uid});
+  const Event event{.cycle = cycle,
+                    .order = event_order_++,
+                    .kind = kind,
+                    .tid = uop.tid,
+                    .rob_slot = robs_[uop.tid].slot_of(uop),
+                    .uid = uop.uid};
+  const Cycle delta = cycle - now_;
+  assert(delta >= 1 && "events must be scheduled strictly in the future");
+  if (delta < kEventWheelBuckets) {
+    // Appends are globally order-stamped, so each bucket stays sorted by
+    // `order` without ever sorting.
+    event_wheel_[cycle & (kEventWheelBuckets - 1)].push_back(event);
+  } else {
+    event_overflow_.push(event);
+  }
 }
 
 DynUop* Simulator::resolve_event(const Event& event) {
@@ -231,7 +351,7 @@ void Simulator::commit_stage() {
         const RegClass cls = arch_reg_class(head.op.dst);
         for (int c = 0; c < config_.num_clusters; ++c) {
           if (head.prev_replicas.phys[c] >= 0) {
-            clusters_[c].rf(cls).release(head.prev_replicas.phys[c]);
+            rf_release(c, cls, head.prev_replicas.phys[c]);
           }
         }
       }
@@ -241,6 +361,7 @@ void Simulator::commit_stage() {
         ++stats_.committed_copies;
       } else {
         ++stats_.committed[t];
+        view_.committed[t] = stats_.committed[t];
         if (head.op.is_branch()) ++stats_.committed_branches;
         if (head.op.is_load()) ++stats_.committed_loads;
         if (head.op.is_store()) ++stats_.committed_stores;
@@ -249,6 +370,7 @@ void Simulator::commit_stage() {
 
       head.uid = 0;  // invalidate pending events
       rob.pop_head();
+      --view_.rob_occ[t];
       --budget;
       last_commit_cycle_ = now_;
     }
@@ -263,6 +385,7 @@ void Simulator::commit_stage() {
 void Simulator::note_l2_miss_started(DynUop& uop) {
   uop.l2_miss_outstanding = true;
   ++outstanding_l2_[uop.tid];
+  view_.l2_pending[uop.tid] = true;
   policy_->on_l2_miss(uop.tid, uop.seq, now_);
 }
 
@@ -271,6 +394,7 @@ void Simulator::note_l2_miss_finished(DynUop& uop) {
   uop.l2_miss_outstanding = false;
   --outstanding_l2_[uop.tid];
   assert(outstanding_l2_[uop.tid] >= 0);
+  view_.l2_pending[uop.tid] = outstanding_l2_[uop.tid] > 0;
   policy_->on_l2_resolved(uop.tid, uop.seq, now_);
 }
 
@@ -312,13 +436,40 @@ void Simulator::retry_blocked_loads() {
 void Simulator::writeback_stage() {
   retry_blocked_loads();
 
-  while (!events_.empty() && events_.top().cycle <= now_) {
-    const Event event = events_.top();
-    events_.pop();
-    DynUop* uop = resolve_event(event);
-    if (uop == nullptr) continue;
+  // Drain this cycle's wheel bucket (already in order-stamp order). Events
+  // dispatched here schedule follow-ups at least one cycle ahead, which by
+  // construction land in a different bucket, so indexed iteration is safe.
+  std::vector<Event>& bucket = event_wheel_[now_ & (kEventWheelBuckets - 1)];
+  if (!event_overflow_.empty() && event_overflow_.top().cycle <= now_) {
+    // Rare path: events scheduled further than the wheel span are due;
+    // interleave them with the bucket by order stamp to preserve the
+    // global FIFO-within-cycle processing order.
+    std::vector<Event> due;
+    while (!event_overflow_.empty() && event_overflow_.top().cycle <= now_) {
+      due.push_back(event_overflow_.top());
+      event_overflow_.pop();
+    }
+    event_scratch_.clear();
+    std::merge(
+        bucket.begin(), bucket.end(), due.begin(), due.end(),
+        std::back_inserter(event_scratch_),
+        [](const Event& a, const Event& b) { return a.order < b.order; });
+    bucket.clear();
+    for (std::size_t i = 0; i < event_scratch_.size(); ++i) {
+      dispatch_event(event_scratch_[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < bucket.size(); ++i) dispatch_event(bucket[i]);
+    bucket.clear();
+  }
+}
 
-    switch (event.kind) {
+void Simulator::dispatch_event(const Event& event) {
+  assert(event.cycle == now_);
+  DynUop* uop = resolve_event(event);
+  if (uop == nullptr) return;
+
+  switch (event.kind) {
       case EventKind::kAgu: {
         mob_->set_address(uop->mob_slot, uop->op.mem_addr);
         if (uop->op.is_store()) {
@@ -340,10 +491,7 @@ void Simulator::writeback_stage() {
           }
           break;
         }
-        if (uop->dst.valid()) {
-          clusters_[uop->dst.cluster].rf(uop->dst.cls).set_ready(
-              uop->dst.index);
-        }
+        if (uop->dst.valid()) make_ready(uop->dst);
         if (uop->op.is_load() && uop->l2_miss_outstanding) {
           note_l2_miss_finished(*uop);
         }
@@ -361,18 +509,17 @@ void Simulator::writeback_stage() {
               squash_younger_than(uop->tid, uop->seq, nullptr, nullptr);
               fetch_->resolve_mispredict(uop->tid, uop->history_checkpoint,
                                          uop->op.taken, now_);
+              sync_decode_depth(uop->tid);
             }
           }
         }
         break;
       }
       case EventKind::kCopyArrive: {
-        clusters_[uop->dst.cluster].rf(uop->dst.cls).set_ready(
-            uop->dst.index);
+        make_ready(uop->dst);
         uop->stage = UopStage::kDone;
         break;
       }
-    }
   }
 }
 
@@ -389,40 +536,73 @@ void Simulator::issue_stage() {
   interconnect_->new_cycle();
   bool any_issue = false;
   int ready_unissued[kMaxClusters][trace::kNumPortClasses] = {};
-  for (auto& row : iq_unready_tc_) {
-    for (int& count : row) count = 0;
-  }
+
+  // Grants an issue port to the (ready) entry at `slot` if one is free.
+  const auto try_issue = [&](int c, int slot) {
+    backend::Cluster& cluster = clusters_[c];
+    const backend::IqEntry& entry = cluster.iq().entry(slot);
+    const trace::PortClass port_class = trace::port_class_of(entry.cls);
+    if (!cluster.ports().try_book(port_class)) {
+      ++ready_unissued[c][static_cast<int>(port_class)];
+      return;
+    }
+    DynUop& uop =
+        robs_[rob_ref_tid(entry.rob_ref)].at_slot(rob_ref_slot(entry.rob_ref));
+    iq_remove(c, slot);
+    uop.iq_slot = -1;
+    uop.stage = UopStage::kIssued;
+    ++stats_.issued_uops;
+    any_issue = true;
+    if (trace::is_memory(uop.op.cls)) {
+      schedule(now_ + 1, EventKind::kAgu, uop);  // 1-cycle AGU
+    } else {
+      schedule(now_ + static_cast<Cycle>(trace::execution_latency(uop.op.cls)),
+               EventKind::kComplete, uop);
+    }
+  };
 
   for (int c = 0; c < config_.num_clusters; ++c) {
     backend::Cluster& cluster = clusters_[c];
     cluster.ports().new_cycle();
-    // Snapshot: issuing removes entries, which reshuffles the live order.
-    issue_scratch_.assign(cluster.iq().slots_by_age().begin(),
-                          cluster.iq().slots_by_age().end());
-    for (int slot : issue_scratch_) {
-      const backend::IqEntry& entry = cluster.iq().entry(slot);
-      if (!source_ready(entry.src0) || !source_ready(entry.src1)) {
-        ++iq_unready_tc_[entry.tid][c];
-        continue;
+    if (issue_model_ == IssueModel::kWakeup) {
+      // The view's unready counters sample the wakeup bookkeeping here, at
+      // the same point the reference scan would have counted them, keeping
+      // the documented one-cycle-stale hardware-counter semantics.
+      for (int t = 0; t < config_.num_threads; ++t) {
+        view_.iq_unready_tc[t][c] = cluster.iq().waiting_of(t);
       }
-      const trace::PortClass port_class = trace::port_class_of(entry.cls);
-      if (!cluster.ports().try_book(port_class)) {
-        ++ready_unissued[c][static_cast<int>(port_class)];
-        continue;
+      // Scan only ready entries, oldest first (the iterator advances past
+      // a slot before handing it out, so issuing may remove it).
+      backend::IssueQueue::OrderedIter it = cluster.iq().ready_iter();
+      for (int slot = it.next(); slot != -1; slot = it.next()) {
+        try_issue(c, slot);
+        if (cluster.ports().all_booked()) {
+          // Every port is taken: the rest of the ready list can only be
+          // denied. Tally the Figure 5 events without probing the ports
+          // (try_book on a fully-booked set always fails).
+          for (int rest = it.next(); rest != -1; rest = it.next()) {
+            const trace::PortClass pc =
+                trace::port_class_of(cluster.iq().entry(rest).cls);
+            ++ready_unissued[c][static_cast<int>(pc)];
+          }
+          break;
+        }
       }
-      DynUop& uop =
-          robs_[rob_ref_tid(entry.rob_ref)].at_slot(rob_ref_slot(entry.rob_ref));
-      cluster.iq().remove(slot);
-      uop.iq_slot = -1;
-      uop.stage = UopStage::kIssued;
-      ++stats_.issued_uops;
-      any_issue = true;
-      if (trace::is_memory(uop.op.cls)) {
-        schedule(now_ + 1, EventKind::kAgu, uop);  // 1-cycle AGU
-      } else {
-        schedule(now_ + static_cast<Cycle>(
-                             trace::execution_latency(uop.op.cls)),
-                 EventKind::kComplete, uop);
+    } else {
+      // Reference model: probe every occupied slot through the register
+      // files (the original per-cycle rescan). Kept as the differential-
+      // test oracle for the wakeup path.
+      for (int t = 0; t < config_.num_threads; ++t) {
+        view_.iq_unready_tc[t][c] = 0;
+      }
+      backend::IssueQueue::OrderedIter it = cluster.iq().age_iter();
+      for (int slot = it.next(); slot != -1; slot = it.next()) {
+        const backend::IqEntry& entry = cluster.iq().entry(slot);
+        if (!source_ready(entry.src0) || !source_ready(entry.src1)) {
+          ++view_.iq_unready_tc[entry.tid][c];
+        } else {
+          try_issue(c, slot);
+        }
       }
     }
   }
@@ -479,7 +659,10 @@ void Simulator::rename_stage() {
     }
     budget -= consumed;
     renamed_any = true;
-    refresh_view();  // occupancies moved; policies must see them
+    // Republish the rf_blocked snapshot (occupancies are already live):
+    // a successful rename cleared the thread's flags, and the next µop's
+    // policy queries must see that, exactly as the old full refresh did.
+    refresh_view();
   }
   if (renamed_any) ++stats_.rename_cycles;
 }
@@ -550,6 +733,20 @@ int Simulator::try_rename_front(ThreadId tid) {
   if (trace::is_memory(fu.op.cls) && mob_->full()) {
     ++stats_.rename_block_mob;
     mob_->note_full_stall();
+    return 0;
+  }
+
+  // A full ROB fails every cluster's plan before its issue-queue or
+  // register checks run, so no starvation flags or preferred-IQ events
+  // would be recorded: take the blocked exit without voting/steering/
+  // planning. Round-robin steering is excluded because its cursor advances
+  // on every (even failed) decision and skipping would change later
+  // cluster choices. For the stateless kinds only the Steering *decision
+  // counters* stop counting these doomed attempts — SimStats and every
+  // golden table are unaffected.
+  if (robs_[tid].full() &&
+      steering_->kind() != steer::SteeringKind::kRoundRobin) {
+    ++stats_.rename_block_rob;
     return 0;
   }
 
@@ -641,6 +838,7 @@ int Simulator::try_rename_front(ThreadId tid) {
 
   execute_plan(tid, fu, plan);
   fetch_->pop_front(tid);
+  sync_decode_depth(tid);
   ++stats_.renamed_uops;
   stats_.copies_created += static_cast<std::uint64_t>(plan.num_copies);
   // Copies are injected by dedicated rename-stage ports ([12]: "generated
@@ -659,7 +857,7 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
   for (int i = 0; i < plan.num_copies; ++i) {
     const RenamePlan::CopyPlan& cp = plan.copies[i];
     const RegClass cls = arch_reg_class(cp.arch);
-    DynUop* copy = robs_[tid].push();
+    DynUop* copy = rob_push(tid);
     assert(copy != nullptr);
     copy->op.cls = trace::UopClass::kCopy;
     copy->op.pc = fu.op.pc;
@@ -671,7 +869,7 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
     copy->cluster = cp.from;  // reads (and issues) in the producer cluster
     copy->srcs[0] = PhysRef{static_cast<std::int8_t>(cp.from), cls,
                             cp.from_phys};
-    const int dst_index = clusters_[target].rf(cls).allocate(tid);
+    const int dst_index = rf_alloc(target, cls, tid);
     assert(dst_index >= 0);
     copy->dst = PhysRef{static_cast<std::int8_t>(target), cls,
                         static_cast<std::int16_t>(dst_index)};
@@ -685,11 +883,11 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
                            .src1 = kNoPhysRef,
                            .rob_ref = pack_rob_ref(
                                tid, robs_[tid].slot_of(*copy))};
-    copy->iq_slot = clusters_[cp.from].iq().insert(entry);
+    copy->iq_slot = iq_insert(cp.from, entry);
     assert(copy->iq_slot >= 0);
   }
 
-  DynUop* uop = robs_[tid].push();
+  DynUop* uop = rob_push(tid);
   assert(uop != nullptr);
   uop->op = fu.op;
   uop->tid = tid;
@@ -717,7 +915,7 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
 
   if (fu.op.has_dst()) {
     const RegClass cls = arch_reg_class(fu.op.dst);
-    const int dst_index = clusters_[target].rf(cls).allocate(tid);
+    const int dst_index = rf_alloc(target, cls, tid);
     assert(dst_index >= 0);
     uop->dst = PhysRef{static_cast<std::int8_t>(target), cls,
                        static_cast<std::int16_t>(dst_index)};
@@ -745,7 +943,7 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
     // with the store and never delays address generation.
     entry.src1 = kNoPhysRef;
   }
-  uop->iq_slot = clusters_[target].iq().insert(entry);
+  uop->iq_slot = iq_insert(target, entry);
   assert(uop->iq_slot >= 0);
 }
 
@@ -757,7 +955,10 @@ void Simulator::fetch_stage() {
   std::uint32_t mask = (1u << config_.num_threads) - 1;
   mask = policy_->fetch_eligible(view_, mask);
   const ThreadId tid = fetch_->select_fetch_thread(mask, now_);
-  if (tid >= 0) fetch_->fetch_cycle(tid, now_);
+  if (tid >= 0) {
+    fetch_->fetch_cycle(tid, now_);
+    sync_decode_depth(tid);
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -767,7 +968,7 @@ void Simulator::fetch_stage() {
 void Simulator::undo_uop(DynUop& uop) {
   ++stats_.squashed_uops;
   if (uop.stage == UopStage::kDispatched && uop.iq_slot >= 0) {
-    clusters_[uop.cluster].iq().remove(uop.iq_slot);
+    iq_remove(uop.cluster, uop.iq_slot);
     uop.iq_slot = -1;
   }
   if (uop.l2_miss_outstanding) note_l2_miss_finished(uop);
@@ -777,10 +978,10 @@ void Simulator::undo_uop(DynUop& uop) {
   }
   if (uop.is_copy) {
     rename_maps_[uop.tid].remove_replica(uop.copy_arch, uop.dst.cluster);
-    clusters_[uop.dst.cluster].rf(uop.dst.cls).release(uop.dst.index);
+    rf_release(uop.dst.cluster, uop.dst.cls, uop.dst.index);
   } else if (uop.has_prev) {
     rename_maps_[uop.tid].restore(uop.op.dst, uop.prev_replicas);
-    clusters_[uop.dst.cluster].rf(uop.dst.cls).release(uop.dst.index);
+    rf_release(uop.dst.cluster, uop.dst.cls, uop.dst.index);
   }
   uop.uid = 0;  // poison pending events / blocked-load references
 }
@@ -800,6 +1001,7 @@ void Simulator::squash_younger_than(ThreadId tid, std::uint64_t boundary_seq,
     }
     undo_uop(tail);
     rob.pop_tail();
+    --view_.rob_occ[tid];
   }
 }
 
@@ -826,6 +1028,7 @@ void Simulator::handle_flush_requests() {
                              any_branch
                                  ? std::optional<std::uint64_t>(checkpoint)
                                  : std::nullopt);
+    sync_decode_depth(request->tid);
     policy_->on_flush_done(request->tid);
     ++stats_.policy_flushes;
   }

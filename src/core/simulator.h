@@ -29,7 +29,27 @@ namespace clusmt::core {
 
 class Simulator {
  public:
+  /// Issue-stage implementation. kWakeup (default) is the event-driven
+  /// path: completing producers wake their consumers, and selection scans
+  /// only the per-cluster ready lists. kScanReference re-probes every
+  /// occupied issue-queue slot every cycle (the original model); it exists
+  /// as the oracle for differential tests — both paths must produce
+  /// bit-identical SimStats.
+  enum class IssueModel : std::uint8_t { kWakeup = 0, kScanReference };
+
   explicit Simulator(const SimConfig& config);
+
+  void set_issue_model(IssueModel model) noexcept { issue_model_ = model; }
+  [[nodiscard]] IssueModel issue_model() const noexcept {
+    return issue_model_;
+  }
+
+  /// Cross-checks every incrementally-maintained PipelineView counter
+  /// against a from-scratch rebuild off the component state, printing any
+  /// drift to stderr. Debug builds run this every cycle; tests assert it
+  /// directly so counter drift fails loudly instead of silently skewing
+  /// policies.
+  [[nodiscard]] bool validate_view() const;
 
   /// Attaches a thread's µop source. `profile` must outlive the simulator
   /// (it parameterises wrong-path synthesis).
@@ -103,6 +123,7 @@ class Simulator {
 
   void schedule(Cycle cycle, EventKind kind, const DynUop& uop);
   [[nodiscard]] DynUop* resolve_event(const Event& event);
+  void dispatch_event(const Event& event);
 
   // --- Pipeline stages ---
   void commit_stage();
@@ -148,7 +169,20 @@ class Simulator {
   void note_l2_miss_finished(DynUop& uop);
 
   void refresh_view();
+  void init_view();
   [[nodiscard]] bool source_ready(const PhysRef& ref) const;
+
+  // --- Incremental-view mutation helpers ---
+  // Every structural mutation goes through one of these so the
+  // PipelineView occupancy counters stay current without per-cycle
+  // rebuilds (validate_view() is the cross-check).
+  int iq_insert(ClusterId c, const backend::IqEntry& entry);
+  void iq_remove(ClusterId c, int slot);
+  int rf_alloc(ClusterId c, RegClass cls, ThreadId tid);
+  void rf_release(ClusterId c, RegClass cls, std::int16_t index);
+  void make_ready(const PhysRef& ref);
+  DynUop* rob_push(ThreadId tid);
+  void sync_decode_depth(ThreadId tid);
 
   SimConfig config_;
   Cycle now_ = 0;
@@ -166,23 +200,32 @@ class Simulator {
   std::unique_ptr<policy::ResourceAssignmentPolicy> policy_;
   std::vector<Rob> robs_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  // Timing-wheel event queue. Every event is scheduled a bounded, known
+  // latency ahead, so a calendar of per-cycle FIFO buckets replaces the
+  // priority queue: schedule() appends to bucket[cycle % N] in O(1), and
+  // the writeback stage drains exactly one bucket per cycle. Events
+  // further than the wheel span ahead (pathological bus queueing) spill
+  // into an overflow heap; both structures preserve the global
+  // (cycle, order) processing order of the original priority queue.
+  static constexpr std::size_t kEventWheelBuckets = 1024;  // power of two
+  std::vector<std::vector<Event>> event_wheel_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>>
+      event_overflow_;
+  std::vector<Event> event_scratch_;  // overflow/bucket merge staging
   struct BlockedLoad {
     ThreadId tid;
     int rob_slot;
     std::uint64_t uid;
   };
   std::vector<BlockedLoad> blocked_loads_;
-  std::vector<int> issue_scratch_;  // reused per-cycle issue order snapshot
 
   // Shadow trace profiles (wrong-path synthesis needs stable pointers).
   std::vector<std::unique_ptr<trace::TraceProfile>> owned_profiles_;
 
   policy::PipelineView view_;
   bool rf_blocked_flags_[kMaxThreads][kNumRegClasses] = {};
-  // Refreshed by the issue stage each cycle (see PipelineView comment).
-  int iq_unready_tc_[kMaxThreads][kMaxClusters] = {};
   int outstanding_l2_[kMaxThreads] = {};
+  IssueModel issue_model_ = IssueModel::kWakeup;
   ThreadId commit_rr_ = 0;
   Cycle last_commit_cycle_ = 0;
   CommitHook commit_hook_;

@@ -16,6 +16,9 @@ FetchEngine::FetchEngine(const FetchConfig& config, int num_threads)
   if (num_threads < 1 || num_threads > kMaxThreads) {
     throw std::invalid_argument("unsupported thread count");
   }
+  for (ThreadState& ts : threads_) {
+    ts.queue.reset_capacity(config.decode_queue_capacity);
+  }
 }
 
 void FetchEngine::attach_thread(ThreadId tid,
@@ -206,9 +209,9 @@ void FetchEngine::flush_and_replay(
   // Correct-path µops still sitting in the decode queue are squashed too;
   // they must be replayed after the ones already in the back-end.
   std::vector<trace::MicroOp> queued_correct;
-  for (const FetchedUop& fu : ts.queue) {
+  ts.queue.for_each([&](const FetchedUop& fu) {
     if (!fu.wrong_path) queued_correct.push_back(fu.op);
-  }
+  });
   ts.queue.clear();
 
   // Rebuild replay front: [replay_oldest_first][queued_correct][peek][old replay]

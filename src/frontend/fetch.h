@@ -8,6 +8,7 @@
 // re-delivered before new trace µops.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -64,6 +65,51 @@ struct FetchStats {
   std::uint64_t tc_hit_cycles = 0;
   std::uint64_t mispredicts_seen = 0;
   std::uint64_t itlb_stalls = 0;
+};
+
+/// Fixed-capacity FIFO for the per-thread decode queue. The capacity is
+/// config-bounded and small, so a flat ring beats std::deque's chunked
+/// storage on the three per-µop operations (push, front, pop).
+class DecodeQueue {
+ public:
+  void reset_capacity(int capacity) {
+    buf_.assign(static_cast<std::size_t>(capacity), FetchedUop{});
+    head_ = 0;
+    size_ = 0;
+  }
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const FetchedUop& front() const { return buf_[head_]; }
+  void push_back(const FetchedUop& fu) {
+    assert(size_ < static_cast<int>(buf_.size()));
+    buf_[static_cast<std::size_t>(wrap(head_ + size_))] = fu;
+    ++size_;
+  }
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+  /// Visits entries oldest to youngest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int i = 0; i < size_; ++i) {
+      fn(buf_[static_cast<std::size_t>(wrap(head_ + i))]);
+    }
+  }
+
+ private:
+  [[nodiscard]] int wrap(int index) const noexcept {
+    const int cap = static_cast<int>(buf_.size());
+    return index >= cap ? index - cap : index;
+  }
+  std::vector<FetchedUop> buf_;
+  int head_ = 0;
+  int size_ = 0;
 };
 
 class FetchEngine {
@@ -134,7 +180,7 @@ class FetchEngine {
     trace::WrongPathSource wrong_path;
     bool wrong_path_active = false;
     Cycle stall_until = 0;
-    std::deque<FetchedUop> queue;  // decode queue
+    DecodeQueue queue;  // decode queue
   };
 
   /// Next correct-path µop (replay first, then peek buffer, then source).

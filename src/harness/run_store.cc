@@ -1,9 +1,11 @@
 #include "harness/run_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "common/fsio.h"
 #include "common/hash.h"
@@ -234,6 +236,77 @@ bool RunStore::save(const RunKey& key, const RunResult& result) const {
       std::filesystem::path(path).parent_path(), ec);
   if (ec) return false;
   return write_file_atomic(path, encode_run_record(key, result));
+}
+
+GcResult gc_run_store(const std::string& dir, const GcOptions& options) {
+  namespace fs = std::filesystem;
+  GcResult result;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) return result;  // empty store
+
+  struct Record {
+    fs::path path;
+    std::uint64_t bytes = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Record> records;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec) || it->path().extension() != ".run") {
+      continue;
+    }
+    // A record can vanish between iteration and stat (concurrent GC or a
+    // writer replacing it): skip it rather than record file_size's
+    // uintmax_t(-1) error sentinel as ~16 EB of store.
+    std::error_code size_ec;
+    std::error_code time_ec;
+    Record record{it->path(), it->file_size(size_ec), {}};
+    record.mtime = fs::last_write_time(record.path, time_ec);
+    if (size_ec || time_ec) continue;
+    records.push_back(std::move(record));
+  }
+  result.scanned_files = records.size();
+  for (const Record& record : records) result.scanned_bytes += record.bytes;
+
+  // Oldest first; path breaks mtime ties so a sweep is deterministic on
+  // filesystems with coarse timestamps.
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+
+  std::uint64_t live_files = result.scanned_files;
+  std::uint64_t live_bytes = result.scanned_bytes;
+  for (const Record& record : records) {
+    const bool over_bytes = options.max_bytes != 0 &&
+                            live_bytes > options.max_bytes;
+    const bool over_files = options.max_files != 0 &&
+                            live_files > options.max_files;
+    if (!over_bytes && !over_files) break;
+    if (!options.dry_run) {
+      fs::remove(record.path, ec);
+      if (ec) continue;  // busy/permission: skip, keep sweeping
+    }
+    ++result.deleted_files;
+    result.deleted_bytes += record.bytes;
+    --live_files;
+    live_bytes -= record.bytes;
+  }
+
+  if (!options.dry_run && result.deleted_files > 0) {
+    // Prune key-prefix subdirectories the sweep emptied (never the root).
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (!it->is_directory(ec)) continue;
+      std::error_code rm_ec;
+      if (fs::is_empty(it->path(), rm_ec) && !rm_ec &&
+          fs::remove(it->path(), rm_ec) && !rm_ec) {
+        ++result.removed_dirs;
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace clusmt::harness

@@ -37,6 +37,32 @@ inline constexpr std::uint32_t kRunStoreFormatVersion = 1;
 [[nodiscard]] std::optional<RunResult> decode_run_record(
     const RunKey& key, std::string_view record);
 
+/// Options for gc_run_store. Caps of 0 mean "unlimited" for that axis; a
+/// dry run reports what would be deleted without touching the directory.
+struct GcOptions {
+  std::uint64_t max_bytes = 0;
+  std::uint64_t max_files = 0;
+  bool dry_run = false;
+};
+
+/// Outcome of one GC sweep over a run-store directory.
+struct GcResult {
+  std::uint64_t scanned_files = 0;
+  std::uint64_t scanned_bytes = 0;
+  std::uint64_t deleted_files = 0;  // dry runs count would-be deletions
+  std::uint64_t deleted_bytes = 0;
+  std::uint64_t removed_dirs = 0;   // emptied key-prefix subdirectories
+};
+
+/// Size/count-capped LRU sweep over a run-store directory: scans every
+/// `*.run` record, and while the store exceeds `max_bytes`/`max_files`
+/// deletes records oldest-mtime-first (a record's mtime is its last write;
+/// readers that want LRU-by-use can touch records on load). Emptied
+/// prefix subdirectories are pruned. A missing directory is an empty
+/// store. Never deletes anything that is not a `.run` record.
+[[nodiscard]] GcResult gc_run_store(const std::string& dir,
+                                    const GcOptions& options);
+
 class RunStore {
  public:
   /// `dir` is created (with parents) on first save; a missing dir just

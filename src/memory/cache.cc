@@ -1,5 +1,6 @@
 #include "memory/cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -19,7 +20,9 @@ SetAssocCache::SetAssocCache(std::uint64_t size_bytes, int assoc,
   }
   num_sets_ = lines / static_cast<std::uint64_t>(assoc);
   line_shift_ = std::countr_zero(static_cast<std::uint64_t>(line_bytes));
-  lines_.resize(lines);
+  tags_.resize(lines);
+  lru_.resize(lines);
+  flags_.resize(lines);
 }
 
 std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const noexcept {
@@ -30,52 +33,59 @@ std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const noexcept {
   return addr >> line_shift_;
 }
 
+namespace {
+constexpr std::uint8_t kValid = 1;
+constexpr std::uint8_t kDirty = 2;
+}  // namespace
+
 bool SetAssocCache::access(std::uint64_t addr, bool is_write) {
   ++stats_.accesses;
   ++lru_clock_;
   const std::uint64_t set = set_of(addr);
   const std::uint64_t tag = tag_of(addr);
-  Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+  const std::uint64_t base = set * static_cast<std::uint64_t>(assoc_);
+  const std::uint64_t* tags = &tags_[base];
+  std::uint8_t* flags = &flags_[base];
 
-  Line* victim = base;
+  int victim = 0;
   for (int w = 0; w < assoc_; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.lru = lru_clock_;
-      line.dirty = line.dirty || is_write;
+    if ((flags[w] & kValid) && tags[w] == tag) {
+      lru_[base + w] = lru_clock_;
+      if (is_write) flags[w] |= kDirty;
       ++stats_.hits;
       return true;
     }
-    if (!line.valid) {
-      victim = &line;
-    } else if (victim->valid && line.lru < victim->lru) {
-      victim = &line;
+    if (!(flags[w] & kValid)) {
+      victim = w;
+    } else if ((flags[victim] & kValid) && lru_[base + w] < lru_[base + victim]) {
+      victim = w;
     }
   }
 
-  if (victim->valid) {
+  if (flags[victim] & kValid) {
     ++stats_.evictions;
-    if (victim->dirty) ++stats_.dirty_evictions;
+    if (flags[victim] & kDirty) ++stats_.dirty_evictions;
   }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = lru_clock_;
-  victim->dirty = is_write;
+  flags[victim] = static_cast<std::uint8_t>(kValid | (is_write ? kDirty : 0));
+  tags_[base + victim] = tag;
+  lru_[base + victim] = lru_clock_;
   return false;
 }
 
 bool SetAssocCache::probe(std::uint64_t addr) const {
   const std::uint64_t set = set_of(addr);
   const std::uint64_t tag = tag_of(addr);
-  const Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+  const std::uint64_t base = set * static_cast<std::uint64_t>(assoc_);
   for (int w = 0; w < assoc_; ++w) {
-    if (base[w].valid && base[w].tag == tag) return true;
+    if ((flags_[base + w] & kValid) && tags_[base + w] == tag) return true;
   }
   return false;
 }
 
 void SetAssocCache::flush() {
-  for (auto& line : lines_) line = Line{};
+  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
 }
 
 }  // namespace clusmt::memory

@@ -24,6 +24,7 @@ int MemOrderBuffer::allocate(ThreadId tid, std::uint64_t seq, bool is_store) {
   assert(order_[tid].empty() ||
          entries_[order_[tid].back()].seq < seq);
   order_[tid].push_back(slot);
+  if (is_store) store_order_[tid].push_back(slot);
   ++occupancy_;
   ++stats_.allocations;
   return slot;
@@ -39,14 +40,16 @@ void MemOrderBuffer::set_address(int slot, std::uint64_t addr) {
 LoadCheck MemOrderBuffer::check_load(int slot) {
   const Entry& load = entries_.at(slot);
   assert(load.in_use && !load.is_store && load.addr_known);
-  const auto& order = order_[load.tid];
-  // Scan older same-thread entries from youngest to oldest; the youngest
+  const auto& stores = store_order_[load.tid];
+  // Scan older same-thread stores from youngest to oldest; the youngest
   // matching store forwards. An unknown store address hides any older
-  // match, so the load must conservatively wait.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const Entry& e = entries_[*it];
-    if (e.seq >= load.seq) continue;
-    if (!e.is_store) continue;
+  // match, so the load must conservatively wait. The deque is sorted by
+  // seq, so the first older store is a binary search away.
+  auto it = std::lower_bound(
+      stores.begin(), stores.end(), load.seq,
+      [this](int s, std::uint64_t seq) { return entries_[s].seq < seq; });
+  while (it != stores.begin()) {
+    const Entry& e = entries_[*--it];
     if (!e.addr_known) {
       ++stats_.waits;
       return LoadCheck::kWait;
@@ -73,6 +76,18 @@ void MemOrderBuffer::release(int slot) {
     const auto it = std::find(order.begin(), order.end(), slot);
     assert(it != order.end());
     order.erase(it);
+  }
+  if (e.is_store) {
+    auto& stores = store_order_[e.tid];
+    if (!stores.empty() && stores.front() == slot) {
+      stores.pop_front();
+    } else if (!stores.empty() && stores.back() == slot) {
+      stores.pop_back();
+    } else {
+      const auto it = std::find(stores.begin(), stores.end(), slot);
+      assert(it != stores.end());
+      stores.erase(it);
+    }
   }
   e.in_use = false;
   free_slots_.push_back(slot);

@@ -68,6 +68,11 @@ class MemOrderBuffer {
   std::vector<Entry> entries_;
   std::vector<int> free_slots_;
   std::deque<int> order_[kMaxThreads];  // per-thread slots, oldest first
+  // Per-thread *store* slots only, oldest first. Disambiguation only ever
+  // inspects stores, so check_load binary-searches its program-order
+  // position here and walks stores alone instead of rescanning the whole
+  // thread order (loads included) on every probe and retry.
+  std::deque<int> store_order_[kMaxThreads];
   int capacity_;
   int occupancy_ = 0;
   MobStats stats_;

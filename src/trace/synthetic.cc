@@ -9,7 +9,6 @@ namespace {
 
 constexpr std::uint64_t kUopBytes = 4;      // µop pc granularity
 constexpr std::uint64_t kTextBase = 0x400000;
-constexpr std::size_t kProducerRing = 64;   // recent-producer window
 constexpr int kMaxBlockLen = 24;
 
 /// Samples a µop class from the profile's non-branch mix.
@@ -122,10 +121,10 @@ SyntheticTrace::SyntheticTrace(std::shared_ptr<const SyntheticProgram> program,
     : program_(std::move(program)),
       rng_(hash_combine(seed, 0xD1AA11C5)),
       branch_state_(program_->blocks().size(), 0) {
-  recent_int_.reserve(kProducerRing);
-  recent_fp_.reserve(kProducerRing);
-
   const TraceProfile& p = program_->profile();
+  dep_dist_ = GeometricDist(p.dep_geo_p);
+  old_dist_ = GeometricDist(p.old_src_p);
+  indirect_skew_dist_ = GeometricDist(0.9);
   // Give each trace a distinct 64 MB-aligned address region, mimicking
   // distinct process address spaces that still compete for shared caches.
   base_addr_ = (1 + (hash_combine(seed, 0xADD2E55) & 0x3F)) << 26;
@@ -176,22 +175,23 @@ bool SyntheticTrace::evaluate_branch(int block_index) {
   return false;
 }
 
-std::int16_t SyntheticTrace::sample_source(RegClass cls, double p) {
+std::int16_t SyntheticTrace::sample_source(RegClass cls,
+                                           const GeometricDist& dist) {
   auto& ring = cls == RegClass::kInt ? recent_int_ : recent_fp_;
   if (ring.empty()) {
     return cls == RegClass::kInt ? std::int16_t{0}
                                  : std::int16_t{kNumIntArchRegs};
   }
-  const std::uint64_t d = rng_.geometric(p, ring.size() - 1);
-  return ring[ring.size() - 1 - d];
+  const std::uint64_t d = dist.sample(rng_, ring.size() - 1);
+  return ring.from_back(d);
 }
 
 std::int16_t SyntheticTrace::sample_data_source(RegClass cls) {
-  return sample_source(cls, program_->profile().dep_geo_p);
+  return sample_source(cls, dep_dist_);
 }
 
 std::int16_t SyntheticTrace::sample_old_source(RegClass cls) {
-  return sample_source(cls, program_->profile().old_src_p);
+  return sample_source(cls, old_dist_);
 }
 
 std::uint64_t SyntheticTrace::sample_address(bool& out_is_chase,
@@ -233,8 +233,7 @@ void SyntheticTrace::note_producer(std::int16_t arch) {
   if (arch < 0) return;
   auto& ring = arch_reg_class(arch) == RegClass::kInt ? recent_int_
                                                       : recent_fp_;
-  ring.push_back(arch);
-  if (ring.size() > kProducerRing) ring.erase(ring.begin());
+  ring.push(arch);
 }
 
 MicroOp SyntheticTrace::next() {
@@ -311,8 +310,8 @@ MicroOp SyntheticTrace::next() {
     // Skewed dynamic target choice: mostly the first target so the
     // last-target predictor has something to learn, with excursions.
     const auto& targets = block.indirect_targets;
-    const std::uint64_t skew =
-        rng_.geometric(0.9, targets.empty() ? 0 : targets.size() - 1);
+    const std::uint64_t skew = indirect_skew_dist_.sample(
+        rng_, targets.empty() ? 0 : targets.size() - 1);
     next_block = targets.empty() ? block.fallthrough_next
                                  : targets[skew];
     op.taken = true;  // indirect jumps always redirect

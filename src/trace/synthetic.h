@@ -92,9 +92,37 @@ class SyntheticTrace final : public TraceSource {
 
  private:
   void refill_block();
+  /// Bounded ring of recent same-class producers, most recent last.
+  /// Push overwrites the oldest entry when full — same contents as the
+  /// old append-then-erase vector, without the per-push memmove.
+  class ProducerRing {
+   public:
+    void push(std::int16_t arch) noexcept {
+      if (count_ < kCap) {
+        buf_[(head_ + count_++) % kCap] = arch;
+      } else {
+        buf_[head_] = arch;
+        head_ = (head_ + 1) % kCap;
+      }
+    }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    /// `d` steps back from the most recent producer (d == 0 => newest).
+    [[nodiscard]] std::int16_t from_back(std::size_t d) const noexcept {
+      return buf_[(head_ + count_ - 1 - d) % kCap];
+    }
+
+   private:
+    static constexpr std::size_t kCap = 64;  // recent-producer window
+    std::int16_t buf_[kCap] = {};
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   [[nodiscard]] bool evaluate_branch(int block_index);
-  /// Samples a same-class producer `geometric(p)` steps back.
-  [[nodiscard]] std::int16_t sample_source(RegClass cls, double p);
+  /// Samples a same-class producer `dist` (geometric) steps back.
+  [[nodiscard]] std::int16_t sample_source(RegClass cls,
+                                           const GeometricDist& dist);
   /// Data-dependence distance (profile dep_geo_p).
   [[nodiscard]] std::int16_t sample_data_source(RegClass cls);
   /// Control/address source: far back, usually already computed.
@@ -115,8 +143,13 @@ class SyntheticTrace final : public TraceSource {
   std::vector<std::uint32_t> branch_state_;
 
   // Recent same-class producers, most recent last (bounded ring).
-  std::vector<std::int16_t> recent_int_;
-  std::vector<std::int16_t> recent_fp_;
+  ProducerRing recent_int_;
+  ProducerRing recent_fp_;
+
+  // Hot per-µop geometric distributions (fixed p), with cached logs.
+  GeometricDist dep_dist_;
+  GeometricDist old_dist_;
+  GeometricDist indirect_skew_dist_;
 
   // Memory state.
   std::uint64_t base_addr_ = 0;

@@ -74,23 +74,36 @@ TEST(IssueQueue, FullRejects) {
   EXPECT_EQ(iq.insert(IqEntry{.tid = 0, .seq = 3}), -1);
 }
 
+/// Collects the merged age-ordered iteration into a vector.
+std::vector<int> age_order(const IssueQueue& iq) {
+  std::vector<int> order;
+  IssueQueue::OrderedIter it = iq.age_iter();
+  for (int slot = it.next(); slot != -1; slot = it.next()) {
+    order.push_back(slot);
+  }
+  return order;
+}
+
+std::vector<int> ready_order(const IssueQueue& iq) {
+  std::vector<int> order;
+  IssueQueue::OrderedIter it = iq.ready_iter();
+  for (int slot = it.next(); slot != -1; slot = it.next()) {
+    order.push_back(slot);
+  }
+  return order;
+}
+
 TEST(IssueQueue, AgeOrderAcrossThreads) {
   IssueQueue iq(8);
   // Insert out of age order.
   const int s3 = iq.insert(IqEntry{.tid = 0, .seq = 30});
   const int s1 = iq.insert(IqEntry{.tid = 1, .seq = 10});
   const int s2 = iq.insert(IqEntry{.tid = 0, .seq = 20});
-  const auto& order = iq.slots_by_age();
-  ASSERT_EQ(order.size(), 3u);
-  EXPECT_EQ(order[0], s1);
-  EXPECT_EQ(order[1], s2);
-  EXPECT_EQ(order[2], s3);
+  EXPECT_EQ(age_order(iq), (std::vector<int>{s1, s2, s3}));
   // Same seq: lower thread id first.
   const int s4 = iq.insert(IqEntry{.tid = 1, .seq = 20});
-  const auto& order2 = iq.slots_by_age();
-  ASSERT_EQ(order2.size(), 4u);
-  EXPECT_EQ(order2[1], s2);
-  EXPECT_EQ(order2[2], s4);
+  EXPECT_EQ(age_order(iq), (std::vector<int>{s1, s2, s4, s3}));
+  EXPECT_TRUE(iq.validate());
 }
 
 TEST(IssueQueue, OrderMaintainedUnderChurn) {
@@ -104,10 +117,113 @@ TEST(IssueQueue, OrderMaintainedUnderChurn) {
   for (int i = 0; i < 16; i += 2) iq.remove(slots[i]);
   for (int i = 0; i < 8; ++i) iq.insert(IqEntry{.tid = 0, .seq = seq++});
   std::uint64_t last = 0;
-  for (int slot : iq.slots_by_age()) {
+  for (int slot : age_order(iq)) {
     EXPECT_GE(iq.entry(slot).seq, last);
     last = iq.entry(slot).seq;
   }
+  EXPECT_TRUE(iq.validate());
+}
+
+TEST(IssueQueueWakeup, EntryWithReadySourcesIsReadyImmediately) {
+  IssueQueue iq(8);
+  const PhysRef reg{0, RegClass::kInt, 5};
+  const int ready_slot =
+      iq.insert(IqEntry{.tid = 0, .seq = 1, .src0 = reg}, /*src0_ready=*/true);
+  const int no_dep_slot = iq.insert(IqEntry{.tid = 0, .seq = 2});
+  EXPECT_TRUE(iq.entry_ready(ready_slot));
+  EXPECT_TRUE(iq.entry_ready(no_dep_slot));
+  EXPECT_EQ(iq.ready_count(), 2);
+  EXPECT_EQ(iq.waiting_of(0), 0);
+  EXPECT_EQ(ready_order(iq), (std::vector<int>{ready_slot, no_dep_slot}));
+}
+
+TEST(IssueQueueWakeup, WakeupMovesEntryOntoReadyListInAgeOrder) {
+  IssueQueue iq(8);
+  const PhysRef r1{0, RegClass::kInt, 3};
+  const PhysRef r2{0, RegClass::kFp, 3};  // same index, other class
+  const int young =
+      iq.insert(IqEntry{.tid = 0, .seq = 20, .src0 = r1}, false);
+  const int old = iq.insert(IqEntry{.tid = 0, .seq = 10, .src0 = r1}, false);
+  const int fp = iq.insert(IqEntry{.tid = 1, .seq = 15, .src0 = r2}, false);
+  EXPECT_EQ(iq.ready_count(), 0);
+  EXPECT_EQ(iq.waiting_of(0), 2);
+  EXPECT_EQ(iq.waiting_of(1), 1);
+
+  iq.wakeup(RegClass::kInt, 3);  // must not wake the FP watcher
+  EXPECT_EQ(iq.waiting_of(0), 0);
+  EXPECT_EQ(iq.waiting_of(1), 1);
+  EXPECT_FALSE(iq.entry_ready(fp));
+  EXPECT_EQ(ready_order(iq), (std::vector<int>{old, young}));
+
+  iq.wakeup(RegClass::kFp, 3);
+  EXPECT_EQ(ready_order(iq), (std::vector<int>{old, fp, young}));
+  EXPECT_TRUE(iq.validate());
+}
+
+TEST(IssueQueueWakeup, TwoSourceEntryNeedsBothProducers) {
+  IssueQueue iq(8);
+  const PhysRef a{0, RegClass::kInt, 1};
+  const PhysRef b{0, RegClass::kInt, 2};
+  const int slot = iq.insert(
+      IqEntry{.tid = 0, .seq = 1, .src0 = a, .src1 = b}, false, false);
+  EXPECT_FALSE(iq.entry_ready(slot));
+  iq.wakeup(RegClass::kInt, 1);
+  EXPECT_FALSE(iq.entry_ready(slot));
+  EXPECT_EQ(iq.waiting_of(0), 1);
+  iq.wakeup(RegClass::kInt, 2);
+  EXPECT_TRUE(iq.entry_ready(slot));
+  EXPECT_EQ(iq.waiting_of(0), 0);
+  EXPECT_TRUE(iq.validate());
+}
+
+TEST(IssueQueueWakeup, RemoveTearsDownWatches) {
+  IssueQueue iq(8);
+  const PhysRef reg{0, RegClass::kInt, 7};
+  const int a = iq.insert(IqEntry{.tid = 0, .seq = 1, .src0 = reg}, false);
+  const int b = iq.insert(IqEntry{.tid = 0, .seq = 2, .src0 = reg}, false);
+  const int c = iq.insert(IqEntry{.tid = 1, .seq = 3, .src0 = reg}, false);
+  EXPECT_TRUE(iq.has_consumers(RegClass::kInt, 7));
+
+  // Squash the middle consumer: the register's list must stay intact for
+  // the survivors, and the squashed entry must not resurface on wakeup.
+  iq.remove(b);
+  EXPECT_EQ(iq.waiting_of(0), 1);
+  EXPECT_TRUE(iq.validate());
+  iq.wakeup(RegClass::kInt, 7);
+  EXPECT_FALSE(iq.has_consumers(RegClass::kInt, 7));
+  EXPECT_EQ(ready_order(iq), (std::vector<int>{a, c}));
+
+  // Removing the remaining entries leaves a fully empty queue.
+  iq.remove(a);
+  iq.remove(c);
+  EXPECT_EQ(iq.occupancy(), 0);
+  EXPECT_EQ(iq.ready_count(), 0);
+  EXPECT_TRUE(iq.validate());
+}
+
+TEST(IssueQueueWakeup, RemoveHeadAndTailConsumersUnlinksCleanly) {
+  IssueQueue iq(8);
+  const PhysRef reg{0, RegClass::kInt, 4};
+  const int a = iq.insert(IqEntry{.tid = 0, .seq = 1, .src0 = reg}, false);
+  const int b = iq.insert(IqEntry{.tid = 0, .seq = 2, .src0 = reg}, false);
+  const int c = iq.insert(IqEntry{.tid = 0, .seq = 3, .src0 = reg}, false);
+  iq.remove(c);  // list head (most recent watch)
+  iq.remove(a);  // list tail
+  EXPECT_TRUE(iq.validate());
+  iq.wakeup(RegClass::kInt, 4);
+  EXPECT_EQ(ready_order(iq), (std::vector<int>{b}));
+  EXPECT_TRUE(iq.validate());
+}
+
+TEST(IssueQueueWakeup, SameRegisterOnBothSources) {
+  IssueQueue iq(4);
+  const PhysRef reg{0, RegClass::kInt, 9};
+  const int slot = iq.insert(
+      IqEntry{.tid = 0, .seq = 1, .src0 = reg, .src1 = reg}, false, false);
+  EXPECT_EQ(iq.waiting_of(0), 1);  // one entry, not two watches' worth
+  iq.wakeup(RegClass::kInt, 9);    // single completion satisfies both
+  EXPECT_TRUE(iq.entry_ready(slot));
+  EXPECT_TRUE(iq.validate());
 }
 
 TEST(Ports, CompatibilityMatrix) {

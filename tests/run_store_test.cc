@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -328,6 +329,75 @@ TEST_F(RunStoreTest, WarmCacheDirMakesSecondSweepSimulateNothing) {
       EXPECT_EQ(first.cells[p][w].fairness, second.cells[p][w].fairness);
     }
   }
+}
+
+// ---- Garbage collection (cache_gc) ---------------------------------------
+
+TEST_F(RunStoreTest, GcEnforcesSizeCapOldestFirst) {
+  RunStore store(dir_);
+  // Ten records with strictly increasing mtimes (explicitly set: the test
+  // must not depend on filesystem timestamp granularity).
+  std::vector<std::string> paths;
+  for (int i = 0; i < 10; ++i) {
+    const RunKey key{static_cast<std::uint64_t>(i) << 56, 7ull + i};
+    ASSERT_TRUE(store.save(key, sample_result(0.01 * i)));
+    paths.push_back(store.path_of(key));
+    fs::last_write_time(paths.back(),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(100 - i));
+  }
+  const auto record_bytes = fs::file_size(paths[0]);
+
+  // Cap at ~4 records: the six oldest must go, the four newest stay.
+  GcOptions options;
+  options.max_bytes = record_bytes * 4;
+  const GcResult result = gc_run_store(dir_, options);
+  EXPECT_EQ(result.scanned_files, 10u);
+  EXPECT_EQ(result.deleted_files, 6u);
+  EXPECT_EQ(result.deleted_bytes, record_bytes * 6);
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(fs::exists(paths[i])) << i;
+  for (int i = 6; i < 10; ++i) EXPECT_TRUE(fs::exists(paths[i])) << i;
+}
+
+TEST_F(RunStoreTest, GcFileCapDryRunAndForeignFilesUntouched) {
+  RunStore store(dir_);
+  for (int i = 0; i < 5; ++i) {
+    const RunKey key{static_cast<std::uint64_t>(i) << 56, 11ull + i};
+    ASSERT_TRUE(store.save(key, sample_result(0.0)));
+    fs::last_write_time(store.path_of(key),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(50 - i));
+  }
+  // A non-record file in the dir must be ignored by scan and never deleted.
+  const fs::path foreign = fs::path(dir_) / "README.txt";
+  std::ofstream(foreign) << "not a record";
+
+  GcOptions dry{.max_files = 2, .dry_run = true};
+  const GcResult planned = gc_run_store(dir_, dry);
+  EXPECT_EQ(planned.scanned_files, 5u);
+  EXPECT_EQ(planned.deleted_files, 3u);
+  std::size_t live = 0;
+  for (auto it = fs::recursive_directory_iterator(dir_);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file() && it->path().extension() == ".run") ++live;
+  }
+  EXPECT_EQ(live, 5u) << "dry run must not delete";
+
+  GcOptions real{.max_files = 2};
+  const GcResult swept = gc_run_store(dir_, real);
+  EXPECT_EQ(swept.deleted_files, 3u);
+  EXPECT_TRUE(fs::exists(foreign));
+
+  // Kept records still load (GC never corrupts survivors).
+  const RunKey newest{4ull << 56, 15ull};
+  EXPECT_TRUE(store.load(newest).has_value());
+}
+
+TEST_F(RunStoreTest, GcOnMissingDirIsEmpty) {
+  const GcResult result =
+      gc_run_store(dir_ + "/does-not-exist", GcOptions{.max_bytes = 1});
+  EXPECT_EQ(result.scanned_files, 0u);
+  EXPECT_EQ(result.deleted_files, 0u);
 }
 
 }  // namespace
