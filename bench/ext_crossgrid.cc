@@ -1,0 +1,63 @@
+// Extension survey (beyond the paper's figures): the first cross-knob
+// scenario grid. The paper fixes the interconnect (2 links @ 1 cycle) and
+// varies schemes; this sweeps links × inter-cluster latency × scheme in one
+// SweepSpec, so scheme robustness to the communication substrate is read
+// off a single table — e.g. whether CDPRF's gains survive a slow
+// interconnect, which scheme degrades fastest with a single link, and
+// whether the conclusions of ablate_links (CSSP-only) generalise.
+//
+// The grid rides the shared run cache: cells repeated from other benches
+// (e.g. every scheme @ 2links/1cyc is a paper-figure point) are not
+// re-simulated. Emits the standard per-category table; --json/--csv mirror
+// it (the first survey artifact the sweep engine was built to make cheap).
+#include "bench_util.h"
+#include "harness/presets.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
+
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::rf_study_config(64);
+
+  spec.axes = {bench::scheme_axis({policy::PolicyKind::kIcount,
+                                   policy::PolicyKind::kCssp,
+                                   policy::PolicyKind::kCdprf}),
+               {"links", {}},
+               {"latency", {}}};
+  for (int links : {1, 2, 4}) {
+    spec.axes[1].values.push_back(
+        {std::to_string(links) + "L",
+         [links](core::SimConfig& c) { c.num_links = links; }});
+  }
+  for (int latency : {1, 2, 4}) {
+    spec.axes[2].values.push_back(
+        {std::to_string(latency) + "cyc",
+         [latency](core::SimConfig& c) { c.link_latency = latency; }});
+  }
+  spec.label_fn = [](const std::vector<std::string>& parts) {
+    return parts[0] + "@" + parts[1] + "/" + parts[2];
+  };
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+
+  // Normalise to the paper's machine point: Icount on the Table 1
+  // interconnect (2 links, 1 cycle).
+  const auto baseline = res.throughput(res.point_index("Icount@2L/1cyc"));
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
+  }
+
+  bench::emit_category_table(
+      "Extension — links x latency x scheme cross-grid "
+      "(vs Icount @ 2 links / 1 cycle)",
+      suite, series, opt);
+  return 0;
+}

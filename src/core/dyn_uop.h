@@ -17,37 +17,72 @@ enum class UopStage : std::uint8_t {
   kDone,            // result produced; eligible to commit
 };
 
-// Field order is deliberate: the identification and scheduling scalars the
-// event queue, issue stage and commit stage touch every visit (uid, seq,
-// stage, flags, refs, slots) share the struct's first cache line, so the
-// common resolve-and-complete path does not also pull in the trailing
-// MicroOp payload and rename-undo state.
+// Holds only per-instance (dynamic) state: static µop fields live once in
+// the trace layer's flat arrays (trace::FlatUop) and reach the core inside
+// the MicroOp payload, which stays here because squash replay and commit
+// hooks need the full µop after the fetch queue entry is gone.
+//
+// Layout is deliberate: identification/scheduling scalars are narrowed to
+// the smallest types the machine bounds allow (kMaxThreads/kMaxClusters
+// fit int8, IQ/MOB slots fit int16) and the one-bit flags pack into a
+// single byte, so the scalars the event queue, issue stage and commit
+// stage touch every visit share the struct's first cache line and the ROB
+// working set stays small.
 struct DynUop {
   std::uint64_t uid = 0;   // globally unique (guards stale events)
   std::uint64_t seq = 0;   // per-thread program order (copies included)
-  ThreadId tid = -1;
-  ClusterId cluster = -1;  // execution cluster
-  int iq_slot = -1;        // while kDispatched
-  int mob_slot = -1;       // loads/stores until commit/squash
+  std::int8_t tid = -1;
+  std::int8_t cluster = -1;      // execution cluster
+  std::int16_t iq_slot = -1;     // while kDispatched
+  std::int16_t mob_slot = -1;    // loads/stores until commit/squash
+  std::int16_t copy_arch = -1;   // copies: replicated architectural register
 
   UopStage stage = UopStage::kDispatched;
-  bool wrong_path = false;
-  bool mispredicted = false;  // branch that must squash at resolution
-  bool is_copy = false;
-  bool predicted_taken = false;
-  bool has_prev = false;
-  bool l2_miss_outstanding = false;  // load with an in-flight L2 miss
-  bool steered_off_preferred = false;  // dispatched to a non-preferred cluster
+  bool wrong_path : 1 = false;
+  bool mispredicted : 1 = false;  // branch that must squash at resolution
+  bool is_copy : 1 = false;
+  bool predicted_taken : 1 = false;
+  bool has_prev : 1 = false;
+  bool l2_miss_outstanding : 1 = false;  // load with an in-flight L2 miss
+  bool steered_off_preferred : 1 = false;  // sent to a non-preferred cluster
 
   PhysRef dst;             // invalid when the µop writes no register
   PhysRef srcs[2];         // invalid entries carry no dependency
 
-  trace::MicroOp op;
   std::uint64_t history_checkpoint = 0;  // branches: history before predict
 
   // Rename undo log.
   frontend::ReplicaSet prev_replicas;  // superseded mapping of op.dst
-  std::int16_t copy_arch = -1;  // copies: replicated architectural register
+
+  trace::MicroOp op;
+
+  /// Resets every field except the MicroOp payload. Rob::push uses this
+  /// instead of a whole-struct clear: the dispatch paths overwrite `op`
+  /// anyway (execute_plan copies the fetched µop in full; the copy-µop
+  /// path writes its own skeleton), so clearing those 48 bytes per push
+  /// would only burn rename-stage bandwidth.
+  void reset_except_op() noexcept {
+    uid = 0;
+    seq = 0;
+    tid = -1;
+    cluster = -1;
+    iq_slot = -1;
+    mob_slot = -1;
+    copy_arch = -1;
+    stage = UopStage::kDispatched;
+    wrong_path = false;
+    mispredicted = false;
+    is_copy = false;
+    predicted_taken = false;
+    has_prev = false;
+    l2_miss_outstanding = false;
+    steered_off_preferred = false;
+    dst = PhysRef{};
+    srcs[0] = PhysRef{};
+    srcs[1] = PhysRef{};
+    history_checkpoint = 0;
+    prev_replicas = frontend::ReplicaSet{};
+  }
 };
 
 /// Per-thread circular reorder buffer. Slots are stable (pointers remain
@@ -64,12 +99,13 @@ class Rob {
   [[nodiscard]] int capacity() const noexcept { return capacity_; }
   [[nodiscard]] int free_slots() const noexcept { return capacity_ - count_; }
 
-  /// Appends a fresh entry at the tail; returns nullptr when full.
+  /// Appends a fresh entry at the tail; returns nullptr when full. The
+  /// MicroOp payload is NOT cleared — every caller overwrites it.
   DynUop* push() {
     if (full()) return nullptr;
     const int slot = wrap(head_ + count_);
     ++count_;
-    buffer_[slot] = DynUop{};
+    buffer_[slot].reset_except_op();
     return &buffer_[slot];
   }
 

@@ -25,7 +25,11 @@ namespace {
 
 }  // namespace
 
-Simulator::Simulator(const SimConfig& config) : config_(config) {
+Simulator::Simulator(const SimConfig& config)
+    : config_(config),
+      steering_(config.steering, config.num_clusters,
+                config.steer_imbalance_threshold),
+      policy_(config.policy, config.policy_config) {
   if (config.num_threads < 1 || config.num_threads > kMaxThreads) {
     throw std::invalid_argument("unsupported thread count");
   }
@@ -102,10 +106,6 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
       config.num_links, config.link_latency);
   hierarchy_ = std::make_unique<memory::MemoryHierarchy>(config.memory);
   mob_ = std::make_unique<memory::MemOrderBuffer>(config.mob_entries);
-  steering_ = std::make_unique<steer::Steering>(
-      config.steering, config.num_clusters,
-      config.steer_imbalance_threshold);
-  policy_ = policy::make_policy(config.policy, config.policy_config);
 
   event_wheel_.resize(kEventWheelBuckets);
   init_view();
@@ -136,7 +136,7 @@ void Simulator::run(Cycle cycles) {
       std::ostringstream err;
       err << "simulator watchdog: no commit since cycle "
           << last_commit_cycle_ << " (now " << now_ << ", policy "
-          << policy_->name() << ")";
+          << policy_.name() << ")";
       throw std::runtime_error(err.str());
     }
   }
@@ -149,21 +149,34 @@ void Simulator::reset_stats() {
   mob_->reset_stats();
   fetch_->reset_stats();
   interconnect_->reset_stats();
-  steering_->reset_stats();
+  steering_.reset_stats();
 }
 
 void Simulator::step() {
+  // One shape test per cycle selects the specialized datapath for the
+  // paper's two-thread/two-cluster machine; everything else runs the
+  // generic instantiation with runtime bounds (identical code, identical
+  // behavior).
+  if (config_.num_clusters == 2 && config_.num_threads == 2) {
+    step_cycle<2, 2>();
+  } else {
+    step_cycle<0, 0>();
+  }
+}
+
+template <int NC, int NT>
+void Simulator::step_cycle() {
   refresh_view();
 #ifndef NDEBUG
   assert(validate_view());
 #endif
-  policy_->begin_cycle(view_);
+  policy_.begin_cycle(view_);
   handle_flush_requests();
-  commit_stage();
+  commit_stage<NC, NT>();
   writeback_stage();
-  issue_stage();
-  rename_stage();
-  fetch_stage();
+  issue_stage<NC, NT>();
+  rename_stage<NC, NT>();
+  fetch_stage<NT>();
   ++now_;
   ++stats_.cycles;
 }
@@ -327,12 +340,15 @@ DynUop* Simulator::resolve_event(const Event& event) {
 // Commit
 // --------------------------------------------------------------------------
 
+template <int NC, int NT>
 void Simulator::commit_stage() {
+  const int num_clusters = bound_or<NC>(config_.num_clusters);
+  const int num_threads = bound_or<NT>(config_.num_threads);
   int budget = config_.commit_width;
   int store_ports = config_.l1_write_ports;
 
-  for (int offset = 0; offset < config_.num_threads && budget > 0; ++offset) {
-    const ThreadId t = (commit_rr_ + offset) % config_.num_threads;
+  for (int offset = 0; offset < num_threads && budget > 0; ++offset) {
+    const ThreadId t = (commit_rr_ + offset) % num_threads;
     Rob& rob = robs_[t];
     while (budget > 0 && !rob.empty()) {
       DynUop& head = rob.head();
@@ -349,7 +365,7 @@ void Simulator::commit_stage() {
       // Free the registers superseded by this µop's destination.
       if (head.has_prev) {
         const RegClass cls = arch_reg_class(head.op.dst);
-        for (int c = 0; c < config_.num_clusters; ++c) {
+        for (int c = 0; c < num_clusters; ++c) {
           if (head.prev_replicas.phys[c] >= 0) {
             rf_release(c, cls, head.prev_replicas.phys[c]);
           }
@@ -375,7 +391,7 @@ void Simulator::commit_stage() {
       last_commit_cycle_ = now_;
     }
   }
-  commit_rr_ = (commit_rr_ + 1) % config_.num_threads;
+  commit_rr_ = (commit_rr_ + 1) % num_threads;
 }
 
 // --------------------------------------------------------------------------
@@ -386,7 +402,7 @@ void Simulator::note_l2_miss_started(DynUop& uop) {
   uop.l2_miss_outstanding = true;
   ++outstanding_l2_[uop.tid];
   view_.l2_pending[uop.tid] = true;
-  policy_->on_l2_miss(uop.tid, uop.seq, now_);
+  policy_.on_l2_miss(uop.tid, uop.seq, now_);
 }
 
 void Simulator::note_l2_miss_finished(DynUop& uop) {
@@ -395,7 +411,7 @@ void Simulator::note_l2_miss_finished(DynUop& uop) {
   --outstanding_l2_[uop.tid];
   assert(outstanding_l2_[uop.tid] >= 0);
   view_.l2_pending[uop.tid] = outstanding_l2_[uop.tid] > 0;
-  policy_->on_l2_resolved(uop.tid, uop.seq, now_);
+  policy_.on_l2_resolved(uop.tid, uop.seq, now_);
 }
 
 void Simulator::start_load_access(DynUop& uop) {
@@ -532,7 +548,10 @@ bool Simulator::source_ready(const PhysRef& ref) const {
   return clusters_[ref.cluster].rf(ref.cls).ready(ref.index);
 }
 
+template <int NC, int NT>
 void Simulator::issue_stage() {
+  const int num_clusters = bound_or<NC>(config_.num_clusters);
+  const int num_threads = bound_or<NT>(config_.num_threads);
   interconnect_->new_cycle();
   bool any_issue = false;
   int ready_unissued[kMaxClusters][trace::kNumPortClasses] = {};
@@ -561,14 +580,14 @@ void Simulator::issue_stage() {
     }
   };
 
-  for (int c = 0; c < config_.num_clusters; ++c) {
+  for (int c = 0; c < num_clusters; ++c) {
     backend::Cluster& cluster = clusters_[c];
     cluster.ports().new_cycle();
     if (issue_model_ == IssueModel::kWakeup) {
       // The view's unready counters sample the wakeup bookkeeping here, at
       // the same point the reference scan would have counted them, keeping
       // the documented one-cycle-stale hardware-counter semantics.
-      for (int t = 0; t < config_.num_threads; ++t) {
+      for (int t = 0; t < num_threads; ++t) {
         view_.iq_unready_tc[t][c] = cluster.iq().waiting_of(t);
       }
       // Scan only ready entries, oldest first (the iterator advances past
@@ -592,7 +611,7 @@ void Simulator::issue_stage() {
       // Reference model: probe every occupied slot through the register
       // files (the original per-cycle rescan). Kept as the differential-
       // test oracle for the wakeup path.
-      for (int t = 0; t < config_.num_threads; ++t) {
+      for (int t = 0; t < num_threads; ++t) {
         view_.iq_unready_tc[t][c] = 0;
       }
       backend::IssueQueue::OrderedIter it = cluster.iq().age_iter();
@@ -609,12 +628,12 @@ void Simulator::issue_stage() {
 
   // Figure 5: ready µops denied an issue slot — could the other cluster
   // have executed them this cycle?
-  for (int c = 0; c < config_.num_clusters; ++c) {
+  for (int c = 0; c < num_clusters; ++c) {
     for (int k = 0; k < trace::kNumPortClasses; ++k) {
       const int denied = ready_unissued[c][k];
       if (denied == 0) continue;
       bool other_has_slot = false;
-      for (int c2 = 0; c2 < config_.num_clusters; ++c2) {
+      for (int c2 = 0; c2 < num_clusters; ++c2) {
         if (c2 == c) continue;
         if (clusters_[c2].ports().free_compatible(
                 static_cast<trace::PortClass>(k)) > 0) {
@@ -633,26 +652,32 @@ void Simulator::issue_stage() {
 // Rename / steer / dispatch
 // --------------------------------------------------------------------------
 
+template <int NC, int NT>
 void Simulator::rename_stage() {
+  const int num_threads = bound_or<NT>(config_.num_threads);
   refresh_view();
-  for (int t = 0; t < config_.num_threads; ++t) {
+  for (int t = 0; t < num_threads; ++t) {
     for (int k = 0; k < kNumRegClasses; ++k) rf_blocked_flags_[t][k] = false;
   }
 
   std::uint32_t candidates = 0;
-  for (int t = 0; t < config_.num_threads; ++t) {
+  for (int t = 0; t < num_threads; ++t) {
     if (!fetch_->queue_empty(t)) candidates |= 1u << t;
   }
-  candidates = policy_->rename_eligible(view_, candidates);
+  candidates = policy_.rename_eligible(view_, candidates);
   if (candidates == 0) return;
 
-  const ThreadId tid = policy_->select_rename_thread(view_, candidates);
+  const ThreadId tid = policy_.select_rename_thread(view_, candidates);
   if (tid < 0) return;
+
+  // Per-burst invariants, hoisted out of the per-µop loop: the forced
+  // cluster is a function of (scheme, tid) only.
+  const ClusterId forced = policy_.forced_cluster(view_, tid);
 
   int budget = config_.rename_width;
   bool renamed_any = false;
   while (budget > 0 && !fetch_->queue_empty(tid)) {
-    const int consumed = try_rename_front(tid);
+    const int consumed = try_rename_front<NC>(tid, forced);
     if (consumed == 0) {
       ++stats_.rename_blocked_cycles;
       break;
@@ -667,32 +692,33 @@ void Simulator::rename_stage() {
   if (renamed_any) ++stats_.rename_cycles;
 }
 
+template <int NC>
 bool Simulator::plan_for_cluster(ThreadId tid, const frontend::FetchedUop& fu,
+                                 const frontend::ReplicaSet* const srcs[2],
                                  ClusterId cluster, RenamePlan& plan,
                                  bool& iq_failure, bool& rf_failure) {
+  const int num_clusters = bound_or<NC>(config_.num_clusters);
   plan = RenamePlan{};
   plan.cluster = cluster;
-  frontend::RenameMap& rmap = rename_maps_[tid];
 
   int iq_need[kMaxClusters] = {};
   iq_need[cluster] += 1;
   int rf_need[kNumRegClasses] = {};
 
-  auto plan_source = [&](int arch) {
-    if (arch < 0) return;
-    const frontend::ReplicaSet& rs = rmap.get(arch);
-    if (!rs.anywhere() || rs.present(cluster)) return;
+  auto plan_source = [&](int arch, const frontend::ReplicaSet* rs) {
+    if (rs == nullptr) return;
+    if (!rs->anywhere() || rs->present(cluster)) return;
     for (int i = 0; i < plan.num_copies; ++i) {
       if (plan.copies[i].arch == arch) return;  // one copy per arch reg
     }
-    const ClusterId from = rs.any_cluster();
+    const ClusterId from = rs->any_cluster();
     plan.copies[plan.num_copies++] =
-        RenamePlan::CopyPlan{arch, from, rs.phys[from]};
+        RenamePlan::CopyPlan{arch, from, rs->phys[from]};
     ++iq_need[from];
     ++rf_need[static_cast<int>(arch_reg_class(arch))];
   };
-  plan_source(fu.op.src0);
-  plan_source(fu.op.src1);
+  plan_source(fu.op.src0, srcs[0]);
+  plan_source(fu.op.src1, srcs[1]);
 
   if (fu.op.has_dst()) {
     ++rf_need[static_cast<int>(arch_reg_class(fu.op.dst))];
@@ -701,12 +727,12 @@ bool Simulator::plan_for_cluster(ThreadId tid, const frontend::FetchedUop& fu,
   if (robs_[tid].free_slots() < 1 + plan.num_copies) return false;
 
   int total_iq_need = 0;
-  for (int c = 0; c < config_.num_clusters; ++c) total_iq_need += iq_need[c];
-  for (int c = 0; c < config_.num_clusters; ++c) {
+  for (int c = 0; c < num_clusters; ++c) total_iq_need += iq_need[c];
+  for (int c = 0; c < num_clusters; ++c) {
     if (iq_need[c] == 0) continue;
     if (clusters_[c].iq().occupancy() + iq_need[c] >
             clusters_[c].iq().capacity() ||
-        !policy_->allow_iq_dispatch(view_, tid, c, iq_need[c],
+        !policy_.allow_iq_dispatch(view_, tid, c, iq_need[c],
                                     total_iq_need)) {
       iq_failure = true;
       return false;
@@ -717,7 +743,7 @@ bool Simulator::plan_for_cluster(ThreadId tid, const frontend::FetchedUop& fu,
     if (rf_need[k] == 0) continue;
     const RegClass cls = static_cast<RegClass>(k);
     if (clusters_[cluster].rf(cls).free_count() < rf_need[k] ||
-        !policy_->allow_rf_alloc(view_, tid, cluster, cls, rf_need[k])) {
+        !policy_.allow_rf_alloc(view_, tid, cluster, cls, rf_need[k])) {
       rf_failure = true;
       rf_blocked_flags_[tid][k] = true;  // refined below when dispatched
       return false;
@@ -726,7 +752,41 @@ bool Simulator::plan_for_cluster(ThreadId tid, const frontend::FetchedUop& fu,
   return true;
 }
 
-int Simulator::try_rename_front(ThreadId tid) {
+// The checks, their order, the policy-query arguments and the failure
+// flags are exactly plan_for_cluster's with num_copies == 0; only the copy
+// bookkeeping (need arrays, copy scan) is gone. The parity is what the
+// golden gate certifies.
+bool Simulator::plan_no_copies(ThreadId tid, const frontend::FetchedUop& fu,
+                               ClusterId cluster, RenamePlan& plan,
+                               bool& iq_failure, bool& rf_failure) {
+  plan.cluster = cluster;
+  plan.num_copies = 0;
+  plan.off_preferred_iq = false;
+
+  if (robs_[tid].free_slots() < 1) return false;
+
+  if (clusters_[cluster].iq().occupancy() + 1 >
+          clusters_[cluster].iq().capacity() ||
+      !policy_.allow_iq_dispatch(view_, tid, cluster, 1, 1)) {
+    iq_failure = true;
+    return false;
+  }
+
+  if (fu.op.has_dst()) {
+    const RegClass cls = arch_reg_class(fu.op.dst);
+    if (clusters_[cluster].rf(cls).free_count() < 1 ||
+        !policy_.allow_rf_alloc(view_, tid, cluster, cls, 1)) {
+      rf_failure = true;
+      rf_blocked_flags_[tid][static_cast<int>(cls)] = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+template <int NC>
+int Simulator::try_rename_front(ThreadId tid, ClusterId forced) {
+  const int num_clusters = bound_or<NC>(config_.num_clusters);
   const frontend::FetchedUop& fu = fetch_->queue_front(tid);
 
   // Memory-order-buffer slot is cluster independent.
@@ -745,57 +805,65 @@ int Simulator::try_rename_front(ThreadId tid) {
   // counters* stop counting these doomed attempts — SimStats and every
   // golden table are unaffected.
   if (robs_[tid].full() &&
-      steering_->kind() != steer::SteeringKind::kRoundRobin) {
+      steering_.kind() != steer::SteeringKind::kRoundRobin) {
     ++stats_.rename_block_rob;
     return 0;
   }
+
+  // Source replica sets, looked up once per µop and shared by the steering
+  // vote and every per-cluster plan below.
+  frontend::RenameMap& rmap = rename_maps_[tid];
+  const frontend::ReplicaSet* srcs[2] = {
+      fu.op.src0 >= 0 ? &rmap.get(fu.op.src0) : nullptr,
+      fu.op.src1 >= 0 ? &rmap.get(fu.op.src1) : nullptr,
+  };
 
   // Dependence vote for the steering heuristic. Sources whose value is
   // still in flight vote with triple weight: following them avoids a copy
   // that would serialise behind the producer and linger in the producer's
   // issue queue ([12] prioritises unavailable operands).
   int dep_count[kMaxClusters] = {};
-  frontend::RenameMap& rmap = rename_maps_[tid];
-  auto vote = [&](int arch) {
-    if (arch < 0) return;
-    const frontend::ReplicaSet& rs = rmap.get(arch);
+  auto vote = [&](int arch, const frontend::ReplicaSet* rs) {
+    if (rs == nullptr) return;
     const RegClass cls = arch_reg_class(arch);
-    for (int c = 0; c < config_.num_clusters; ++c) {
-      if (!rs.present(c)) continue;
+    for (int c = 0; c < num_clusters; ++c) {
+      if (!rs->present(c)) continue;
       const bool in_flight =
-          !clusters_[c].rf(cls).ready(rs.phys[c]);
+          !clusters_[c].rf(cls).ready(rs->phys[c]);
       dep_count[c] += in_flight ? 3 : 1;
     }
   };
-  vote(fu.op.src0);
-  vote(fu.op.src1);
+  vote(fu.op.src0, srcs[0]);
+  vote(fu.op.src1, srcs[1]);
 
-  const ClusterId forced = policy_->forced_cluster(view_, tid);
-  ClusterId order[kMaxClusters];
-  int order_len = 0;
+  // A cluster needs no copies when every live source already has a
+  // replica there — the overwhelmingly common case for the preferred
+  // cluster, which plan_no_copies handles without the copy bookkeeping.
+  const auto needs_copies = [&](ClusterId c) {
+    return (srcs[0] != nullptr && srcs[0]->anywhere() &&
+            !srcs[0]->present(c)) ||
+           (srcs[1] != nullptr && srcs[1]->anywhere() &&
+            !srcs[1]->present(c));
+  };
+  const auto plan_cluster = [&](ClusterId c, RenamePlan& plan,
+                                bool& iq_failure, bool& rf_failure) {
+    return needs_copies(c)
+               ? plan_for_cluster<NC>(tid, fu, srcs, c, plan, iq_failure,
+                                      rf_failure)
+               : plan_no_copies(tid, fu, c, plan, iq_failure, rf_failure);
+  };
+
   ClusterId preferred;
+  int iq_occ[kMaxClusters];
   if (forced >= 0) {
     preferred = forced;
-    order[order_len++] = forced;
   } else {
-    int iq_occ[kMaxClusters];
-    for (int c = 0; c < config_.num_clusters; ++c) {
+    for (int c = 0; c < num_clusters; ++c) {
       iq_occ[c] = clusters_[c].iq().occupancy();
     }
-    preferred = steering_->preferred(
-        std::span<const int>(dep_count, config_.num_clusters),
-        std::span<const int>(iq_occ, config_.num_clusters));
-    order[order_len++] = preferred;
-    // Remaining clusters, least loaded first (insertion sort; <= 3 items).
-    for (int c = 0; c < config_.num_clusters; ++c) {
-      if (c == preferred) continue;
-      int pos = order_len++;
-      while (pos > 1 && iq_occ[order[pos - 1]] > iq_occ[c]) {
-        order[pos] = order[pos - 1];
-        --pos;
-      }
-      order[pos] = c;
-    }
+    preferred = steering_.preferred(
+        std::span<const int>(dep_count, num_clusters),
+        std::span<const int>(iq_occ, num_clusters));
   }
 
   bool preferred_iq_failure = false;
@@ -803,18 +871,47 @@ int Simulator::try_rename_front(ThreadId tid) {
   bool any_rf_failure = false;
   RenamePlan plan;
   bool planned = false;
-  for (int oi = 0; oi < order_len; ++oi) {
-    const ClusterId c = order[oi];
+  {
     bool iq_failure = false;
     bool rf_failure = false;
-    if (plan_for_cluster(tid, fu, c, plan, iq_failure, rf_failure)) {
-      plan.off_preferred_iq = (c != preferred) && preferred_iq_failure;
+    if (plan_cluster(preferred, plan, iq_failure, rf_failure)) {
+      plan.off_preferred_iq = false;
       planned = true;
-      break;
+    } else {
+      preferred_iq_failure = iq_failure;
+      any_iq_failure = iq_failure;
+      any_rf_failure = rf_failure;
     }
-    if (c == preferred && iq_failure) preferred_iq_failure = true;
-    any_iq_failure |= iq_failure;
-    any_rf_failure |= rf_failure;
+  }
+
+  if (!planned && forced < 0) {
+    // Preferred cluster refused: only now build the fallback order —
+    // remaining clusters, least loaded first (insertion sort; <= 3 items,
+    // over the occupancies read before any planning, which planning does
+    // not change).
+    ClusterId order[kMaxClusters];
+    int order_len = 0;
+    for (int c = 0; c < num_clusters; ++c) {
+      if (c == preferred) continue;
+      int pos = order_len++;
+      while (pos > 0 && iq_occ[order[pos - 1]] > iq_occ[c]) {
+        order[pos] = order[pos - 1];
+        --pos;
+      }
+      order[pos] = c;
+    }
+    for (int oi = 0; oi < order_len; ++oi) {
+      const ClusterId c = order[oi];
+      bool iq_failure = false;
+      bool rf_failure = false;
+      if (plan_cluster(c, plan, iq_failure, rf_failure)) {
+        plan.off_preferred_iq = preferred_iq_failure;
+        planned = true;
+        break;
+      }
+      any_iq_failure |= iq_failure;
+      any_rf_failure |= rf_failure;
+    }
   }
 
   if (!planned) {
@@ -836,8 +933,8 @@ int Simulator::try_rename_front(ThreadId tid) {
     ++stats_.non_preferred_dispatches;
   }
 
-  execute_plan(tid, fu, plan);
-  fetch_->pop_front(tid);
+  execute_plan(tid, fu, srcs, plan);
+  fetch_->drop_front(tid);
   sync_decode_depth(tid);
   ++stats_.renamed_uops;
   stats_.copies_created += static_cast<std::uint64_t>(plan.num_copies);
@@ -848,6 +945,7 @@ int Simulator::try_rename_front(ThreadId tid) {
 }
 
 void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
+                             const frontend::ReplicaSet* const srcs[2],
                              const RenamePlan& plan) {
   frontend::RenameMap& rmap = rename_maps_[tid];
   const ClusterId target = plan.cluster;
@@ -859,6 +957,7 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
     const RegClass cls = arch_reg_class(cp.arch);
     DynUop* copy = rob_push(tid);
     assert(copy != nullptr);
+    copy->op = trace::MicroOp{};  // Rob::push leaves the payload stale
     copy->op.cls = trace::UopClass::kCopy;
     copy->op.pc = fu.op.pc;
     copy->tid = tid;
@@ -902,16 +1001,18 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
 
   // Resolve sources after copies (replicas now exist in `target`) and
   // before the destination is redefined (a µop may read its own register).
-  auto resolve = [&](int arch) -> PhysRef {
+  // When the plan made no copies the prefetched replica sets are still
+  // current and the map lookup is skipped.
+  auto resolve = [&](int arch, const frontend::ReplicaSet* rs) -> PhysRef {
     if (arch < 0) return kNoPhysRef;
-    const frontend::ReplicaSet& rs = rmap.get(arch);
-    if (!rs.anywhere()) return kNoPhysRef;  // architecturally cold: ready
-    assert(rs.present(target));
+    if (plan.num_copies != 0) rs = &rmap.get(arch);
+    if (!rs->anywhere()) return kNoPhysRef;  // architecturally cold: ready
+    assert(rs->present(target));
     return PhysRef{static_cast<std::int8_t>(target), arch_reg_class(arch),
-                   rs.phys[target]};
+                   rs->phys[target]};
   };
-  uop->srcs[0] = resolve(fu.op.src0);
-  uop->srcs[1] = resolve(fu.op.src1);
+  uop->srcs[0] = resolve(fu.op.src0, srcs[0]);
+  uop->srcs[1] = resolve(fu.op.src1, srcs[1]);
 
   if (fu.op.has_dst()) {
     const RegClass cls = arch_reg_class(fu.op.dst);
@@ -951,9 +1052,11 @@ void Simulator::execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
 // Fetch
 // --------------------------------------------------------------------------
 
+template <int NT>
 void Simulator::fetch_stage() {
-  std::uint32_t mask = (1u << config_.num_threads) - 1;
-  mask = policy_->fetch_eligible(view_, mask);
+  const int num_threads = bound_or<NT>(config_.num_threads);
+  std::uint32_t mask = (1u << num_threads) - 1;
+  mask = policy_.fetch_eligible(view_, mask);
   const ThreadId tid = fetch_->select_fetch_thread(mask, now_);
   if (tid >= 0) {
     fetch_->fetch_cycle(tid, now_);
@@ -1006,7 +1109,7 @@ void Simulator::squash_younger_than(ThreadId tid, std::uint64_t boundary_seq,
 }
 
 void Simulator::handle_flush_requests() {
-  while (auto request = policy_->flush_request(now_)) {
+  while (auto request = policy_.flush_request(now_)) {
     std::vector<trace::MicroOp> replay;
     std::uint64_t checkpoint = 0;
     bool any_branch = false;
@@ -1029,7 +1132,7 @@ void Simulator::handle_flush_requests() {
                                  ? std::optional<std::uint64_t>(checkpoint)
                                  : std::nullopt);
     sync_decode_depth(request->tid);
-    policy_->on_flush_done(request->tid);
+    policy_.on_flush_done(request->tid);
     ++stats_.policy_flushes;
   }
 }

@@ -20,6 +20,7 @@
 #include "frontend/rename_map.h"
 #include "memory/hierarchy.h"
 #include "memory/mob.h"
+#include "policy/dispatch.h"
 #include "policy/policy.h"
 #include "steer/steering.h"
 #include "trace/trace_source.h"
@@ -42,6 +43,17 @@ class Simulator {
   void set_issue_model(IssueModel model) noexcept { issue_model_ = model; }
   [[nodiscard]] IssueModel issue_model() const noexcept {
     return issue_model_;
+  }
+
+  /// Routes every hot policy query through the sealed per-kind switch
+  /// (default) or the virtual interface (the differential-test oracle).
+  /// Both modes must produce identical decisions — see
+  /// tests/policy_dispatch_test.cc.
+  void set_policy_devirtualized(bool on) noexcept {
+    policy_.set_devirtualized(on);
+  }
+  [[nodiscard]] bool policy_devirtualized() const noexcept {
+    return policy_.devirtualized();
   }
 
   /// Cross-checks every incrementally-maintained PipelineView counter
@@ -92,9 +104,9 @@ class Simulator {
   [[nodiscard]] const backend::Interconnect& interconnect() const {
     return *interconnect_;
   }
-  [[nodiscard]] const steer::Steering& steering() const { return *steering_; }
+  [[nodiscard]] const steer::Steering& steering() const { return steering_; }
   [[nodiscard]] const policy::ResourceAssignmentPolicy& policy() const {
-    return *policy_;
+    return policy_.impl();
   }
   [[nodiscard]] const Rob& rob(ThreadId tid) const { return robs_[tid]; }
   [[nodiscard]] const policy::PipelineView& view() const noexcept {
@@ -126,13 +138,32 @@ class Simulator {
   void dispatch_event(const Event& event);
 
   // --- Pipeline stages ---
+  // The per-cycle stages and rename helpers are templated on the machine
+  // shape: step() dispatches once per cycle to the <2, 2> instantiation
+  // for the paper's two-thread/two-cluster machine (every cluster/thread
+  // loop unrolls, bounds constant-fold) or to the generic <0, 0> one for
+  // other shapes (bounds read from config_ as before). Both instantiate
+  // from the same definitions, so behavior is identical by construction.
+  template <int NC, int NT>
+  void step_cycle();
+  template <int NC, int NT>
   void commit_stage();
   void writeback_stage();
   void retry_blocked_loads();
+  template <int NC, int NT>
   void issue_stage();
+  template <int NC, int NT>
   void rename_stage();
+  template <int NT>
   void fetch_stage();
   void handle_flush_requests();
+
+  /// Loop bound: the compile-time shape when specialized (> 0), else the
+  /// runtime configuration value.
+  template <int N>
+  [[nodiscard]] static constexpr int bound_or(int runtime) noexcept {
+    return N > 0 ? N : runtime;
+  }
 
   // --- Rename helpers ---
   struct RenamePlan {
@@ -148,13 +179,30 @@ class Simulator {
     bool off_preferred_iq = false;  // failed preferred cluster for IQ reasons
   };
   /// Attempts to rename+dispatch the front µop of `tid`; returns consumed
-  /// rename bandwidth (1 + copies) or 0 when blocked.
-  int try_rename_front(ThreadId tid);
+  /// rename bandwidth (1 + copies) or 0 when blocked. `forced` is the
+  /// policy's forced cluster, hoisted per rename burst (it is a function of
+  /// (scheme, tid) only).
+  template <int NC>
+  int try_rename_front(ThreadId tid, ClusterId forced);
+  /// `srcs[i]` is the prefetched replica set of fu.op.src{0,1} (nullptr for
+  /// absent sources) — looked up once per µop and shared by the steering
+  /// vote and every per-cluster plan.
+  template <int NC>
   [[nodiscard]] bool plan_for_cluster(ThreadId tid,
                                       const frontend::FetchedUop& fu,
+                                      const frontend::ReplicaSet* const
+                                          srcs[2],
                                       ClusterId cluster, RenamePlan& plan,
                                       bool& iq_failure, bool& rf_failure);
+  /// Fast path of plan_for_cluster for the common case where every source
+  /// already has a replica in `cluster` (no copies): same checks, same
+  /// policy-query order, same failure flags — minus the copy bookkeeping.
+  [[nodiscard]] bool plan_no_copies(ThreadId tid,
+                                    const frontend::FetchedUop& fu,
+                                    ClusterId cluster, RenamePlan& plan,
+                                    bool& iq_failure, bool& rf_failure);
   void execute_plan(ThreadId tid, const frontend::FetchedUop& fu,
+                    const frontend::ReplicaSet* const srcs[2],
                     const RenamePlan& plan);
 
   // --- Recovery ---
@@ -196,8 +244,8 @@ class Simulator {
   std::unique_ptr<backend::Interconnect> interconnect_;
   std::unique_ptr<memory::MemoryHierarchy> hierarchy_;
   std::unique_ptr<memory::MemOrderBuffer> mob_;
-  std::unique_ptr<steer::Steering> steering_;
-  std::unique_ptr<policy::ResourceAssignmentPolicy> policy_;
+  steer::Steering steering_;
+  policy::PolicyDispatch policy_;
   std::vector<Rob> robs_;
 
   // Timing-wheel event queue. Every event is scheduled a bounded, known

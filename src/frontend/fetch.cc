@@ -32,29 +32,28 @@ void FetchEngine::attach_thread(ThreadId tid,
 }
 
 trace::MicroOp FetchEngine::next_correct_uop(ThreadState& ts) {
-  if (ts.peek) {
-    trace::MicroOp op = *ts.peek;
-    ts.peek.reset();
-    return op;
-  }
   if (!ts.replay.empty()) {
     trace::MicroOp op = ts.replay.front();
     ts.replay.pop_front();
     return op;
   }
-  return ts.source->next();
+  if (ts.buf_count == 0) {
+    ts.source->fill(ts.buf.data(), kPrefetch);
+    ts.buf_head = 0;
+    ts.buf_count = kPrefetch;
+  }
+  --ts.buf_count;
+  return ts.buf[static_cast<std::size_t>(ts.buf_head++)];
 }
 
 std::uint64_t FetchEngine::peek_pc(ThreadState& ts) {
-  if (!ts.peek) {
-    if (!ts.replay.empty()) {
-      ts.peek = ts.replay.front();
-      ts.replay.pop_front();
-    } else {
-      ts.peek = ts.source->next();
-    }
+  if (!ts.replay.empty()) return ts.replay.front().pc;
+  if (ts.buf_count == 0) {
+    ts.source->fill(ts.buf.data(), kPrefetch);
+    ts.buf_head = 0;
+    ts.buf_count = kPrefetch;
   }
-  return ts.peek->pc;
+  return ts.buf[static_cast<std::size_t>(ts.buf_head)].pc;
 }
 
 ThreadId FetchEngine::select_fetch_thread(std::uint32_t eligible_mask,
@@ -117,7 +116,9 @@ void FetchEngine::fetch_cycle(ThreadId tid, Cycle now) {
       break;
     }
 
-    FetchedUop fu;
+    // Built in place in the decode-queue slot: the entry is only published
+    // through the queue size, which the stages read strictly after this.
+    FetchedUop& fu = ts.queue.emplace_back();
     if (ts.wrong_path_active) {
       fu.op = ts.wrong_path.next();
       fu.wrong_path = true;
@@ -161,28 +162,8 @@ void FetchEngine::fetch_cycle(ThreadId tid, Cycle now) {
       stop_after = fu.predicted_taken;
     }
 
-    ts.queue.push_back(fu);
     if (stop_after) break;
   }
-}
-
-int FetchEngine::queue_size(ThreadId tid) const {
-  return static_cast<int>(threads_.at(tid).queue.size());
-}
-
-bool FetchEngine::queue_empty(ThreadId tid) const {
-  return threads_.at(tid).queue.empty();
-}
-
-const FetchedUop& FetchEngine::queue_front(ThreadId tid) const {
-  return threads_.at(tid).queue.front();
-}
-
-FetchedUop FetchEngine::pop_front(ThreadId tid) {
-  ThreadState& ts = threads_.at(tid);
-  FetchedUop fu = ts.queue.front();
-  ts.queue.pop_front();
-  return fu;
 }
 
 void FetchEngine::resolve_mispredict(ThreadId tid,
@@ -214,11 +195,13 @@ void FetchEngine::flush_and_replay(
   });
   ts.queue.clear();
 
-  // Rebuild replay front: [replay_oldest_first][queued_correct][peek][old replay]
-  if (ts.peek) {
-    ts.replay.push_front(*ts.peek);
-    ts.peek.reset();
+  // Rebuild replay front:
+  // [replay_oldest_first][queued_correct][prefetch buffer][old replay]
+  for (int i = ts.buf_count - 1; i >= 0; --i) {
+    ts.replay.push_front(ts.buf[static_cast<std::size_t>(ts.buf_head + i)]);
   }
+  ts.buf_head = 0;
+  ts.buf_count = 0;
   for (auto it = queued_correct.rbegin(); it != queued_correct.rend(); ++it) {
     ts.replay.push_front(*it);
   }

@@ -8,6 +8,7 @@
 // re-delivered before new trace µops.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -80,10 +81,14 @@ class DecodeQueue {
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] const FetchedUop& front() const { return buf_[head_]; }
-  void push_back(const FetchedUop& fu) {
+  /// Appends a default-initialised entry in place and returns it — the
+  /// fetch path fills it directly instead of copying a stack temporary.
+  [[nodiscard]] FetchedUop& emplace_back() {
     assert(size_ < static_cast<int>(buf_.size()));
-    buf_[static_cast<std::size_t>(wrap(head_ + size_))] = fu;
+    FetchedUop& fu = buf_[static_cast<std::size_t>(wrap(head_ + size_))];
+    fu = FetchedUop{};
     ++size_;
+    return fu;
   }
   void pop_front() {
     assert(size_ > 0);
@@ -132,10 +137,24 @@ class FetchEngine {
   void fetch_cycle(ThreadId tid, Cycle now);
 
   // --- Decode queue interface (consumed by rename) ---
-  [[nodiscard]] int queue_size(ThreadId tid) const;
-  [[nodiscard]] bool queue_empty(ThreadId tid) const;
-  [[nodiscard]] const FetchedUop& queue_front(ThreadId tid) const;
-  FetchedUop pop_front(ThreadId tid);
+  [[nodiscard]] int queue_size(ThreadId tid) const {
+    return threads_[static_cast<std::size_t>(tid)].queue.size();
+  }
+  [[nodiscard]] bool queue_empty(ThreadId tid) const {
+    return threads_[static_cast<std::size_t>(tid)].queue.empty();
+  }
+  [[nodiscard]] const FetchedUop& queue_front(ThreadId tid) const {
+    return threads_[static_cast<std::size_t>(tid)].queue.front();
+  }
+  FetchedUop pop_front(ThreadId tid) {
+    FetchedUop fu = queue_front(tid);
+    drop_front(tid);
+    return fu;
+  }
+  /// pop_front without materialising the (already consumed) front entry.
+  void drop_front(ThreadId tid) {
+    threads_[static_cast<std::size_t>(tid)].queue.pop_front();
+  }
 
   // --- Recovery ---
   /// Branch misprediction resolved: drop wrong-path state, flush the decode
@@ -171,19 +190,29 @@ class FetchEngine {
   }
 
  private:
+  /// Correct-path µops prefetched per TraceSource::fill call: one virtual
+  /// dispatch per group of this size instead of one per µop.
+  static constexpr int kPrefetch = 8;
+
   struct ThreadState {
     std::shared_ptr<trace::TraceSource> source;
     const trace::TraceProfile* profile = nullptr;
     std::uint64_t seed = 0;
     std::deque<trace::MicroOp> replay;  // refetch after flush, oldest first
-    std::optional<trace::MicroOp> peek;
+    // Prefetch buffer over the source: buf[buf_head, buf_head+buf_count)
+    // holds the next correct-path µops of the stream, refilled in batches.
+    // Invariant: drained into `replay` on flush, so whenever `replay` is
+    // non-empty the buffer is empty and replay is the stream front.
+    std::array<trace::MicroOp, kPrefetch> buf;
+    int buf_head = 0;
+    int buf_count = 0;
     trace::WrongPathSource wrong_path;
     bool wrong_path_active = false;
     Cycle stall_until = 0;
     DecodeQueue queue;  // decode queue
   };
 
-  /// Next correct-path µop (replay first, then peek buffer, then source).
+  /// Next correct-path µop (replay first, then the prefetch buffer).
   trace::MicroOp next_correct_uop(ThreadState& ts);
   [[nodiscard]] std::uint64_t peek_pc(ThreadState& ts);
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -44,8 +45,12 @@ class RenameMap {
  public:
   explicit RenameMap(int num_clusters);
 
+  /// Replica set of `arch`. Rename is the per-µop inner loop, so the
+  /// lookup is unchecked in release builds; arch indices come from trace
+  /// generation, which only emits valid architectural registers.
   [[nodiscard]] const ReplicaSet& get(int arch) const {
-    return map_.at(arch);
+    assert(is_valid_arch_reg(arch));
+    return map_[static_cast<std::size_t>(arch)];
   }
 
   /// Redefinition: the new mapping is exactly {cluster -> phys}. Returns

@@ -21,8 +21,7 @@ SetAssocCache::SetAssocCache(std::uint64_t size_bytes, int assoc,
   num_sets_ = lines / static_cast<std::uint64_t>(assoc);
   line_shift_ = std::countr_zero(static_cast<std::uint64_t>(line_bytes));
   tags_.resize(lines);
-  lru_.resize(lines);
-  flags_.resize(lines);
+  rank_.resize(lines);
 }
 
 std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const noexcept {
@@ -34,58 +33,71 @@ std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const noexcept {
 }
 
 namespace {
-constexpr std::uint8_t kValid = 1;
-constexpr std::uint8_t kDirty = 2;
+constexpr std::uint64_t kValid = 1;
+constexpr std::uint64_t kDirty = 2;
+constexpr int kTagShift = 2;
 }  // namespace
 
 bool SetAssocCache::access(std::uint64_t addr, bool is_write) {
   ++stats_.accesses;
-  ++lru_clock_;
-  const std::uint64_t set = set_of(addr);
   const std::uint64_t tag = tag_of(addr);
-  const std::uint64_t base = set * static_cast<std::uint64_t>(assoc_);
-  const std::uint64_t* tags = &tags_[base];
-  std::uint8_t* flags = &flags_[base];
+  const std::uint64_t base = set_of(addr) * static_cast<std::uint64_t>(assoc_);
+  std::uint64_t* tags = &tags_[base];
+  std::uint8_t* rank = &rank_[base];
 
+  // Promotes `w` to MRU: every way more recent than it steps down one
+  // rank. This keeps the set's valid ways in exactly the recency order a
+  // per-line clock stamp would, so victim choice below is unchanged.
+  const auto touch = [&](int w) {
+    const std::uint8_t r = rank[w];
+    for (int v = 0; v < assoc_; ++v) {
+      if (rank[v] > r) --rank[v];
+    }
+    rank[w] = static_cast<std::uint8_t>(assoc_ - 1);
+  };
+
+  // Victim: the last invalid way of the scan if any, else the valid way
+  // with the lowest rank (the set's LRU line) — the same choice the
+  // clock-stamp scan made.
   int victim = 0;
   for (int w = 0; w < assoc_; ++w) {
-    if ((flags[w] & kValid) && tags[w] == tag) {
-      lru_[base + w] = lru_clock_;
-      if (is_write) flags[w] |= kDirty;
+    const std::uint64_t t = tags[w];
+    if ((t & kValid) && (t >> kTagShift) == tag) {
+      touch(w);
+      if (is_write) tags[w] |= kDirty;
       ++stats_.hits;
       return true;
     }
-    if (!(flags[w] & kValid)) {
+    if (!(t & kValid)) {
       victim = w;
-    } else if ((flags[victim] & kValid) && lru_[base + w] < lru_[base + victim]) {
+    } else if ((tags[victim] & kValid) && rank[w] < rank[victim]) {
       victim = w;
     }
   }
 
-  if (flags[victim] & kValid) {
+  if (tags[victim] & kValid) {
     ++stats_.evictions;
-    if (flags[victim] & kDirty) ++stats_.dirty_evictions;
+    if (tags[victim] & kDirty) ++stats_.dirty_evictions;
   }
-  flags[victim] = static_cast<std::uint8_t>(kValid | (is_write ? kDirty : 0));
-  tags_[base + victim] = tag;
-  lru_[base + victim] = lru_clock_;
+  tags[victim] = (tag << kTagShift) | kValid |
+                 (is_write ? kDirty : std::uint64_t{0});
+  touch(victim);
   return false;
 }
 
 bool SetAssocCache::probe(std::uint64_t addr) const {
-  const std::uint64_t set = set_of(addr);
   const std::uint64_t tag = tag_of(addr);
-  const std::uint64_t base = set * static_cast<std::uint64_t>(assoc_);
+  const std::uint64_t base = set_of(addr) * static_cast<std::uint64_t>(assoc_);
   for (int w = 0; w < assoc_; ++w) {
-    if ((flags_[base + w] & kValid) && tags_[base + w] == tag) return true;
+    const std::uint64_t t = tags_[base + static_cast<std::uint64_t>(w)];
+    if ((t & kValid) && (t >> kTagShift) == tag) return true;
   }
   return false;
 }
 
 void SetAssocCache::flush() {
-  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
   std::fill(tags_.begin(), tags_.end(), 0);
-  std::fill(lru_.begin(), lru_.end(), 0);
+  std::fill(rank_.begin(), rank_.end(), std::uint8_t{0});
 }
 
 }  // namespace clusmt::memory

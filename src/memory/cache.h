@@ -58,15 +58,18 @@ class SetAssocCache {
   int line_bytes_;
   std::uint64_t num_sets_;
   int line_shift_;
-  // Structure-of-arrays line metadata (num_sets_ * assoc_, row-major by
-  // set): the hot probe loop touches one contiguous tag row per set
-  // instead of striding across interleaved (tag, lru, flags) records —
-  // for a 4 MB simulated L2 the difference is one host cache line per
-  // probe versus three.
-  std::vector<std::uint64_t> tags_;
-  std::vector<std::uint64_t> lru_;  // larger = more recently used
-  std::vector<std::uint8_t> flags_;  // bit 0: valid, bit 1: dirty
-  std::uint64_t lru_clock_ = 0;
+  // Line metadata, structure-of-arrays by set (num_sets_ * assoc_). The
+  // valid and dirty bits live in the low bits of the tag word (tags are
+  // line addresses, so the bottom bits are free after shifting up) and
+  // recency is a per-set permutation of 1-byte ranks (assoc-1 = MRU,
+  // 0 = LRU) instead of a 64-bit global-clock stamp per line: one probe
+  // touches one tag row plus one rank row, and a 4 MB simulated L2 carries
+  // ~0.5 MB of metadata instead of ~1.1 MB — the host cache footprint of
+  // the model is part of the simulator's own hot loop. Rank promotion
+  // preserves exactly the recency order the clock stamps encoded, so hit/
+  // miss/eviction sequences are unchanged.
+  std::vector<std::uint64_t> tags_;  // (tag << 2) | dirty << 1 | valid
+  std::vector<std::uint8_t> rank_;   // per-set LRU ranks
   CacheStats stats_;
 };
 

@@ -1,0 +1,25 @@
+#include "policy/dispatch.h"
+
+namespace clusmt::policy {
+
+PolicyDispatch::PolicyDispatch(PolicyKind kind, const PolicyConfig& config)
+    : kind_(kind), impl_(make_policy(kind, config)) {}
+
+// Memory events fire per L2 miss/fill, not per µop: virtual dispatch is
+// fine here, and keeping these out of line keeps the hot switches small.
+
+void PolicyDispatch::on_l2_miss(ThreadId tid, std::uint64_t load_seq,
+                                Cycle now) {
+  impl_->on_l2_miss(tid, load_seq, now);
+}
+
+void PolicyDispatch::on_l2_resolved(ThreadId tid, std::uint64_t load_seq,
+                                    Cycle now) {
+  impl_->on_l2_resolved(tid, load_seq, now);
+}
+
+void PolicyDispatch::on_flush_done(ThreadId tid) {
+  impl_->on_flush_done(tid);
+}
+
+}  // namespace clusmt::policy

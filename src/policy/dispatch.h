@@ -1,0 +1,219 @@
+// Sealed, devirtualized dispatch over the resource-assignment schemes.
+//
+// The paper's schemes are evaluated per dispatched µop every cycle: the
+// allow_iq_dispatch / allow_rf_alloc / eligibility queries are the inner
+// loop of the whole reproduction. The scheme set is closed (PolicyKind), so
+// the simulator routes every hot query through ONE switch over the kind and
+// a qualified — hence non-virtual, inlinable — call into the concrete
+// policy class. Schemes that use a query's default (e.g. Icount never
+// limits allocation) collapse to an inline constant, costing nothing.
+//
+// The abstract ResourceAssignmentPolicy interface survives at configuration
+// time (make_policy) and on the cold paths (memory events, flush requests,
+// which fire per L2 miss, not per µop). set_devirtualized(false) routes
+// every query back through the virtual interface; the two modes must be
+// decision-identical — tests/policy_dispatch_test.cc pins that, so a new
+// override added to a policy class without a matching dispatch case fails
+// loudly instead of silently diverging.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "policy/adaptive.h"
+#include "policy/partition.h"
+#include "policy/policy.h"
+#include "policy/regfile_policy.h"
+#include "policy/simple.h"
+
+namespace clusmt::policy {
+
+class PolicyDispatch {
+ public:
+  PolicyDispatch(PolicyKind kind, const PolicyConfig& config);
+
+  /// Parity-test hook: false routes every query through the virtual
+  /// interface instead of the sealed switch. Decisions must be identical.
+  void set_devirtualized(bool on) noexcept { devirt_ = on; }
+  [[nodiscard]] bool devirtualized() const noexcept { return devirt_; }
+
+  [[nodiscard]] PolicyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] ResourceAssignmentPolicy& impl() noexcept { return *impl_; }
+  [[nodiscard]] const ResourceAssignmentPolicy& impl() const noexcept {
+    return *impl_;
+  }
+  [[nodiscard]] std::string_view name() const { return impl_->name(); }
+
+  // --- Hot per-cycle / per-µop queries (sealed switch) ---
+
+  [[nodiscard]] std::uint32_t fetch_eligible(const PipelineView& view,
+                                             std::uint32_t candidates) {
+    if (!devirt_) return impl_->fetch_eligible(view, candidates);
+    switch (kind_) {
+      case PolicyKind::kStall:
+        return as<StallPolicy>().StallPolicy::fetch_eligible(view,
+                                                             candidates);
+      case PolicyKind::kFlushPlus:
+      case PolicyKind::kFlushPlusPlus:
+        return as<FlushPlusPolicy>().FlushPlusPolicy::fetch_eligible(
+            view, candidates);
+      case PolicyKind::kUnreadyGate:
+        return as<UnreadyGatePolicy>().UnreadyGatePolicy::fetch_eligible(
+            view, candidates);
+      default:
+        return candidates;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t rename_eligible(const PipelineView& view,
+                                              std::uint32_t candidates) {
+    if (!devirt_) return impl_->rename_eligible(view, candidates);
+    switch (kind_) {
+      case PolicyKind::kFlushPlus:
+        return as<FlushPlusPolicy>().FlushPlusPolicy::rename_eligible(
+            view, candidates);
+      case PolicyKind::kFlushPlusPlus:
+        return as<FlushPlusPlusPolicy>()
+            .FlushPlusPlusPolicy::rename_eligible(view, candidates);
+      default:
+        return candidates;
+    }
+  }
+
+  [[nodiscard]] ThreadId select_rename_thread(const PipelineView& view,
+                                              std::uint32_t candidates) {
+    if (!devirt_) return impl_->select_rename_thread(view, candidates);
+    switch (kind_) {
+      case PolicyKind::kUnreadyGate:
+        return as<UnreadyGatePolicy>()
+            .UnreadyGatePolicy::select_rename_thread(view, candidates);
+      default:
+        // Every other scheme keeps the base Icount selection.
+        return impl_->ResourceAssignmentPolicy::select_rename_thread(
+            view, candidates);
+    }
+  }
+
+  [[nodiscard]] bool allow_iq_dispatch(const PipelineView& view, ThreadId tid,
+                                       ClusterId c, int count,
+                                       int total_count) {
+    if (!devirt_) {
+      return impl_->allow_iq_dispatch(view, tid, c, count, total_count);
+    }
+    switch (kind_) {
+      case PolicyKind::kCisp:
+        return as<CispPolicy>().CispPolicy::allow_iq_dispatch(
+            view, tid, c, count, total_count);
+      case PolicyKind::kCssp:
+      case PolicyKind::kCssprf:
+      case PolicyKind::kCisprf:
+      case PolicyKind::kCdprf:
+        // The register-file schemes keep CSSP as their issue-queue handler.
+        return as<CsspPolicy>().CsspPolicy::allow_iq_dispatch(
+            view, tid, c, count, total_count);
+      case PolicyKind::kCspsp:
+        return as<CspspPolicy>().CspspPolicy::allow_iq_dispatch(
+            view, tid, c, count, total_count);
+      case PolicyKind::kPrivateClusters:
+        return as<PrivateClustersPolicy>()
+            .PrivateClustersPolicy::allow_iq_dispatch(view, tid, c, count,
+                                                      total_count);
+      case PolicyKind::kDcra:
+        return as<DcraPolicy>().DcraPolicy::allow_iq_dispatch(
+            view, tid, c, count, total_count);
+      case PolicyKind::kHillClimb:
+        return as<HillClimbPolicy>().HillClimbPolicy::allow_iq_dispatch(
+            view, tid, c, count, total_count);
+      default:
+        return true;
+    }
+  }
+
+  [[nodiscard]] bool allow_rf_alloc(const PipelineView& view, ThreadId tid,
+                                    ClusterId c, RegClass cls, int count) {
+    if (!devirt_) return impl_->allow_rf_alloc(view, tid, c, cls, count);
+    switch (kind_) {
+      case PolicyKind::kCssprf:
+        return as<CssprfPolicy>().CssprfPolicy::allow_rf_alloc(view, tid, c,
+                                                               cls, count);
+      case PolicyKind::kCisprf:
+        return as<CisprfPolicy>().CisprfPolicy::allow_rf_alloc(view, tid, c,
+                                                               cls, count);
+      case PolicyKind::kCdprf:
+        return as<CdprfPolicy>().CdprfPolicy::allow_rf_alloc(view, tid, c,
+                                                             cls, count);
+      case PolicyKind::kDcra:
+        return as<DcraPolicy>().DcraPolicy::allow_rf_alloc(view, tid, c,
+                                                           cls, count);
+      case PolicyKind::kHillClimb:
+        return as<HillClimbPolicy>().HillClimbPolicy::allow_rf_alloc(
+            view, tid, c, cls, count);
+      default:
+        return true;
+    }
+  }
+
+  [[nodiscard]] ClusterId forced_cluster(const PipelineView& view,
+                                         ThreadId tid) const {
+    if (!devirt_) return impl_->forced_cluster(view, tid);
+    switch (kind_) {
+      case PolicyKind::kPrivateClusters:
+        return static_cast<const PrivateClustersPolicy&>(*impl_)
+            .PrivateClustersPolicy::forced_cluster(view, tid);
+      default:
+        return -1;
+    }
+  }
+
+  void begin_cycle(const PipelineView& view) {
+    if (!devirt_) {
+      impl_->begin_cycle(view);
+      return;
+    }
+    switch (kind_) {
+      case PolicyKind::kCdprf:
+        as<CdprfPolicy>().CdprfPolicy::begin_cycle(view);
+        return;
+      case PolicyKind::kHillClimb:
+        as<HillClimbPolicy>().HillClimbPolicy::begin_cycle(view);
+        return;
+      case PolicyKind::kFlushPlusPlus:
+        as<FlushPlusPlusPolicy>().FlushPlusPlusPolicy::begin_cycle(view);
+        return;
+      default:
+        return;
+    }
+  }
+
+  [[nodiscard]] std::optional<FlushRequest> flush_request(Cycle now) {
+    if (!devirt_) return impl_->flush_request(now);
+    switch (kind_) {
+      case PolicyKind::kFlushPlus:
+        return as<FlushPlusPolicy>().FlushPlusPolicy::flush_request(now);
+      case PolicyKind::kFlushPlusPlus:
+        return as<FlushPlusPlusPolicy>().FlushPlusPlusPolicy::flush_request(
+            now);
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // --- Cold paths: per-memory-event, forwarded virtually (dispatch.cc) ---
+  void on_l2_miss(ThreadId tid, std::uint64_t load_seq, Cycle now);
+  void on_l2_resolved(ThreadId tid, std::uint64_t load_seq, Cycle now);
+  void on_flush_done(ThreadId tid);
+
+ private:
+  template <typename Concrete>
+  [[nodiscard]] Concrete& as() noexcept {
+    return static_cast<Concrete&>(*impl_);
+  }
+
+  PolicyKind kind_;
+  bool devirt_ = true;
+  std::unique_ptr<ResourceAssignmentPolicy> impl_;
+};
+
+}  // namespace clusmt::policy

@@ -10,6 +10,16 @@
 //
 // The default rename selection is Icount [1]: the thread with the fewest
 // instructions between rename and issue.
+//
+// Dispatch contract: the simulator routes the hot per-µop queries through
+// the sealed switch in policy/dispatch.h (one case per PolicyKind,
+// non-virtual qualified calls), keeping this virtual interface for
+// configuration time and the cold event paths. Adding a PolicyKind, or
+// overriding one of the hot queries (eligibility, selection, allow_*,
+// forced_cluster, begin_cycle, flush_request) in a policy class, requires
+// the matching case in PolicyDispatch — tests/policy_dispatch_test.cc
+// diffs the two dispatch modes across every scheme and fails on any
+// divergence.
 #pragma once
 
 #include <cstdint>

@@ -46,16 +46,21 @@ struct PipelineView {
   // be). Feeds the unready-count front-end gate [20].
   int iq_unready_tc[kMaxThreads][kMaxClusters] = {};
 
+  // The aggregation helpers below run inside the per-µop policy queries,
+  // so they sum over the fixed kMaxClusters bound instead of the runtime
+  // cluster count: slots past num_clusters are never written and stay
+  // zero, the totals are identical, and the loops unroll branch-free.
+
   /// Instructions of `tid` between rename and issue (Icount's metric).
   [[nodiscard]] int iq_occ_thread_total(ThreadId tid) const noexcept {
     int total = 0;
-    for (int c = 0; c < num_clusters; ++c) total += iq_occ_tc[tid][c];
+    for (int c = 0; c < kMaxClusters; ++c) total += iq_occ_tc[tid][c];
     return total;
   }
 
   [[nodiscard]] int rf_used_total(ThreadId tid, RegClass cls) const noexcept {
     int total = 0;
-    for (int c = 0; c < num_clusters; ++c) {
+    for (int c = 0; c < kMaxClusters; ++c) {
       total += rf_used[tid][c][static_cast<int>(cls)];
     }
     return total;
@@ -63,7 +68,7 @@ struct PipelineView {
 
   [[nodiscard]] int rf_free_total(RegClass cls) const noexcept {
     int total = 0;
-    for (int c = 0; c < num_clusters; ++c) {
+    for (int c = 0; c < kMaxClusters; ++c) {
       total += rf_free[c][static_cast<int>(cls)];
     }
     return total;
@@ -79,14 +84,14 @@ struct PipelineView {
 
   [[nodiscard]] std::uint64_t committed_total() const noexcept {
     std::uint64_t total = 0;
-    for (int t = 0; t < num_threads; ++t) total += committed[t];
+    for (int t = 0; t < kMaxThreads; ++t) total += committed[t];
     return total;
   }
 
   /// Not-ready µops of `tid` across every issue queue.
   [[nodiscard]] int iq_unready_total(ThreadId tid) const noexcept {
     int total = 0;
-    for (int c = 0; c < num_clusters; ++c) total += iq_unready_tc[tid][c];
+    for (int c = 0; c < kMaxClusters; ++c) total += iq_unready_tc[tid][c];
     return total;
   }
 };

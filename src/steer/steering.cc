@@ -15,30 +15,8 @@ Steering::Steering(SteeringKind kind, int num_clusters,
   }
 }
 
-ClusterId Steering::least_loaded(
-    std::span<const int> iq_occupancy) const noexcept {
-  ClusterId best = 0;
-  for (int c = 1; c < num_clusters_; ++c) {
-    if (iq_occupancy[c] < iq_occupancy[best]) best = c;
-  }
-  return best;
-}
-
-ClusterId Steering::preferred(std::span<const int> dep_count,
-                              std::span<const int> iq_occupancy) {
-  ++stats_.decisions;
-  switch (kind_) {
-    case SteeringKind::kRoundRobin: {
-      const ClusterId c = rr_next_;
-      rr_next_ = (rr_next_ + 1) % num_clusters_;
-      return c;
-    }
-    case SteeringKind::kLeastLoaded:
-      return least_loaded(iq_occupancy);
-    case SteeringKind::kDependenceBalance:
-      break;
-  }
-
+ClusterId Steering::dependence_balance(std::span<const int> dep_count,
+                                       std::span<const int> iq_occupancy) {
   // Dependence vote: cluster holding the most source operands. Values
   // replicated in several clusters vote for all of them, so ties (including
   // "no votes at all") fall through to workload balance — replicated or

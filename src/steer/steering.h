@@ -29,7 +29,10 @@ struct SteeringStats {
   std::uint64_t dependence_free = 0;    // µops with no resident operands
 };
 
-class Steering {
+/// Sealed (final, inline) steering dispatch: `preferred` is queried once
+/// per renamed µop, so the kind switch lives in the header and inlines into
+/// the rename stage instead of paying an out-of-line call per decision.
+class Steering final {
  public:
   Steering(SteeringKind kind, int num_clusters, int imbalance_threshold = 6);
 
@@ -38,7 +41,21 @@ class Steering {
   /// resident in cluster c; `iq_occupancy[c]` — current total issue-queue
   /// occupancy of cluster c.
   [[nodiscard]] ClusterId preferred(std::span<const int> dep_count,
-                                    std::span<const int> iq_occupancy);
+                                    std::span<const int> iq_occupancy) {
+    ++stats_.decisions;
+    switch (kind_) {
+      case SteeringKind::kRoundRobin: {
+        const ClusterId c = rr_next_;
+        rr_next_ = (rr_next_ + 1) % num_clusters_;
+        return c;
+      }
+      case SteeringKind::kLeastLoaded:
+        return least_loaded(iq_occupancy);
+      case SteeringKind::kDependenceBalance:
+        break;
+    }
+    return dependence_balance(dep_count, iq_occupancy);
+  }
 
   [[nodiscard]] SteeringKind kind() const noexcept { return kind_; }
   [[nodiscard]] const SteeringStats& stats() const noexcept { return stats_; }
@@ -46,7 +63,16 @@ class Steering {
 
  private:
   [[nodiscard]] ClusterId least_loaded(
-      std::span<const int> iq_occupancy) const noexcept;
+      std::span<const int> iq_occupancy) const noexcept {
+    ClusterId best = 0;
+    for (int c = 1; c < num_clusters_; ++c) {
+      if (iq_occupancy[c] < iq_occupancy[best]) best = c;
+    }
+    return best;
+  }
+
+  [[nodiscard]] ClusterId dependence_balance(
+      std::span<const int> dep_count, std::span<const int> iq_occupancy);
 
   SteeringKind kind_;
   int num_clusters_;

@@ -114,10 +114,62 @@ SyntheticProgram::SyntheticProgram(const TraceProfile& profile,
       block.taken_next = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(n)));
     }
   }
+
+  flatten();
 }
 
-SyntheticTrace::SyntheticTrace(std::shared_ptr<const SyntheticProgram> program,
-                               std::uint64_t seed)
+void SyntheticProgram::flatten() {
+  std::size_t total = 0;
+  for (const BasicBlock& block : blocks_) total += block.body.size() + 1;
+  flat_.reserve(total);
+  info_.resize(blocks_.size());
+
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const BasicBlock& block = blocks_[b];
+    BlockInfo& bi = info_[b];
+    bi.first_uop = static_cast<std::uint32_t>(flat_.size());
+    for (std::size_t i = 0; i < block.body.size(); ++i) {
+      const StaticUop& sop = block.body[i];
+      flat_.push_back(FlatUop{.pc = block.start_pc + i * kUopBytes,
+                              .cls = sop.cls,
+                              .fp_dst = sop.fp_dst,
+                              .is_branch = false,
+                              .dst = sop.dst,
+                              .block = static_cast<std::int32_t>(b)});
+    }
+    bi.branch_pc = block.start_pc + block.body.size() * kUopBytes;
+    flat_.push_back(FlatUop{.pc = bi.branch_pc,
+                            .cls = UopClass::kBranch,
+                            .fp_dst = false,
+                            .is_branch = true,
+                            .dst = -1,
+                            .block = static_cast<std::int32_t>(b)});
+
+    bi.branch = block.branch;
+    bi.indirect = block.indirect;
+    bi.loop_trip = static_cast<std::uint16_t>(block.loop_trip);
+    bi.pattern = block.pattern;
+    bi.pattern_period = static_cast<std::uint8_t>(block.pattern_period);
+    bi.taken_next = block.taken_next;
+    bi.fallthrough_next = block.fallthrough_next;
+    bi.taken_start_pc = blocks_[block.taken_next].start_pc;
+    bi.fallthrough_start_pc = blocks_[block.fallthrough_next].start_pc;
+    bi.indirect_begin = static_cast<std::uint32_t>(indirect_pool_.size());
+    bi.indirect_count =
+        static_cast<std::uint32_t>(block.indirect_targets.size());
+    for (int target : block.indirect_targets) {
+      indirect_pool_.push_back(IndirectTarget{
+          .block = target, .start_pc = blocks_[target].start_pc});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Shared dynamic sampling
+// --------------------------------------------------------------------------
+
+SyntheticCursor::SyntheticCursor(
+    std::shared_ptr<const SyntheticProgram> program, std::uint64_t seed)
     : program_(std::move(program)),
       rng_(hash_combine(seed, 0xD1AA11C5)),
       branch_state_(program_->blocks().size(), 0) {
@@ -125,6 +177,8 @@ SyntheticTrace::SyntheticTrace(std::shared_ptr<const SyntheticProgram> program,
   dep_dist_ = GeometricDist(p.dep_geo_p);
   old_dist_ = GeometricDist(p.old_src_p);
   indirect_skew_dist_ = GeometricDist(0.9);
+  two_src_prob_ = p.two_src_prob;
+  fp_store_prob_ = p.effective_fp_load_fraction();
   // Give each trace a distinct 64 MB-aligned address region, mimicking
   // distinct process address spaces that still compete for shared caches.
   base_addr_ = (1 + (hash_combine(seed, 0xADD2E55) & 0x3F)) << 26;
@@ -136,37 +190,27 @@ SyntheticTrace::SyntheticTrace(std::shared_ptr<const SyntheticProgram> program,
                            i * (p.footprint_bytes / n_streams) + i * 192);
   }
   chase_addr_ = base_addr_;
-  pc_ = program_->blocks()[0].start_pc;
 }
 
-SyntheticTrace::SyntheticTrace(const TraceProfile& profile,
-                               std::uint64_t seed)
-    : SyntheticTrace(std::make_shared<SyntheticProgram>(profile, seed),
-                     seed) {}
-
-const std::string& SyntheticTrace::name() const {
-  return program_->profile().name;
-}
-
-bool SyntheticTrace::evaluate_branch(int block_index) {
-  const BasicBlock& block = program_->blocks()[block_index];
-  std::uint32_t& state = branch_state_[block_index];
-  switch (block.branch) {
+bool SyntheticCursor::evaluate_branch(const BlockInfo& info,
+                                      std::uint32_t& state) {
+  switch (info.branch) {
     case BranchBehaviour::kStronglyTaken:
       return !rng_.chance(0.01);
     case BranchBehaviour::kStronglyNotTaken:
       return rng_.chance(0.01);
     case BranchBehaviour::kLoop: {
       const bool taken = static_cast<int>(state) + 1 <
-                         std::max(2, block.loop_trip);
+                         std::max(2, static_cast<int>(info.loop_trip));
       state = taken ? state + 1 : 0;
       return taken;
     }
     case BranchBehaviour::kPeriodic: {
       const bool taken =
-          (block.pattern >> (state % block.pattern_period)) & 1;
+          (info.pattern >> (state % info.pattern_period)) & 1;
       state = (state + 1) % static_cast<std::uint32_t>(
-                                 std::max(1, block.pattern_period));
+                                 std::max(1, static_cast<int>(
+                                                 info.pattern_period)));
       return taken;
     }
     case BranchBehaviour::kRandom:
@@ -175,8 +219,8 @@ bool SyntheticTrace::evaluate_branch(int block_index) {
   return false;
 }
 
-std::int16_t SyntheticTrace::sample_source(RegClass cls,
-                                           const GeometricDist& dist) {
+std::int16_t SyntheticCursor::sample_source(RegClass cls,
+                                            const GeometricDist& dist) {
   auto& ring = cls == RegClass::kInt ? recent_int_ : recent_fp_;
   if (ring.empty()) {
     return cls == RegClass::kInt ? std::int16_t{0}
@@ -186,16 +230,16 @@ std::int16_t SyntheticTrace::sample_source(RegClass cls,
   return ring.from_back(d);
 }
 
-std::int16_t SyntheticTrace::sample_data_source(RegClass cls) {
+std::int16_t SyntheticCursor::sample_data_source(RegClass cls) {
   return sample_source(cls, dep_dist_);
 }
 
-std::int16_t SyntheticTrace::sample_old_source(RegClass cls) {
+std::int16_t SyntheticCursor::sample_old_source(RegClass cls) {
   return sample_source(cls, old_dist_);
 }
 
-std::uint64_t SyntheticTrace::sample_address(bool& out_is_chase,
-                                             bool& out_is_stream) {
+std::uint64_t SyntheticCursor::sample_address(bool& out_is_chase,
+                                              bool& out_is_stream) {
   const TraceProfile& p = program_->profile();
   const std::uint64_t hot =
       p.hot_bytes == 0 ? p.footprint_bytes
@@ -229,14 +273,157 @@ std::uint64_t SyntheticTrace::sample_address(bool& out_is_chase,
   return base_addr_ + (rng_.bounded(region) & ~7ULL);
 }
 
-void SyntheticTrace::note_producer(std::int16_t arch) {
+void SyntheticCursor::note_producer(std::int16_t arch) {
   if (arch < 0) return;
   auto& ring = arch_reg_class(arch) == RegClass::kInt ? recent_int_
                                                       : recent_fp_;
   ring.push(arch);
 }
 
-MicroOp SyntheticTrace::next() {
+void SyntheticCursor::sample_body(MicroOp& op, bool fp_dst) {
+  switch (op.cls) {
+    case UopClass::kIntAlu:
+    case UopClass::kIntMul:
+      op.src0 = sample_data_source(RegClass::kInt);
+      if (rng_.chance(two_src_prob_)) {
+        op.src1 = sample_data_source(RegClass::kInt);
+      }
+      break;
+    case UopClass::kFpAdd:
+    case UopClass::kFpMul:
+    case UopClass::kSimd:
+      op.src0 = sample_data_source(RegClass::kFp);
+      if (rng_.chance(two_src_prob_)) {
+        op.src1 = sample_data_source(RegClass::kFp);
+      }
+      break;
+    case UopClass::kLoad: {
+      bool is_chase = false;
+      bool is_stream = false;
+      op.mem_addr = sample_address(is_chase, is_stream);
+      if (is_chase && last_chase_dst_ >= 0) {
+        // Serialise on the register that carried the previous pointer.
+        op.src0 = last_chase_dst_;
+      } else if (is_stream) {
+        // Stream addresses come from induction variables: long-resolved
+        // sources, so consecutive stream loads overlap (MLP).
+        op.src0 = sample_old_source(RegClass::kInt);
+      } else {
+        op.src0 = sample_data_source(RegClass::kInt);
+      }
+      if (is_chase && !fp_dst) last_chase_dst_ = op.dst;
+      break;
+    }
+    case UopClass::kStore: {
+      bool is_chase = false;
+      bool is_stream = false;
+      op.mem_addr = sample_address(is_chase, is_stream);
+      op.src0 = sample_old_source(RegClass::kInt);  // address
+      const bool fp_data = rng_.chance(fp_store_prob_);
+      op.src1 =
+          sample_data_source(fp_data ? RegClass::kFp : RegClass::kInt);
+      break;
+    }
+    default:
+      break;
+  }
+  note_producer(op.dst);
+}
+
+int SyntheticCursor::take_branch(MicroOp& op, int block_index) {
+  // Branch conditions (loop counters, flags) usually depend on
+  // long-resolved values.
+  const BlockInfo& bi = program_->block_info()[block_index];
+  op.pc = bi.branch_pc;
+  op.cls = UopClass::kBranch;
+  op.src0 = sample_old_source(RegClass::kInt);
+  op.indirect = bi.indirect;
+  op.taken = evaluate_branch(bi, branch_state_[block_index]);
+
+  int next_block;
+  if (bi.indirect) {
+    // Skewed dynamic target choice: mostly the first target so the
+    // last-target predictor has something to learn, with excursions.
+    const std::uint64_t skew = indirect_skew_dist_.sample(
+        rng_, bi.indirect_count == 0 ? 0 : bi.indirect_count - 1);
+    if (bi.indirect_count == 0) {
+      next_block = bi.fallthrough_next;
+      op.target = bi.fallthrough_start_pc;
+    } else {
+      const IndirectTarget& target =
+          program_->indirect_targets()[bi.indirect_begin + skew];
+      next_block = target.block;
+      op.target = target.start_pc;
+    }
+    op.taken = true;  // indirect jumps always redirect
+  } else {
+    next_block = op.taken ? bi.taken_next : bi.fallthrough_next;
+    op.target = op.taken ? bi.taken_start_pc : bi.fallthrough_start_pc;
+  }
+  op.fallthrough = bi.fallthrough_start_pc;
+  return next_block;
+}
+
+// --------------------------------------------------------------------------
+// Flat generator
+// --------------------------------------------------------------------------
+
+SyntheticTrace::SyntheticTrace(std::shared_ptr<const SyntheticProgram> program,
+                               std::uint64_t seed)
+    : SyntheticCursor(std::move(program), seed),
+      flat_(program_->flat_uops().data()),
+      info_(program_->block_info().data()),
+      cursor_(info_[0].first_uop) {}
+
+SyntheticTrace::SyntheticTrace(const TraceProfile& profile,
+                               std::uint64_t seed)
+    : SyntheticTrace(std::make_shared<SyntheticProgram>(profile, seed),
+                     seed) {}
+
+const std::string& SyntheticTrace::name() const {
+  return program_->profile().name;
+}
+
+MicroOp SyntheticTrace::next_impl() {
+  const FlatUop& f = flat_[cursor_];
+  MicroOp op;
+  op.pc = f.pc;
+  op.cls = f.cls;
+  if (!f.is_branch) {
+    op.dst = f.dst;
+    sample_body(op, f.fp_dst);
+    ++cursor_;
+    return op;
+  }
+  const int next_block = take_branch(op, f.block);
+  cursor_ = info_[next_block].first_uop;
+  return op;
+}
+
+MicroOp SyntheticTrace::next() { return next_impl(); }
+
+void SyntheticTrace::fill(MicroOp* out, int count) {
+  for (int i = 0; i < count; ++i) out[i] = next_impl();
+}
+
+// --------------------------------------------------------------------------
+// Retained block walker (differential oracle)
+// --------------------------------------------------------------------------
+
+BlockWalkTrace::BlockWalkTrace(
+    std::shared_ptr<const SyntheticProgram> program, std::uint64_t seed)
+    : SyntheticCursor(std::move(program), seed) {}
+
+BlockWalkTrace::BlockWalkTrace(const TraceProfile& profile,
+                               std::uint64_t seed)
+    : BlockWalkTrace(std::make_shared<SyntheticProgram>(profile, seed),
+                     seed) {}
+
+const std::string& BlockWalkTrace::name() const {
+  return program_->profile().name;
+}
+
+MicroOp BlockWalkTrace::next() {
   const BasicBlock& block = program_->blocks()[current_block_];
   MicroOp op;
 
@@ -245,86 +432,12 @@ MicroOp SyntheticTrace::next() {
     op.pc = block.start_pc + block_pos_ * kUopBytes;
     op.cls = sop.cls;
     op.dst = sop.dst;
-    switch (sop.cls) {
-      case UopClass::kIntAlu:
-      case UopClass::kIntMul:
-        op.src0 = sample_data_source(RegClass::kInt);
-        if (rng_.chance(program_->profile().two_src_prob)) {
-          op.src1 = sample_data_source(RegClass::kInt);
-        }
-        break;
-      case UopClass::kFpAdd:
-      case UopClass::kFpMul:
-      case UopClass::kSimd:
-        op.src0 = sample_data_source(RegClass::kFp);
-        if (rng_.chance(program_->profile().two_src_prob)) {
-          op.src1 = sample_data_source(RegClass::kFp);
-        }
-        break;
-      case UopClass::kLoad: {
-        bool is_chase = false;
-        bool is_stream = false;
-        op.mem_addr = sample_address(is_chase, is_stream);
-        if (is_chase && last_chase_dst_ >= 0) {
-          // Serialise on the register that carried the previous pointer.
-          op.src0 = last_chase_dst_;
-        } else if (is_stream) {
-          // Stream addresses come from induction variables: long-resolved
-          // sources, so consecutive stream loads overlap (MLP).
-          op.src0 = sample_old_source(RegClass::kInt);
-        } else {
-          op.src0 = sample_data_source(RegClass::kInt);
-        }
-        if (is_chase && !sop.fp_dst) last_chase_dst_ = sop.dst;
-        break;
-      }
-      case UopClass::kStore: {
-        bool is_chase = false;
-        bool is_stream = false;
-        op.mem_addr = sample_address(is_chase, is_stream);
-        op.src0 = sample_old_source(RegClass::kInt);  // address
-        const bool fp_data = rng_.chance(
-            program_->profile().effective_fp_load_fraction());
-        op.src1 =
-            sample_data_source(fp_data ? RegClass::kFp : RegClass::kInt);
-        break;
-      }
-      default:
-        break;
-    }
-    note_producer(op.dst);
+    sample_body(op, sop.fp_dst);
     ++block_pos_;
     return op;
   }
 
-  // Terminating branch of the current block. Branch conditions (loop
-  // counters, flags) usually depend on long-resolved values.
-  op.pc = block.start_pc + block.body.size() * kUopBytes;
-  op.cls = UopClass::kBranch;
-  op.src0 = sample_old_source(RegClass::kInt);
-  op.indirect = block.indirect;
-  op.taken = evaluate_branch(current_block_);
-
-  int next_block;
-  if (block.indirect) {
-    // Skewed dynamic target choice: mostly the first target so the
-    // last-target predictor has something to learn, with excursions.
-    const auto& targets = block.indirect_targets;
-    const std::uint64_t skew = indirect_skew_dist_.sample(
-        rng_, targets.empty() ? 0 : targets.size() - 1);
-    next_block = targets.empty() ? block.fallthrough_next
-                                 : targets[skew];
-    op.taken = true;  // indirect jumps always redirect
-  } else {
-    next_block = op.taken ? block.taken_next : block.fallthrough_next;
-  }
-  op.target = program_->blocks()[op.taken ? next_block
-                                          : block.fallthrough_next]
-                  .start_pc;
-  op.fallthrough = program_->blocks()[block.fallthrough_next].start_pc;
-  if (!op.taken) next_block = block.fallthrough_next;
-
-  current_block_ = next_block;
+  current_block_ = take_branch(op, current_block_);
   block_pos_ = 0;
   return op;
 }

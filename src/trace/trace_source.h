@@ -20,6 +20,14 @@ class TraceSource {
   /// model finite programs must loop.
   virtual MicroOp next() = 0;
 
+  /// Batched form of next(): writes the next `count` µops of the stream to
+  /// `out`. Semantically identical to `count` next() calls — the fetch
+  /// engine uses it to pay one virtual dispatch per fetch group instead of
+  /// one per µop. Hot sources (SyntheticTrace) override it.
+  virtual void fill(MicroOp* out, int count) {
+    for (int i = 0; i < count; ++i) out[i] = next();
+  }
+
   [[nodiscard]] virtual const std::string& name() const = 0;
 };
 

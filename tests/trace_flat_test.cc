@@ -1,0 +1,134 @@
+// Differential coverage for the flattened trace datapath: SyntheticTrace
+// (the flat contiguous-µop-array cursor) must produce exactly the µop
+// sequence of BlockWalkTrace (the retained per-block walker) — every field,
+// in order — for every workload character and across seeds. This is the
+// trace layer's analogue of the issue stage's kScanReference oracle: the
+// two generators share the sampling machinery (SyntheticCursor), so any
+// divergence is a flat-layout bug (wrong successor index, wrong pc, a
+// dropped or duplicated µop), not an RNG difference.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "trace/profile.h"
+#include "trace/synthetic.h"
+#include "trace/workload.h"
+
+namespace clusmt::trace {
+namespace {
+
+void expect_same_stream(const TraceProfile& profile, std::uint64_t seed,
+                        int uops, const std::string& label) {
+  auto program = std::make_shared<SyntheticProgram>(profile, seed);
+  SyntheticTrace flat(program, seed);
+  BlockWalkTrace walk(program, seed);
+  for (int i = 0; i < uops; ++i) {
+    const MicroOp a = flat.next();
+    const MicroOp b = walk.next();
+    const auto at = label + " uop #" + std::to_string(i);
+    ASSERT_EQ(a.pc, b.pc) << at;
+    ASSERT_EQ(a.cls, b.cls) << at;
+    ASSERT_EQ(a.dst, b.dst) << at;
+    ASSERT_EQ(a.src0, b.src0) << at;
+    ASSERT_EQ(a.src1, b.src1) << at;
+    ASSERT_EQ(a.mem_addr, b.mem_addr) << at;
+    ASSERT_EQ(a.taken, b.taken) << at;
+    ASSERT_EQ(a.indirect, b.indirect) << at;
+    ASSERT_EQ(a.target, b.target) << at;
+    ASSERT_EQ(a.fallthrough, b.fallthrough) << at;
+  }
+}
+
+TEST(TraceFlatDifferential, AllCharactersAndVariantsMatchBlockWalk) {
+  for (Category cat : all_plain_categories()) {
+    for (TraceKind kind : {TraceKind::kIlp, TraceKind::kMem}) {
+      for (int v = 0; v < TracePool::kVariantsPerKind; ++v) {
+        const TraceProfile profile = make_profile(cat, kind, v);
+        expect_same_stream(profile, /*seed=*/7 + v, /*uops=*/4000,
+                           profile.name);
+      }
+    }
+  }
+}
+
+TEST(TraceFlatDifferential, SeedSweepMatchesBlockWalk) {
+  const TraceProfile profile =
+      make_profile(Category::kISpec00, TraceKind::kIlp, 0);
+  for (std::uint64_t seed : {1ull, 2ull, 42ull, 0xDEADBEEFull, 1ull << 40}) {
+    expect_same_stream(profile, seed,
+                       /*uops=*/5000,
+                       profile.name + "@seed" + std::to_string(seed));
+  }
+}
+
+TEST(TraceFlatDifferential, BatchedFillMatchesPerUopNext) {
+  // fill() must be exactly `count` next() calls — mixed batch sizes across
+  // branch boundaries against a lockstep per-µop reference.
+  const TraceProfile profile =
+      make_profile(Category::kServer, TraceKind::kMem, 1);
+  auto program = std::make_shared<SyntheticProgram>(profile, 9);
+  SyntheticTrace batched(program, 9);
+  SyntheticTrace single(program, 9);
+  MicroOp buf[13];
+  int emitted = 0;
+  for (int round = 0; round < 600; ++round) {
+    const int n = 1 + round % 13;
+    batched.fill(buf, n);
+    for (int i = 0; i < n; ++i) {
+      const MicroOp want = single.next();
+      ASSERT_EQ(buf[i].pc, want.pc) << "uop #" << (emitted + i);
+      ASSERT_EQ(buf[i].src0, want.src0) << "uop #" << (emitted + i);
+      ASSERT_EQ(buf[i].mem_addr, want.mem_addr) << "uop #" << (emitted + i);
+    }
+    emitted += n;
+  }
+}
+
+TEST(TraceFlat, FlatArrayMirrorsBlocks) {
+  // Structural invariants of the flattened layout itself: one entry per
+  // body µop plus one branch per block, contiguous, with matching static
+  // fields and a successor table that names real blocks.
+  const TraceProfile profile =
+      make_profile(Category::kMultimedia, TraceKind::kIlp, 2);
+  const SyntheticProgram program(profile, 21);
+  const auto& blocks = program.blocks();
+  const auto& flat = program.flat_uops();
+  const auto& info = program.block_info();
+  ASSERT_EQ(info.size(), blocks.size());
+
+  std::size_t expected_total = 0;
+  for (const BasicBlock& b : blocks) expected_total += b.body.size() + 1;
+  ASSERT_EQ(flat.size(), expected_total);
+
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const BasicBlock& block = blocks[b];
+    const BlockInfo& bi = info[b];
+    for (std::size_t i = 0; i < block.body.size(); ++i) {
+      const FlatUop& f = flat[bi.first_uop + i];
+      EXPECT_FALSE(f.is_branch);
+      EXPECT_EQ(f.cls, block.body[i].cls);
+      EXPECT_EQ(f.dst, block.body[i].dst);
+      EXPECT_EQ(f.fp_dst, block.body[i].fp_dst);
+      EXPECT_EQ(f.block, static_cast<std::int32_t>(b));
+      EXPECT_EQ(f.pc, block.start_pc + i * 4);
+    }
+    const FlatUop& branch = flat[bi.first_uop + block.body.size()];
+    EXPECT_TRUE(branch.is_branch);
+    EXPECT_EQ(branch.pc, bi.branch_pc);
+    EXPECT_EQ(bi.taken_start_pc, blocks[bi.taken_next].start_pc);
+    EXPECT_EQ(bi.fallthrough_start_pc,
+              blocks[bi.fallthrough_next].start_pc);
+    ASSERT_EQ(bi.indirect_count, block.indirect_targets.size());
+    for (std::uint32_t t = 0; t < bi.indirect_count; ++t) {
+      const IndirectTarget& target =
+          program.indirect_targets()[bi.indirect_begin + t];
+      EXPECT_EQ(target.block, block.indirect_targets[t]);
+      EXPECT_EQ(target.start_pc,
+                blocks[block.indirect_targets[t]].start_pc);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clusmt::trace

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Gate for the simulator-throughput trajectory: compares a freshly measured
+# bench_perf_sim table against the committed BENCH_sim.json and fails when
+# the TOTAL kcycles/s drops more than the allowed fraction below the
+# committed point. Runner hardware varies, so the threshold is generous by
+# default (15%) — it catches "someone made the simulator structurally
+# slower", not scheduler noise.
+#
+# Usage: tools/check_perf_regression.sh COMMITTED_JSON FRESH_JSON [MAX_DROP_PCT]
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 COMMITTED_JSON FRESH_JSON [MAX_DROP_PCT]" >&2
+  exit 2
+fi
+committed_json=$1
+fresh_json=$2
+max_drop_pct=${3:-15}
+
+total_of() {
+  # Extracts kcycles_per_s from the TOTAL row of a bench_perf_sim JSON
+  # mirror (one object per row, stable key order).
+  awk 'BEGIN { RS="}" } /"scheme": *"TOTAL"/ {
+         if (match($0, /"kcycles_per_s": *[0-9.]+/)) {
+           s = substr($0, RSTART, RLENGTH);
+           sub(/.*: */, "", s);
+           print s;
+           exit
+         }
+       }' "$1"
+}
+
+committed=$(total_of "$committed_json")
+fresh=$(total_of "$fresh_json")
+if [ -z "$committed" ] || [ -z "$fresh" ]; then
+  echo "error: TOTAL kcycles_per_s row missing ($committed_json: '$committed', $fresh_json: '$fresh')" >&2
+  exit 2
+fi
+
+awk -v c="$committed" -v f="$fresh" -v d="$max_drop_pct" 'BEGIN {
+  floor = c * (1 - d / 100.0);
+  printf "perf guard: committed %.1f kcycles/s, measured %.1f, floor %.1f (-%s%%)\n",
+         c, f, floor, d;
+  if (f < floor) {
+    printf "FAIL: measured throughput is more than %s%% below the committed point\n", d;
+    exit 1;
+  }
+  print "OK";
+}'

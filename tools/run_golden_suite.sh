@@ -23,7 +23,12 @@ mkdir -p "$out_dir"
 
 flags=(--per-type 1 --mixes 2 --cycles 20000 --warmup 5000 --seed 1)
 
-for bench in headline_summary fig2_iq_throughput fig3_copies fig10_fairness; do
+# Headline + main figure benches, plus the ablation benches whose runtime
+# the shared run cache pays for (ROADMAP "golden coverage growth"): the
+# ablations reuse the figure benches' base configurations, so most of their
+# cells are cache hits on a warm CI run dir.
+for bench in headline_summary fig2_iq_throughput fig3_copies fig10_fairness \
+             ablate_links ablate_steering; do
   "$bin_dir/bench_$bench" "${flags[@]}" \
     --golden-emit "$out_dir/$bench.json" >/dev/null
 done
