@@ -17,6 +17,8 @@
 //   --jobs N       host threads (default: all cores)
 //   --cache-dir D  persist finished runs under D and reuse them across
 //                  invocations (falls back to $CLUSMT_CACHE_DIR)
+//   --no-tape      bypass the trace-tape registry: every thread generates
+//                  its µop stream live (the tape differential oracle)
 //   --golden-emit PATH  also write the table as golden JSON (the format
 //                  tools/golden_diff compares; see bench/golden/)
 #pragma once
@@ -31,6 +33,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "harness/sweep.h"
+#include "harness/tape_registry.h"
 #include "policy/policy.h"
 #include "trace/workload.h"
 
@@ -57,6 +60,7 @@ struct BenchOptions {
   std::string golden_path;
   std::string cache_dir;
   std::size_t jobs = 0;
+  bool no_tape = false;
 
   static BenchOptions parse(int argc, char** argv, Cycle default_cycles,
                             Cycle default_warmup = 50000) {
@@ -85,6 +89,8 @@ struct BenchOptions {
     // Attach the disk tier here so every bench gets --cache-dir for free:
     // all simulations funnel through the process-wide RunCache.
     harness::RunCache::instance().set_store_dir(opt.cache_dir);
+    opt.no_tape = args.get_bool("no-tape", false);
+    harness::TapeRegistry::instance().set_enabled(!opt.no_tape);
     return opt;
   }
 

@@ -1,8 +1,9 @@
 // Extension survey (beyond the paper's figures): the first cross-knob
 // scenario grid. The paper fixes the interconnect (2 links @ 1 cycle) and
-// varies schemes; this sweeps links × inter-cluster latency × scheme in one
-// SweepSpec, so scheme robustness to the communication substrate is read
-// off a single table — e.g. whether CDPRF's gains survive a slow
+// homogeneous clusters and varies schemes; this sweeps links ×
+// inter-cluster latency × per-cluster IQ shape × scheme in one SweepSpec,
+// so scheme robustness to the communication substrate and to an asymmetric
+// back end is read off a single table — e.g. whether CDPRF's gains survive a slow
 // interconnect, which scheme degrades fastest with a single link, and
 // whether the conclusions of ablate_links (CSSP-only) generalise.
 //
@@ -28,7 +29,8 @@ int main(int argc, char** argv) {
                                    policy::PolicyKind::kCssp,
                                    policy::PolicyKind::kCdprf}),
                {"links", {}},
-               {"latency", {}}};
+               {"latency", {}},
+               {"iq", {}}};
   for (int links : {1, 2, 4}) {
     spec.axes[1].values.push_back(
         {std::to_string(links) + "L",
@@ -39,15 +41,26 @@ int main(int argc, char** argv) {
         {std::to_string(latency) + "cyc",
          [latency](core::SimConfig& c) { c.link_latency = latency; }});
   }
+  // Per-cluster issue-queue shape at a fixed 64-entry total: the
+  // homogeneous Table 1 split against a lopsided grid, probing whether any
+  // scheme exploits (or tolerates) an asymmetric back end.
+  spec.axes[3].values = {
+      {"iq32:32", [](core::SimConfig&) {}},
+      {"iq48:16",
+       [](core::SimConfig& c) {
+         c.iq_entries_c[0] = 48;
+         c.iq_entries_c[1] = 16;
+       }}};
   spec.label_fn = [](const std::vector<std::string>& parts) {
-    return parts[0] + "@" + parts[1] + "/" + parts[2];
+    return parts[0] + "@" + parts[1] + "/" + parts[2] + "/" + parts[3];
   };
 
   const harness::SweepResult res = harness::run_sweep(spec);
 
   // Normalise to the paper's machine point: Icount on the Table 1
-  // interconnect (2 links, 1 cycle).
-  const auto baseline = res.throughput(res.point_index("Icount@2L/1cyc"));
+  // interconnect (2 links, 1 cycle) with the homogeneous issue queues.
+  const auto baseline =
+      res.throughput(res.point_index("Icount@2L/1cyc/iq32:32"));
   std::vector<std::pair<std::string, std::vector<double>>> series;
   for (std::size_t p = 0; p < res.points.size(); ++p) {
     series.emplace_back(res.points[p].label,
@@ -56,8 +69,8 @@ int main(int argc, char** argv) {
   }
 
   bench::emit_category_table(
-      "Extension — links x latency x scheme cross-grid "
-      "(vs Icount @ 2 links / 1 cycle)",
+      "Extension — links x latency x IQ shape x scheme cross-grid "
+      "(vs Icount @ 2 links / 1 cycle / 32:32)",
       suite, series, opt);
   return 0;
 }

@@ -10,11 +10,18 @@
 // --repeat runs to shrink scheduler noise. Simulation results are
 // deterministic, so repeats change timing only.
 //
+// Trace delivery goes through the tape registry (the product datapath):
+// the first repetition of a (profile, seed) records its replay tape, later
+// repetitions and cells replay it, so best-of measures the tape-warm rate.
+// --no-tape measures the live-RNG generator instead. A TAPES row in the
+// table reports the registry traffic alongside the timing rows.
+//
 // Flags:
 //   --cycles N   measured cycles per cell            [default 100000]
 //   --warmup N   warmup cycles before timing          [default 20000]
 //   --repeat N   timed repetitions per cell, best-of  [default 3]
 //   --seed S     trace pool master seed               [default 1]
+//   --no-tape    bypass trace tapes (live generator oracle)
 //   --csv PATH / --json PATH   mirror the table
 #include <string>
 #include <vector>
@@ -24,6 +31,7 @@
 #include "core/simulator.h"
 #include "harness/presets.h"
 #include "harness/sweep.h"
+#include "harness/tape_registry.h"
 #include "trace/workload.h"
 
 using namespace clusmt;
@@ -57,6 +65,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string csv_path = args.get_string("csv", "");
   const std::string json_path = args.get_string("json", "");
+  harness::TapeRegistry& tapes = harness::TapeRegistry::instance();
+  tapes.set_enabled(!args.get_bool("no-tape", false));
 
   const trace::TracePool pool(seed);
   const Preset presets[] = {
@@ -85,8 +95,14 @@ int main(int argc, char** argv) {
         core::SimConfig config = harness::rf_study_config(64);
         config.policy = scheme;
         core::Simulator sim(config);
-        sim.attach_thread(0, pool.get(preset.cat0, preset.kind0, 0));
-        sim.attach_thread(1, pool.get(preset.cat1, preset.kind1, 1));
+        const trace::TraceSpec* specs[2] = {
+            &pool.get(preset.cat0, preset.kind0, 0),
+            &pool.get(preset.cat1, preset.kind1, 1)};
+        for (ThreadId t = 0; t < 2; ++t) {
+          const trace::TraceProfile* profile = nullptr;
+          auto source = tapes.source_for(*specs[t], &profile);
+          sim.attach_thread(t, std::move(source), profile, specs[t]->seed);
+        }
         sim.run(warmup);
         sim.reset_stats();
         const double start = bench::wall_time_seconds();
@@ -110,6 +126,13 @@ int main(int argc, char** argv) {
   doc.add_row({"TOTAL", "(all cells)", format_double(total_kcycles, 0),
                format_double(total_wall * 1000.0, 2),
                format_double(total_kcycles / total_wall, 1), "-"});
+  // Tape-registry traffic, mirrored into --csv/--json: replayed / recorded
+  // / live attachments, reusing the row shape (regression tooling keys on
+  // the first column, so an extra labelled row is additive).
+  doc.add_row({"TAPES",
+               tapes.enabled() ? "(replayed/recorded)" : "(--no-tape)",
+               std::to_string(tapes.hits()), std::to_string(tapes.recordings()),
+               std::to_string(tapes.live_sources()), "-"});
 
   std::printf(
       "Simulator throughput (best of %d, %llu warmup + %llu measured "

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "common/types.h"
 #include "frontend/fetch.h"
 #include "memory/hierarchy.h"
 #include "policy/policy.h"
@@ -31,6 +32,9 @@ struct SimConfig {
   // Back end (per cluster unless stated).
   int rob_entries = 128;  // per thread; 0 = unbounded (Figure 2 methodology)
   int iq_entries = 32;    // Table 1: 32-64 per cluster
+  // Per-cluster issue-queue override (heterogeneous grids); 0 keeps
+  // iq_entries for that cluster.
+  int iq_entries_c[kMaxClusters] = {};
   int int_regs = 128;     // Table 1: 64-128 per cluster; 0 = unbounded
   int fp_regs = 128;      // 0 = unbounded
   int mob_entries = 128;  // shared
@@ -55,6 +59,10 @@ struct SimConfig {
   /// Effective per-thread ROB capacity (0 selects the unbounded mode).
   [[nodiscard]] int effective_rob_entries() const noexcept {
     return rob_entries == 0 ? 4096 : rob_entries;
+  }
+  /// Issue-queue entries of `cluster` (override, else the shared size).
+  [[nodiscard]] int effective_iq_entries(int cluster) const noexcept {
+    return iq_entries_c[cluster] > 0 ? iq_entries_c[cluster] : iq_entries;
   }
   [[nodiscard]] bool rf_unbounded() const noexcept {
     return int_regs == 0 || fp_regs == 0;

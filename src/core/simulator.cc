@@ -94,12 +94,12 @@ Simulator::Simulator(const SimConfig& config)
     robs_.emplace_back(config.effective_rob_entries());
   }
 
-  backend::ClusterConfig cluster_config{.iq_entries = config.iq_entries,
-                                        .int_registers = config.int_regs,
-                                        .fp_registers = config.fp_regs};
   clusters_.reserve(config.num_clusters);
   for (int c = 0; c < config.num_clusters; ++c) {
-    clusters_.emplace_back(cluster_config);
+    clusters_.emplace_back(
+        backend::ClusterConfig{.iq_entries = config.effective_iq_entries(c),
+                               .int_registers = config.int_regs,
+                               .fp_registers = config.fp_regs});
   }
 
   interconnect_ = std::make_unique<backend::Interconnect>(
@@ -204,6 +204,9 @@ void Simulator::init_view() {
   view_.num_threads = config_.num_threads;
   view_.num_clusters = config_.num_clusters;
   view_.iq_capacity = config_.iq_entries;
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    view_.iq_capacity_c[c] = config_.effective_iq_entries(c);
+  }
   view_.rf_capacity[0] = clusters_[0].rf(RegClass::kInt).capacity();
   view_.rf_capacity[1] = clusters_[0].rf(RegClass::kFp).capacity();
   view_.rf_unbounded = config_.rf_unbounded();
@@ -313,27 +316,36 @@ void Simulator::sync_decode_depth(ThreadId tid) {
 // --------------------------------------------------------------------------
 
 void Simulator::schedule(Cycle cycle, EventKind kind, const DynUop& uop) {
-  const Event event{.cycle = cycle,
-                    .order = event_order_++,
-                    .kind = kind,
-                    .tid = uop.tid,
-                    .rob_slot = robs_[uop.tid].slot_of(uop),
-                    .uid = uop.uid};
   const Cycle delta = cycle - now_;
   assert(delta >= 1 && "events must be scheduled strictly in the future");
-  if (delta < kEventWheelBuckets) {
-    // Appends are globally order-stamped, so each bucket stays sorted by
-    // `order` without ever sorting.
-    event_wheel_[cycle & (kEventWheelBuckets - 1)].push_back(event);
+  const int rob_slot = robs_[uop.tid].slot_of(uop);
+  if (event_model_ == EventModel::kCoalescedWheel &&
+      delta < kEventWheelBuckets) {
+    // The bucket holds only records for exactly `cycle` (buckets are fully
+    // drained each turn of the wheel), so duplicate same-cycle wakeups of
+    // one consumer coalesce here with a short scan. Appends are in global
+    // schedule order, so the bucket stays FIFO without order stamps.
+    std::vector<WheelRecord>& bucket =
+        event_wheel_[cycle & (kEventWheelBuckets - 1)];
+    for (const WheelRecord& r : bucket) {
+      if (r.uid == uop.uid && r.kind == kind) {
+        ++events_coalesced_;
+        return;
+      }
+    }
+    event_order_++;  // stamp consumed, mirroring the reference model
+    bucket.push_back(WheelRecord{.uid = uop.uid,
+                                 .rob_slot = rob_slot,
+                                 .tid = static_cast<std::int16_t>(uop.tid),
+                                 .kind = kind});
   } else {
-    event_overflow_.push(event);
+    event_overflow_.push(Event{.cycle = cycle,
+                               .order = event_order_++,
+                               .kind = kind,
+                               .tid = uop.tid,
+                               .rob_slot = rob_slot,
+                               .uid = uop.uid});
   }
-}
-
-DynUop* Simulator::resolve_event(const Event& event) {
-  DynUop& uop = robs_[event.tid].at_slot(event.rob_slot);
-  if (uop.uid != event.uid || uop.tid != event.tid) return nullptr;
-  return &uop;
 }
 
 // --------------------------------------------------------------------------
@@ -451,41 +463,41 @@ void Simulator::retry_blocked_loads() {
 
 void Simulator::writeback_stage() {
   retry_blocked_loads();
-
-  // Drain this cycle's wheel bucket (already in order-stamp order). Events
-  // dispatched here schedule follow-ups at least one cycle ahead, which by
-  // construction land in a different bucket, so indexed iteration is safe.
-  std::vector<Event>& bucket = event_wheel_[now_ & (kEventWheelBuckets - 1)];
-  if (!event_overflow_.empty() && event_overflow_.top().cycle <= now_) {
-    // Rare path: events scheduled further than the wheel span are due;
-    // interleave them with the bucket by order stamp to preserve the
-    // global FIFO-within-cycle processing order.
-    std::vector<Event> due;
-    while (!event_overflow_.empty() && event_overflow_.top().cycle <= now_) {
-      due.push_back(event_overflow_.top());
-      event_overflow_.pop();
-    }
-    event_scratch_.clear();
-    std::merge(
-        bucket.begin(), bucket.end(), due.begin(), due.end(),
-        std::back_inserter(event_scratch_),
-        [](const Event& a, const Event& b) { return a.order < b.order; });
-    bucket.clear();
-    for (std::size_t i = 0; i < event_scratch_.size(); ++i) {
-      dispatch_event(event_scratch_[i]);
-    }
-  } else {
-    for (std::size_t i = 0; i < bucket.size(); ++i) dispatch_event(bucket[i]);
-    bucket.clear();
-  }
+  drain_events();
 }
 
-void Simulator::dispatch_event(const Event& event) {
-  assert(event.cycle == now_);
-  DynUop* uop = resolve_event(event);
-  if (uop == nullptr) return;
+void Simulator::drain_events() {
+  // Due heap events first: an overflow event due now was scheduled at or
+  // before now - kEventWheelBuckets, strictly before anything in this
+  // cycle's bucket was stamped, so heap-then-bucket IS global
+  // (cycle, order) order — no merge step. Under kHeapReference the bucket
+  // is always empty and this is the original priority-queue drain.
+  while (!event_overflow_.empty() && event_overflow_.top().cycle <= now_) {
+    const Event event = event_overflow_.top();
+    event_overflow_.pop();
+    assert(event.cycle == now_ && "event missed its cycle");
+    dispatch_event(event.kind, event.tid, event.rob_slot, event.uid);
+  }
 
-  switch (event.kind) {
+  // Then this cycle's wheel bucket, in append (= order-stamp) order.
+  // Events dispatched here schedule follow-ups at least one cycle ahead,
+  // which by construction land in a different bucket, so indexed
+  // iteration is safe against reallocation.
+  std::vector<WheelRecord>& bucket =
+      event_wheel_[now_ & (kEventWheelBuckets - 1)];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const WheelRecord r = bucket[i];
+    dispatch_event(r.kind, static_cast<ThreadId>(r.tid), r.rob_slot, r.uid);
+  }
+  bucket.clear();
+}
+
+void Simulator::dispatch_event(EventKind kind, ThreadId tid, int rob_slot,
+                               std::uint64_t uid) {
+  DynUop* uop = &robs_[tid].at_slot(rob_slot);
+  if (uop->uid != uid || uop->tid != tid) return;  // squashed meanwhile
+
+  switch (kind) {
       case EventKind::kAgu: {
         mob_->set_address(uop->mob_slot, uop->op.mem_addr);
         if (uop->op.is_store()) {

@@ -38,11 +38,30 @@ class Simulator {
   /// bit-identical SimStats.
   enum class IssueModel : std::uint8_t { kWakeup = 0, kScanReference };
 
+  /// Event-queue implementation. kCoalescedWheel (default) drains compact
+  /// 16-byte per-cycle wheel records and merges duplicate same-cycle
+  /// wakeups of one consumer at schedule time; kHeapReference is the
+  /// original single global priority queue, retained as the differential
+  /// oracle — both must produce bit-identical SimStats (see
+  /// tests/event_queue_test.cc, the queue-level analogue of
+  /// IssueModel::kScanReference).
+  enum class EventModel : std::uint8_t { kCoalescedWheel = 0, kHeapReference };
+
   explicit Simulator(const SimConfig& config);
 
   void set_issue_model(IssueModel model) noexcept { issue_model_ = model; }
   [[nodiscard]] IssueModel issue_model() const noexcept {
     return issue_model_;
+  }
+
+  void set_event_model(EventModel model) noexcept { event_model_ = model; }
+  [[nodiscard]] EventModel event_model() const noexcept {
+    return event_model_;
+  }
+  /// Duplicate wakeups merged by the coalescing wheel (0 in the current
+  /// model — the differential test pins that merging is behaviour-free).
+  [[nodiscard]] std::uint64_t events_coalesced() const noexcept {
+    return events_coalesced_;
   }
 
   /// Routes every hot policy query through the sealed per-kind switch
@@ -120,6 +139,8 @@ class Simulator {
     kComplete,    // execution latency elapsed
     kCopyArrive,  // copy value reached the destination cluster
   };
+  /// Heap entry (overflow spills and the kHeapReference oracle): carries
+  /// its due cycle and a global order stamp for (cycle, order) ordering.
   struct Event {
     Cycle cycle;
     std::uint64_t order;  // FIFO among same-cycle events
@@ -132,10 +153,21 @@ class Simulator {
       return a.order > b.order;
     }
   };
+  /// Compact wheel-bucket record: the due cycle IS the bucket and FIFO
+  /// order IS the append position, so neither is stored — 16 bytes against
+  /// the heap entry's 40, for the structure the writeback stage streams
+  /// through every cycle.
+  struct WheelRecord {
+    std::uint64_t uid;
+    std::int32_t rob_slot;
+    std::int16_t tid;  // < kMaxThreads, narrowed losslessly
+    EventKind kind;
+  };
 
   void schedule(Cycle cycle, EventKind kind, const DynUop& uop);
-  [[nodiscard]] DynUop* resolve_event(const Event& event);
-  void dispatch_event(const Event& event);
+  void drain_events();
+  void dispatch_event(EventKind kind, ThreadId tid, int rob_slot,
+                      std::uint64_t uid);
 
   // --- Pipeline stages ---
   // The per-cycle stages and rename helpers are templated on the machine
@@ -253,13 +285,16 @@ class Simulator {
   // priority queue: schedule() appends to bucket[cycle % N] in O(1), and
   // the writeback stage drains exactly one bucket per cycle. Events
   // further than the wheel span ahead (pathological bus queueing) spill
-  // into an overflow heap; both structures preserve the global
-  // (cycle, order) processing order of the original priority queue.
+  // into an overflow heap. The global (cycle, order) processing order is
+  // preserved without any merge step: an overflow event due at cycle C was
+  // scheduled at or before C - kEventWheelBuckets, while every bucket
+  // record for C was scheduled after that, so all due overflow stamps
+  // precede all bucket stamps — drain overflow first, then the bucket.
+  // Under kHeapReference everything goes through the overflow heap.
   static constexpr std::size_t kEventWheelBuckets = 1024;  // power of two
-  std::vector<std::vector<Event>> event_wheel_;
+  std::vector<std::vector<WheelRecord>> event_wheel_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>>
       event_overflow_;
-  std::vector<Event> event_scratch_;  // overflow/bucket merge staging
   struct BlockedLoad {
     ThreadId tid;
     int rob_slot;
@@ -274,6 +309,8 @@ class Simulator {
   bool rf_blocked_flags_[kMaxThreads][kNumRegClasses] = {};
   int outstanding_l2_[kMaxThreads] = {};
   IssueModel issue_model_ = IssueModel::kWakeup;
+  EventModel event_model_ = EventModel::kCoalescedWheel;
+  std::uint64_t events_coalesced_ = 0;
   ThreadId commit_rr_ = 0;
   Cycle last_commit_cycle_ = 0;
   CommitHook commit_hook_;

@@ -37,22 +37,14 @@ trace::MicroOp FetchEngine::next_correct_uop(ThreadState& ts) {
     ts.replay.pop_front();
     return op;
   }
-  if (ts.buf_count == 0) {
-    ts.source->fill(ts.buf.data(), kPrefetch);
-    ts.buf_head = 0;
-    ts.buf_count = kPrefetch;
-  }
+  if (ts.buf_count == 0) refill_buffer(ts);
   --ts.buf_count;
   return ts.buf[static_cast<std::size_t>(ts.buf_head++)];
 }
 
 std::uint64_t FetchEngine::peek_pc(ThreadState& ts) {
   if (!ts.replay.empty()) return ts.replay.front().pc;
-  if (ts.buf_count == 0) {
-    ts.source->fill(ts.buf.data(), kPrefetch);
-    ts.buf_head = 0;
-    ts.buf_count = kPrefetch;
-  }
+  if (ts.buf_count == 0) refill_buffer(ts);
   return ts.buf[static_cast<std::size_t>(ts.buf_head)].pc;
 }
 
@@ -106,64 +98,100 @@ void FetchEngine::fetch_cycle(ThreadId tid, Cycle now) {
     return;
   }
 
-  // Trace cache hit determines this cycle's fetch bandwidth.
+  // Trace cache hit determines this cycle's fetch bandwidth. The decode
+  // queue only grows through this function within a cycle, so the capacity
+  // check hoists out of the per-µop loop exactly.
   const bool tc_hit = trace_cache_.lookup(fetch_pc);
   if (tc_hit) ++stats_.tc_hit_cycles;
   int budget = tc_hit ? config_.fetch_width : config_.mite_width;
+  const int room = config_.decode_queue_capacity - ts.queue.size();
+  if (budget > room) budget = room;
 
+  if (ts.wrong_path_active) {
+    fetch_wrong_path(tid, ts, budget);
+  } else {
+    fetch_correct_path(tid, ts, budget);
+  }
+}
+
+void FetchEngine::fetch_wrong_path(ThreadId tid, ThreadState& ts,
+                                   int budget) {
   while (budget-- > 0) {
-    if (static_cast<int>(ts.queue.size()) >= config_.decode_queue_capacity) {
-      break;
-    }
-
-    // Built in place in the decode-queue slot: the entry is only published
-    // through the queue size, which the stages read strictly after this.
     FetchedUop& fu = ts.queue.emplace_back();
-    if (ts.wrong_path_active) {
-      fu.op = ts.wrong_path.next();
-      fu.wrong_path = true;
-      ++stats_.wrong_path_uops;
-    } else {
-      fu.op = next_correct_uop(ts);
-    }
+    fu.op = ts.wrong_path.next();
+    fu.wrong_path = true;
+    ++stats_.wrong_path_uops;
     ++stats_.fetched_uops;
-
-    bool stop_after = false;
-    if (fu.op.is_branch() && !fu.wrong_path) {
-      fu.history_checkpoint = predictor_.history(tid);
-      fu.predicted_taken =
-          predictor_.predict_and_update_history(tid, fu.op.pc);
-      bool mispredict = fu.predicted_taken != fu.op.taken;
-      std::uint64_t wrong_target =
-          fu.predicted_taken ? fu.op.target : fu.op.fallthrough;
-      if (fu.op.indirect) {
-        const std::uint64_t pred_target = predictor_.predict_indirect(fu.op.pc);
-        // Indirect jumps always redirect; a target mismatch mispredicts.
-        if (pred_target != fu.op.target) {
-          mispredict = true;
-          wrong_target = pred_target != 0 ? pred_target : fu.op.pc + 4;
-        }
-      }
-      if (mispredict) {
-        fu.mispredicted = true;
-        ++stats_.mispredicts_seen;
-        ts.wrong_path_active = true;
-        ts.wrong_path.reset(ts.profile, ts.seed, fu.op.pc, wrong_target);
-        stop_after = true;  // redirection bubble
-      } else if (fu.predicted_taken || fu.op.indirect) {
-        stop_after = true;  // taken-branch redirect ends the fetch group
-      }
-    } else if (fu.op.is_branch()) {
+    if (fu.op.is_branch()) {
       // Wrong-path branch: consult the predictor for timing realism but
       // never spawn nested wrong paths; history is restored on resolve.
       fu.history_checkpoint = predictor_.history(tid);
       fu.predicted_taken =
           predictor_.predict_and_update_history(tid, fu.op.pc);
-      stop_after = fu.predicted_taken;
+      if (fu.predicted_taken) break;  // taken redirect ends the group
+    }
+  }
+}
+
+void FetchEngine::fetch_correct_path(ThreadId tid, ThreadState& ts,
+                                     int budget) {
+  while (budget > 0) {
+    if (!ts.replay.empty()) {
+      // Replay after a flush: cold path, delivered per µop until the deque
+      // drains back into the prefetch buffer regime.
+      FetchedUop& fu = ts.queue.emplace_back();
+      fu.op = ts.replay.front();
+      ts.replay.pop_front();
+      ++stats_.fetched_uops;
+      --budget;
+      if (fu.op.is_branch() && handle_correct_branch(tid, ts, fu)) return;
+      continue;
     }
 
-    if (stop_after) break;
+    // Hot path: take a straight-line run (plus at most one terminating
+    // branch) from the prefetch buffer in one bulk append, so branch
+    // prediction and group-stop logic run once per run, not once per µop.
+    if (ts.buf_count == 0) refill_buffer(ts);
+    const int run_max = budget < ts.buf_count ? budget : ts.buf_count;
+    const trace::MicroOp* ops =
+        ts.buf.data() + static_cast<std::size_t>(ts.buf_head);
+    int run = 0;
+    while (run < run_max && !ops[run].is_branch()) ++run;
+    const bool has_branch = run < run_max;
+    const int take = run + (has_branch ? 1 : 0);  // >= 1: run_max >= 1 here
+    FetchedUop& last = ts.queue.append_ops(ops, take);
+    ts.buf_head += take;
+    ts.buf_count -= take;
+    stats_.fetched_uops += static_cast<std::uint64_t>(take);
+    budget -= take;
+    if (has_branch && handle_correct_branch(tid, ts, last)) return;
   }
+}
+
+bool FetchEngine::handle_correct_branch(ThreadId tid, ThreadState& ts,
+                                        FetchedUop& fu) {
+  fu.history_checkpoint = predictor_.history(tid);
+  fu.predicted_taken = predictor_.predict_and_update_history(tid, fu.op.pc);
+  bool mispredict = fu.predicted_taken != fu.op.taken;
+  std::uint64_t wrong_target =
+      fu.predicted_taken ? fu.op.target : fu.op.fallthrough;
+  if (fu.op.indirect) {
+    const std::uint64_t pred_target = predictor_.predict_indirect(fu.op.pc);
+    // Indirect jumps always redirect; a target mismatch mispredicts.
+    if (pred_target != fu.op.target) {
+      mispredict = true;
+      wrong_target = pred_target != 0 ? pred_target : fu.op.pc + 4;
+    }
+  }
+  if (mispredict) {
+    fu.mispredicted = true;
+    ++stats_.mispredicts_seen;
+    ts.wrong_path_active = true;
+    ts.wrong_path.reset(ts.profile, ts.seed, fu.op.pc, wrong_target);
+    return true;  // redirection bubble
+  }
+  // A taken or indirect branch redirects fetch and ends the group.
+  return fu.predicted_taken || fu.op.indirect;
 }
 
 void FetchEngine::resolve_mispredict(ThreadId tid,

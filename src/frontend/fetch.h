@@ -90,6 +90,21 @@ class DecodeQueue {
     ++size_;
     return fu;
   }
+  /// Bulk append of `count` correct-path µops (flags cleared), returning the
+  /// LAST appended entry so the caller can annotate a terminating branch.
+  /// Requires count >= 1 and room for all entries.
+  FetchedUop& append_ops(const trace::MicroOp* ops, int count) {
+    assert(count >= 1 && size_ + count <= static_cast<int>(buf_.size()));
+    FetchedUop* last = nullptr;
+    for (int i = 0; i < count; ++i) {
+      FetchedUop& fu = buf_[static_cast<std::size_t>(wrap(head_ + size_ + i))];
+      fu = FetchedUop{};
+      fu.op = ops[i];
+      last = &fu;
+    }
+    size_ += count;
+    return *last;
+  }
   void pop_front() {
     assert(size_ > 0);
     head_ = wrap(head_ + 1);
@@ -191,8 +206,9 @@ class FetchEngine {
 
  private:
   /// Correct-path µops prefetched per TraceSource::fill call: one virtual
-  /// dispatch per group of this size instead of one per µop.
-  static constexpr int kPrefetch = 8;
+  /// dispatch per buffer refill instead of one per µop. Sized at several
+  /// fetch groups so tape replay amortises to chunk-copy rate.
+  static constexpr int kPrefetch = 32;
 
   struct ThreadState {
     std::shared_ptr<trace::TraceSource> source;
@@ -215,6 +231,20 @@ class FetchEngine {
   /// Next correct-path µop (replay first, then the prefetch buffer).
   trace::MicroOp next_correct_uop(ThreadState& ts);
   [[nodiscard]] std::uint64_t peek_pc(ThreadState& ts);
+  void refill_buffer(ThreadState& ts) {
+    ts.source->fill(ts.buf.data(), kPrefetch);
+    ts.buf_head = 0;
+    ts.buf_count = kPrefetch;
+  }
+
+  // fetch_cycle body, split by path. A fetch group never mixes paths: a
+  // mispredict ends the correct-path group (redirection bubble) and the
+  // wrong path only clears outside fetch (resolve_mispredict / flush).
+  void fetch_wrong_path(ThreadId tid, ThreadState& ts, int budget);
+  void fetch_correct_path(ThreadId tid, ThreadState& ts, int budget);
+  /// Predicts/updates for a correct-path branch already in the queue;
+  /// returns true when the branch ends the fetch group.
+  bool handle_correct_branch(ThreadId tid, ThreadState& ts, FetchedUop& fu);
 
   FetchConfig config_;
   int num_threads_;

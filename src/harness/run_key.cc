@@ -27,6 +27,7 @@ void hash_config(Fnv1a& h, const core::SimConfig& c) {
 
   h.add(c.rob_entries);
   h.add(c.iq_entries);
+  for (int i = 0; i < kMaxClusters; ++i) h.add(c.iq_entries_c[i]);
   h.add(c.int_regs);
   h.add(c.fp_regs);
   h.add(c.mob_entries);

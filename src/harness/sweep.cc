@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "core/metrics.h"
 #include "harness/run_key.h"
+#include "harness/tape_registry.h"
 
 namespace clusmt::harness {
 
@@ -96,6 +97,10 @@ SweepResult run_sweep(const SweepSpec& spec) {
   const std::uint64_t hits_before = cache.hits();
   const std::uint64_t misses_before = cache.misses();
   const std::uint64_t disk_hits_before = cache.disk_hits();
+  TapeRegistry& tapes = TapeRegistry::instance();
+  const std::uint64_t tape_hits_before = tapes.hits();
+  const std::uint64_t tape_recordings_before = tapes.recordings();
+  const std::uint64_t tape_live_before = tapes.live_sources();
 
   const std::size_t num_points = out.points.size();
   const std::size_t num_workloads = out.suite.size();
@@ -187,15 +192,22 @@ SweepResult run_sweep(const SweepSpec& spec) {
   out.cache_hits = cache.hits() - hits_before;
   out.cache_misses = cache.misses() - misses_before;
   out.cache_disk_hits = cache.disk_hits() - disk_hits_before;
+  out.tape_hits = tapes.hits() - tape_hits_before;
+  out.tape_recordings = tapes.recordings() - tape_recordings_before;
+  out.tape_live = tapes.live_sources() - tape_live_before;
   if (spec.progress) {
     std::fprintf(
         stderr,
         "[sweep] %zu points x %zu workloads: %llu simulated, %llu cached, "
-        "%llu loaded from disk\n",
+        "%llu loaded from disk; tapes: %llu replayed, %llu recorded, "
+        "%llu live\n",
         num_points, num_workloads,
         static_cast<unsigned long long>(out.cache_misses),
         static_cast<unsigned long long>(out.cache_hits),
-        static_cast<unsigned long long>(out.cache_disk_hits));
+        static_cast<unsigned long long>(out.cache_disk_hits),
+        static_cast<unsigned long long>(out.tape_hits),
+        static_cast<unsigned long long>(out.tape_recordings),
+        static_cast<unsigned long long>(out.tape_live));
   }
   return out;
 }

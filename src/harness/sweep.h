@@ -107,6 +107,13 @@ struct SweepResult {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_disk_hits = 0;
 
+  /// Trace-tape traffic (delta, same protocol as the cache counters):
+  /// `tape_hits` thread attachments replayed an existing recording,
+  /// `tape_recordings` created one, `tape_live` bypassed tapes (--no-tape).
+  std::uint64_t tape_hits = 0;
+  std::uint64_t tape_recordings = 0;
+  std::uint64_t tape_live = 0;
+
   /// Index of the point labelled `label`; throws std::out_of_range.
   [[nodiscard]] std::size_t point_index(const std::string& label) const;
 

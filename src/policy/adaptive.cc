@@ -68,7 +68,7 @@ bool DcraPolicy::allow_iq_dispatch(const PipelineView& view, ThreadId tid,
                                    ClusterId c, int count,
                                    int /*total_count*/) {
   // Cluster-sensitive (paper §5.1): the cap applies inside each cluster.
-  const int cap = cap_of(view, tid, view.iq_capacity);
+  const int cap = cap_of(view, tid, view.iq_capacity_of(c));
   return view.iq_occ_tc[tid][c] + count <= cap;
 }
 
@@ -176,15 +176,16 @@ void HillClimbPolicy::begin_cycle(const PipelineView& view) {
   }
 }
 
-int HillClimbPolicy::iq_cap(const PipelineView& view, ThreadId tid) const {
+int HillClimbPolicy::iq_cap(const PipelineView& view, ThreadId tid,
+                            ClusterId c) const {
   return std::max(
-      2, static_cast<int>(std::lround(trial_[tid] * view.iq_capacity)));
+      2, static_cast<int>(std::lround(trial_[tid] * view.iq_capacity_of(c))));
 }
 
 bool HillClimbPolicy::allow_iq_dispatch(const PipelineView& view,
                                         ThreadId tid, ClusterId c, int count,
                                         int /*total_count*/) {
-  return view.iq_occ_tc[tid][c] + count <= iq_cap(view, tid);
+  return view.iq_occ_tc[tid][c] + count <= iq_cap(view, tid, c);
 }
 
 bool HillClimbPolicy::allow_rf_alloc(const PipelineView& view, ThreadId tid,

@@ -125,7 +125,8 @@ class HillClimbPolicy final : public ResourceAssignmentPolicy {
 
   void adopt_best_and_advance(int num_threads);
   void load_trial(int num_threads);
-  [[nodiscard]] int iq_cap(const PipelineView& view, ThreadId tid) const;
+  [[nodiscard]] int iq_cap(const PipelineView& view, ThreadId tid,
+                           ClusterId c) const;
 
   PolicyConfig config_;
   std::array<double, kMaxThreads> incumbent_;  // adopted shares, sum == 1

@@ -24,7 +24,8 @@ bool CispPolicy::allow_iq_dispatch(const PipelineView& view, ThreadId tid,
 bool CsspPolicy::allow_iq_dispatch(const PipelineView& view, ThreadId tid,
                                    ClusterId c, int count,
                                    int /*total_count*/) {
-  const int limit = fraction_of(view.iq_capacity, config_.partition_fraction);
+  const int limit =
+      fraction_of(view.iq_capacity_of(c), config_.partition_fraction);
   return view.iq_occ_tc[tid][c] + count <= limit;
 }
 
@@ -32,7 +33,7 @@ bool CspspPolicy::allow_iq_dispatch(const PipelineView& view, ThreadId tid,
                                     ClusterId c, int count,
                                     int /*total_count*/) {
   const int guarantee =
-      fraction_of(view.iq_capacity, config_.cspsp_guarantee_fraction);
+      fraction_of(view.iq_capacity_of(c), config_.cspsp_guarantee_fraction);
   const int occ = view.iq_occ_tc[tid][c];
   if (occ + count <= guarantee) return true;
 
@@ -43,7 +44,7 @@ bool CspspPolicy::allow_iq_dispatch(const PipelineView& view, ThreadId tid,
     if (t == tid) continue;
     reserved_unused += std::max(0, guarantee - view.iq_occ_tc[t][c]);
   }
-  return view.iq_occ[c] + count + reserved_unused <= view.iq_capacity;
+  return view.iq_occ[c] + count + reserved_unused <= view.iq_capacity_of(c);
 }
 
 ClusterId PrivateClustersPolicy::forced_cluster(const PipelineView& view,

@@ -14,7 +14,10 @@ struct PipelineView {
   int num_clusters = 2;
 
   // Capacities.
-  int iq_capacity = 32;  // entries per cluster
+  int iq_capacity = 32;  // entries per cluster (homogeneous base)
+  // Per-cluster issue-queue override for heterogeneous grids; 0 falls back
+  // to iq_capacity. Policies read per-cluster capacity via iq_capacity_of.
+  int iq_capacity_c[kMaxClusters] = {};
   int rf_capacity[kNumRegClasses] = {128, 128};  // per cluster, per class
   bool rf_unbounded = false;
 
@@ -78,8 +81,15 @@ struct PipelineView {
     return rf_capacity[static_cast<int>(cls)] * num_clusters;
   }
 
+  /// Issue-queue capacity of one cluster (override, else the base).
+  [[nodiscard]] int iq_capacity_of(ClusterId c) const noexcept {
+    return iq_capacity_c[c] > 0 ? iq_capacity_c[c] : iq_capacity;
+  }
+
   [[nodiscard]] int iq_capacity_total() const noexcept {
-    return iq_capacity * num_clusters;
+    int total = 0;
+    for (int c = 0; c < num_clusters; ++c) total += iq_capacity_of(c);
+    return total;
   }
 
   [[nodiscard]] std::uint64_t committed_total() const noexcept {
