@@ -21,6 +21,18 @@
 //                  its µop stream live (the tape differential oracle)
 //   --golden-emit PATH  also write the table as golden JSON (the format
 //                  tools/golden_diff compares; see bench/golden/)
+//   --shard-workers N  distributed mode: farm cache-miss cells to N local
+//                  sweep_worker processes through a spool directory, then
+//                  assemble the tables from the (now warm) --cache-dir.
+//                  Requires --cache-dir. Output is bit-identical for any
+//                  N, including 0 (in-process). See README "Distributed
+//                  sweeps".
+//   --spool-dir D  shared spool directory for --shard-workers (falls back
+//                  to $CLUSMT_SPOOL_DIR; default: a fresh temp dir). Point
+//                  several hosts' workers at one shared D to fan out
+//                  across machines.
+//   --worker-bin P sweep_worker binary to spawn (falls back to
+//                  $CLUSMT_WORKER_BIN, then next to the bench binary)
 #pragma once
 
 #include <chrono>
@@ -61,6 +73,7 @@ struct BenchOptions {
   std::string cache_dir;
   std::size_t jobs = 0;
   bool no_tape = false;
+  harness::ShardSpec shard;
 
   static BenchOptions parse(int argc, char** argv, Cycle default_cycles,
                             Cycle default_warmup = 50000) {
@@ -91,6 +104,14 @@ struct BenchOptions {
     harness::RunCache::instance().set_store_dir(opt.cache_dir);
     opt.no_tape = args.get_bool("no-tape", false);
     harness::TapeRegistry::instance().set_enabled(!opt.no_tape);
+    opt.shard.workers = static_cast<int>(args.get_int("shard-workers", 0));
+    opt.shard.spool_dir = args.get_string("spool-dir", "");
+    if (opt.shard.spool_dir.empty()) {
+      if (const char* env = std::getenv("CLUSMT_SPOOL_DIR")) {
+        opt.shard.spool_dir = env;
+      }
+    }
+    opt.shard.worker_bin = args.get_string("worker-bin", "");
     return opt;
   }
 
@@ -137,6 +158,7 @@ struct BenchOptions {
     spec.cycles = cycles;
     spec.warmup = warmup;
     spec.jobs = jobs;
+    spec.shard = shard;
     return spec;
   }
 };

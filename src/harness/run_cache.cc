@@ -52,6 +52,11 @@ RunResult RunCache::get_or_run(const RunKey& key,
   return future.get();
 }
 
+bool RunCache::contains(const RunKey& key) const {
+  std::lock_guard lock(mutex_);
+  return entries_.contains(key);
+}
+
 void RunCache::set_store_dir(const std::string& dir) {
   std::lock_guard lock(mutex_);
   store_ = dir.empty() ? nullptr : std::make_shared<const RunStore>(dir);
@@ -75,22 +80,17 @@ void RunCache::clear() {
   disk_hits_.store(0, std::memory_order_relaxed);
 }
 
-namespace {
-
-/// Wraps one trace as the single-thread workload its baseline runs as.
-trace::WorkloadSpec alone_workload(const trace::TraceSpec& trace) {
+trace::WorkloadSpec baseline_workload(const trace::TraceSpec& trace) {
   trace::WorkloadSpec alone;
   alone.name = trace.id();
   alone.threads.push_back(trace);
   return alone;
 }
 
-}  // namespace
-
 RunKey baseline_key(const core::SimConfig& config,
                     const trace::TraceSpec& trace, Cycle cycles,
                     Cycle warmup) {
-  return run_key(baseline_config(config), alone_workload(trace), cycles,
+  return run_key(baseline_config(config), baseline_workload(trace), cycles,
                  warmup);
 }
 
@@ -98,7 +98,7 @@ RunResult baseline_run(RunCache& cache, const core::SimConfig& config,
                        const trace::TraceSpec& trace, Cycle cycles,
                        Cycle warmup) {
   const core::SimConfig single = baseline_config(config);
-  const trace::WorkloadSpec alone = alone_workload(trace);
+  const trace::WorkloadSpec alone = baseline_workload(trace);
   return cache.get_or_run(
       run_key(single, alone, cycles, warmup),
       [&] { return simulate_workload(single, alone, cycles, warmup); });

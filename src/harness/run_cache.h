@@ -44,6 +44,11 @@ class RunCache {
   [[nodiscard]] RunResult get_or_run(
       const RunKey& key, const std::function<RunResult()>& compute);
 
+  /// True when `key` has an in-memory entry (finished or in-flight). Used
+  /// by the shard coordinator to skip spooling cells this process already
+  /// owns; a false answer may still be a disk hit.
+  [[nodiscard]] bool contains(const RunKey& key) const;
+
   /// Attaches (or, with an empty dir, detaches) the disk tier. Safe to call
   /// concurrently with get_or_run; in-flight owners keep the store they
   /// started with.
@@ -77,6 +82,13 @@ class RunCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> disk_hits_{0};
 };
+
+/// The single-thread workload a fairness baseline of `trace` runs as. The
+/// ONE place baseline workloads are shaped — baseline_key/baseline_run and
+/// the shard coordinator's spooled baseline cells all build it here, so
+/// their keys agree by construction.
+[[nodiscard]] trace::WorkloadSpec baseline_workload(
+    const trace::TraceSpec& trace);
 
 /// Key of the single-thread fairness-baseline cell of `trace` on
 /// baseline_config(config). The ONE place baseline cells are keyed —

@@ -9,89 +9,13 @@
 
 #include "common/fsio.h"
 #include "common/hash.h"
+#include "common/wire.h"
 
 namespace clusmt::harness {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4e524c43;  // "CLRN" little-endian
-
-// Fixed-width little-endian primitives; the record layout is platform
-// independent so a cache dir can be shared across hosts.
-class ByteWriter {
- public:
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(char(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(char(v >> (8 * i)));
-  }
-  void f64(double v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    u64(s.size());
-    buf_.append(s);
-  }
-  [[nodiscard]] std::string take() && { return std::move(buf_); }
-  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
-
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    if (!take(4)) return 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= std::uint32_t(std::uint8_t(data_[pos_ - 4 + i])) << (8 * i);
-    }
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    if (!take(8)) return 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= std::uint64_t(std::uint8_t(data_[pos_ - 8 + i])) << (8 * i);
-    }
-    return v;
-  }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
-  }
-  std::string str() {
-    const std::uint64_t n = u64();
-    if (!take(n)) return {};
-    return std::string(data_.substr(pos_ - n, n));
-  }
-  [[nodiscard]] bool ok() const noexcept { return ok_; }
-  [[nodiscard]] bool exhausted() const noexcept {
-    return ok_ && pos_ == data_.size();
-  }
-
- private:
-  bool take(std::uint64_t n) {
-    if (!ok_ || data_.size() - pos_ < n) {
-      ok_ = false;
-      return false;
-    }
-    pos_ += static_cast<std::size_t>(n);
-    return true;
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
 
 // NOTE: keep these two in field-for-field lockstep, and bump
 // kRunStoreFormatVersion whenever RunResult or core::SimStats gains,
@@ -236,6 +160,89 @@ bool RunStore::save(const RunKey& key, const RunResult& result) const {
       std::filesystem::path(path).parent_path(), ec);
   if (ec) return false;
   return write_file_atomic(path, encode_run_record(key, result));
+}
+
+bool parse_record_name(const std::string& basename, RunKey& key) {
+  // "<016hex-hi><016hex-lo>.run"
+  if (basename.size() != 32 + 4 || basename.substr(32) != ".run") {
+    return false;
+  }
+  std::uint64_t parts[2] = {0, 0};
+  for (int half = 0; half < 2; ++half) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = basename[half * 16 + i];
+      std::uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = std::uint64_t(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = std::uint64_t(c - 'a') + 10;
+      } else {
+        return false;
+      }
+      parts[half] = parts[half] << 4 | digit;
+    }
+  }
+  key.hi = parts[0];
+  key.lo = parts[1];
+  return true;
+}
+
+namespace {
+
+std::string read_whole_file(const std::filesystem::path& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = static_cast<bool>(in);
+  if (!ok) return {};
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ok = in.good() || in.eof();
+  return bytes;
+}
+
+}  // namespace
+
+MergeResult merge_run_store(const std::string& into, const std::string& from,
+                            const MergeOptions& options) {
+  namespace fs = std::filesystem;
+  MergeResult result;
+  std::error_code ec;
+  if (!fs::is_directory(from, ec) || ec) return result;  // empty source
+
+  const RunStore dst(into);
+  for (fs::recursive_directory_iterator it(from, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec) || it->path().extension() != ".run") {
+      continue;
+    }
+    ++result.scanned;
+    RunKey key;
+    if (!parse_record_name(it->path().filename().string(), key)) {
+      ++result.invalid;
+      continue;
+    }
+    bool ok = false;
+    const std::string record = read_whole_file(it->path(), ok);
+    if (!ok || !decode_run_record(key, record)) {
+      ++result.invalid;
+      continue;
+    }
+    const std::string dst_path = dst.path_of(key);
+    bool dst_ok = false;
+    const std::string existing = read_whole_file(dst_path, dst_ok);
+    if (dst_ok) {
+      ++(existing == record ? result.identical : result.conflicts);
+      continue;
+    }
+    if (!options.dry_run) {
+      std::error_code mk_ec;
+      fs::create_directories(fs::path(dst_path).parent_path(), mk_ec);
+      if (mk_ec || !write_file_atomic(dst_path, record)) {
+        continue;  // best-effort, like RunStore::save
+      }
+    }
+    ++result.copied;
+  }
+  return result;
 }
 
 GcResult gc_run_store(const std::string& dir, const GcOptions& options) {

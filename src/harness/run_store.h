@@ -54,6 +54,38 @@ struct GcResult {
   std::uint64_t removed_dirs = 0;   // emptied key-prefix subdirectories
 };
 
+/// Options for merge_run_store. A dry run reports what a merge would do
+/// without writing anything.
+struct MergeOptions {
+  bool dry_run = false;
+};
+
+/// Outcome of unioning one source store into a destination store.
+struct MergeResult {
+  std::uint64_t scanned = 0;    // .run records seen in the source
+  std::uint64_t copied = 0;     // new records written to the destination
+  std::uint64_t identical = 0;  // already present, byte-identical: skipped
+  std::uint64_t conflicts = 0;  // present with different bytes: kept dest
+  std::uint64_t invalid = 0;    // failed key/checksum validation: skipped
+};
+
+/// Unions `from` into `into` (the scatter-gather merge for workers that
+/// filled private cache dirs): every valid source record absent from the
+/// destination is copied atomically; records already present are compared
+/// byte-for-byte and skipped, with byte-level disagreement counted as a
+/// conflict (the destination record wins — records are content-keyed, so a
+/// conflict means corruption or a stale format, never two valid answers).
+/// Source records whose embedded key or checksum fails validation are
+/// skipped as invalid rather than propagated.
+[[nodiscard]] MergeResult merge_run_store(const std::string& into,
+                                          const std::string& from,
+                                          const MergeOptions& options = {});
+
+/// Parses the 32-hex-digit basename of a record path (as produced by
+/// RunStore::path_of) back into its key; false on malformed names.
+[[nodiscard]] bool parse_record_name(const std::string& basename,
+                                     RunKey& key);
+
 /// Size/count-capped LRU sweep over a run-store directory: scans every
 /// `*.run` record, and while the store exceeds `max_bytes`/`max_files`
 /// deletes records oldest-mtime-first (a record's mtime is its last write;

@@ -1,0 +1,318 @@
+#include "harness/shard.h"
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/run_cache.h"
+#include "harness/run_key.h"
+#include "harness/spool.h"
+#include "harness/sweep.h"
+
+extern char** environ;
+
+namespace clusmt::harness {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+std::string resolve_worker_bin(const std::string& explicit_bin) {
+  if (!explicit_bin.empty()) return explicit_bin;
+  if (const char* env = std::getenv("CLUSMT_WORKER_BIN")) {
+    if (*env != '\0') return env;
+  }
+  std::error_code ec;
+  const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const fs::path dir = self.parent_path();
+    for (const fs::path& candidate :
+         {dir / "sweep_worker", dir / ".." / "tools" / "sweep_worker"}) {
+      std::error_code exists_ec;
+      if (fs::exists(candidate, exists_ec) && !exists_ec) {
+        return candidate.lexically_normal().string();
+      }
+    }
+  }
+  throw std::runtime_error(
+      "sharded sweep: cannot locate the sweep_worker binary — build the "
+      "`sweep_worker` target, or point --worker-bin / $CLUSMT_WORKER_BIN "
+      "at it");
+}
+
+pid_t spawn_worker(const std::string& bin,
+                   const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(bin.c_str()));
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  if (posix_spawn(&pid, bin.c_str(), nullptr, nullptr, argv.data(),
+                  environ) != 0) {
+    return -1;
+  }
+  return pid;
+}
+
+/// Reaps exited workers out of `pids` (non-blocking).
+void reap_exited(std::vector<pid_t>& pids) {
+  for (auto it = pids.begin(); it != pids.end();) {
+    int status = 0;
+    if (waitpid(*it, &status, WNOHANG) == *it) {
+      it = pids.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+/// SIGTERM, short grace, SIGKILL; every pid is reaped before returning.
+void terminate_workers(std::vector<pid_t>& pids) {
+  for (pid_t pid : pids) kill(pid, SIGTERM);
+  const auto deadline = Clock::now() + std::chrono::seconds(2);
+  while (!pids.empty() && Clock::now() < deadline) {
+    reap_exited(pids);
+    if (pids.empty()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (pid_t pid : pids) kill(pid, SIGKILL);
+  for (pid_t pid : pids) waitpid(pid, nullptr, 0);
+  pids.clear();
+}
+
+std::string first_line(const std::string& text) {
+  const std::size_t nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+}  // namespace
+
+ShardStats shard_prefetch(const SweepSpec& spec,
+                          const std::vector<ConfigPoint>& points) {
+  ShardStats stats;
+  RunCache& cache = spec.cache != nullptr ? *spec.cache : RunCache::instance();
+  const std::string store_dir = cache.store_dir();
+  if (store_dir.empty()) {
+    throw std::runtime_error(
+        "--shard-workers requires a --cache-dir / $CLUSMT_CACHE_DIR run "
+        "store: workers hand results back through it");
+  }
+  const RunStore store(store_dir);
+
+  // Enumerate every cell the sweep will request — grid cells plus, for
+  // fairness sweeps, the content-deduplicated single-thread baselines —
+  // exactly mirroring run_sweep's own requests so the assembly pass below
+  // never simulates inline.
+  struct Pending {
+    SpoolCell cell;
+    std::string label;
+  };
+  std::map<RunKey, Pending> needed;
+  for (const ConfigPoint& point : points) {
+    for (const trace::WorkloadSpec& workload : spec.suite) {
+      const RunKey key =
+          run_key(point.config, workload, spec.cycles, spec.warmup);
+      needed.try_emplace(
+          key, Pending{{key, point.config, workload, spec.cycles, spec.warmup},
+                       point.label + " / " + workload.name});
+      if (spec.with_fairness) {
+        for (const trace::TraceSpec& t : workload.threads) {
+          const RunKey bkey =
+              baseline_key(point.config, t, spec.cycles, spec.warmup);
+          needed.try_emplace(
+              bkey,
+              Pending{{bkey, baseline_config(point.config),
+                       baseline_workload(t), spec.cycles, spec.warmup},
+                      "baseline " + t.id()});
+        }
+      }
+    }
+  }
+  stats.cells = needed.size();
+
+  std::map<RunKey, Pending> outstanding;
+  for (auto& [key, pending] : needed) {
+    std::error_code ec;
+    if (cache.contains(key) || fs::exists(store.path_of(key), ec)) {
+      ++stats.served_from_store;
+      continue;
+    }
+    outstanding.emplace(key, std::move(pending));
+  }
+  if (outstanding.empty()) {
+    if (spec.progress) {
+      std::fprintf(stderr,
+                   "[shard] %zu cells: all served from store, 0 spooled\n",
+                   stats.cells);
+    }
+    return stats;
+  }
+
+  std::string spool_dir = spec.shard.spool_dir;
+  const bool temp_spool = spool_dir.empty();
+  if (temp_spool) {
+    std::error_code ec;
+    spool_dir = (fs::temp_directory_path(ec) /
+                 ("clusmt-spool-" + std::to_string(getpid())))
+                    .string();
+  }
+  const Spool spool(spool_dir, spec.shard.max_attempts);
+  if (!spool.init_dirs()) {
+    throw std::runtime_error("sharded sweep: cannot create spool directory " +
+                             spool_dir);
+  }
+  for (const auto& [key, pending] : outstanding) {
+    if (!spool.push(pending.cell)) {
+      throw std::runtime_error("sharded sweep: failed to spool a cell into " +
+                               spool_dir);
+    }
+  }
+  stats.spooled = outstanding.size();
+
+  // Divide the host's cores among the local workers (each worker runs
+  // --jobs claimant threads); remote workers watching the same spool
+  // bring their own budget.
+  const std::string bin = resolve_worker_bin(spec.shard.worker_bin);
+  const int workers = spec.shard.workers;
+  std::size_t total_cores =
+      spec.jobs != 0 ? spec.jobs
+                     : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t jobs_per_worker =
+      std::max<std::size_t>(1, total_cores / static_cast<std::size_t>(workers));
+
+  const int spawn_cap = workers * spool.max_attempts();
+  std::vector<pid_t> pids;
+  auto spawn_one = [&]() {
+    std::vector<std::string> args = {
+        "--spool-dir", spool_dir,
+        "--cache-dir", store_dir,
+        "--jobs", std::to_string(jobs_per_worker),
+        "--lease-ms", std::to_string(spec.shard.lease_ms),
+        "--max-attempts", std::to_string(spec.shard.max_attempts),
+        "--idle-timeout-ms", std::to_string(spec.shard.idle_timeout_ms),
+        "--worker-id",
+        "w" + std::to_string(stats.workers_spawned) + "-" +
+            std::to_string(getpid()),
+    };
+    const pid_t pid = spawn_worker(bin, args);
+    if (pid > 0) {
+      pids.push_back(pid);
+      ++stats.workers_spawned;
+    }
+  };
+  for (int i = 0; i < workers; ++i) spawn_one();
+  if (pids.empty()) {
+    throw std::runtime_error("sharded sweep: failed to spawn any worker (" +
+                             bin + ")");
+  }
+  if (spec.progress) {
+    std::fprintf(stderr,
+                 "[shard] %zu cells: %zu served from store, %zu spooled to "
+                 "%s; %d workers x %zu jobs\n",
+                 stats.cells, stats.served_from_store, stats.spooled,
+                 spool_dir.c_str(), workers, jobs_per_worker);
+  }
+
+  const auto lease = std::chrono::milliseconds(
+      spec.shard.lease_ms < 1 ? 1 : spec.shard.lease_ms);
+  std::vector<std::string> failures;
+  auto last_reclaim = Clock::now();
+  auto last_progress = Clock::now();
+  try {
+  while (!outstanding.empty()) {
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      std::error_code ec;
+      if (fs::exists(store.path_of(it->first), ec)) {
+        ++stats.simulated_by_workers;
+        it = outstanding.erase(it);
+      } else if (spool.terminally_failed(it->first)) {
+        // Terminal in the spool — but a stolen-then-finished straggler may
+        // still have delivered; the store is the source of truth.
+        std::error_code again;
+        if (fs::exists(store.path_of(it->first), again)) {
+          ++stats.simulated_by_workers;
+        } else {
+          failures.push_back(
+              it->second.label + ": " +
+              first_line(spool.failure_message(it->first)));
+        }
+        it = outstanding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (outstanding.empty()) break;
+
+    const auto now = Clock::now();
+    if (now - last_reclaim >= lease) {
+      (void)spool.reclaim_stale(lease);
+      last_reclaim = now;
+    }
+    if (spec.progress && now - last_progress >= std::chrono::seconds(5)) {
+      std::fprintf(stderr, "[shard] %zu/%zu spooled cells outstanding\n",
+                   outstanding.size(), stats.spooled);
+      last_progress = now;
+    }
+
+    reap_exited(pids);
+    if (pids.empty()) {
+      // Workers are gone with work left. Respawn while the attempt budget
+      // lasts: a crash-looping cell turns terminal through lease reclaim,
+      // so this loop is bounded either way.
+      if (stats.workers_spawned >= spawn_cap) {
+        throw std::runtime_error(
+            "sharded sweep: workers keep exiting with " +
+            std::to_string(outstanding.size()) +
+            " cells outstanding (spawned " +
+            std::to_string(stats.workers_spawned) + "; see " + spool_dir +
+            "/failed)");
+      }
+      for (int i = 0; i < workers && stats.workers_spawned < spawn_cap; ++i) {
+        spawn_one();
+      }
+      if (pids.empty()) {
+        throw std::runtime_error("sharded sweep: failed to respawn workers (" +
+                                 bin + ")");
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  } catch (...) {
+    terminate_workers(pids);  // never leak a swarm past an error
+    throw;
+  }
+
+  terminate_workers(pids);
+  if (!failures.empty()) {
+    std::string message = "sharded sweep: " + std::to_string(failures.size()) +
+                          " cell(s) failed after " +
+                          std::to_string(spool.max_attempts()) + " attempts:";
+    for (const std::string& f : failures) message += "\n  " + f;
+    throw std::runtime_error(message);
+  }
+  if (spec.progress) {
+    std::fprintf(stderr, "[shard] %zu cells simulated by workers\n",
+                 stats.simulated_by_workers);
+  }
+  if (temp_spool) {
+    std::error_code ec;
+    fs::remove_all(spool_dir, ec);  // best-effort cleanup of the throwaway
+  }
+  return stats;
+}
+
+}  // namespace clusmt::harness

@@ -1,0 +1,75 @@
+// Sharded sweep execution: the coordinator side of the spool protocol
+// (harness/spool.h). Given an expanded sweep grid, shard_prefetch()
+// guarantees that every cell the sweep will request is present in the
+// attached --cache-dir RunStore: warm cells are served instantly, misses
+// are serialized into the spool and executed by sweep_worker processes —
+// spawned locally, or already running on other hosts that share the spool
+// directory. The sweep engine then assembles tables through the normal
+// warm-store path, so output is bit-identical for any worker count,
+// including 0 (pure in-process execution, the default).
+//
+// Straggler/failure handling: the coordinator re-queues cells whose lease
+// went stale (dead or stuck worker), respawns exited workers while work
+// remains (bounded by workers × max_attempts total spawns), and surfaces a
+// cell that failed max_attempts times as a per-cell error listing every
+// recorded message — never a hang.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clusmt::harness {
+
+struct SweepSpec;
+struct ConfigPoint;
+
+/// Distribution knobs of a sweep (SweepSpec::shard).
+struct ShardSpec {
+  /// Local sweep_worker processes to spawn. 0 = in-process execution; the
+  /// spool is not consulted at all and no other field matters.
+  int workers = 0;
+
+  /// Shared spool directory (the cluster rendezvous point). Empty = a
+  /// throwaway directory under $TMPDIR, removed after a successful sweep —
+  /// right for single-host fan-out; multi-host runs name a shared path.
+  std::string spool_dir;
+
+  /// sweep_worker binary. Empty = $CLUSMT_WORKER_BIN, then `sweep_worker`
+  /// next to the running binary, then `../tools/sweep_worker` (the build
+  /// tree layout relative to build/bench and build/tests).
+  std::string worker_bin;
+
+  /// Executions per cell (worker exceptions + lease reclaims) before the
+  /// cell turns into a terminal per-cell error.
+  int max_attempts = 3;
+
+  /// Lease heartbeat horizon: a claim untouched for this long is treated
+  /// as abandoned and re-queued (straggler stealing).
+  int lease_ms = 15000;
+
+  /// Workers exit after this long without claiming anything (they also
+  /// exit as soon as the spool drains).
+  int idle_timeout_ms = 10000;
+};
+
+/// Cell traffic of one sharded prefetch, for progress/CI reporting.
+struct ShardStats {
+  std::size_t cells = 0;             // cells the sweep needs (incl. baselines)
+  std::size_t served_from_store = 0; // already warm in memory or on disk
+  std::size_t spooled = 0;           // misses handed to the worker swarm
+  std::size_t simulated_by_workers = 0;
+  int workers_spawned = 0;           // includes straggler respawns
+};
+
+/// Ensures every cell of (points × suite [+ fairness baselines]) is in the
+/// RunStore attached to the sweep's cache, farming misses through the
+/// spool to `spec.shard.workers` local worker processes (plus any remote
+/// workers already watching the same spool). Throws std::runtime_error
+/// when no store is attached, the worker binary cannot be found or
+/// spawned, workers keep dying, or any cell exhausts its attempts — the
+/// last with a per-cell list of the recorded failure messages.
+ShardStats shard_prefetch(const SweepSpec& spec,
+                          const std::vector<ConfigPoint>& points);
+
+}  // namespace clusmt::harness

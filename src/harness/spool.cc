@@ -1,0 +1,542 @@
+#include "harness/spool.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/fsio.h"
+#include "common/hash.h"
+#include "common/wire.h"
+
+namespace clusmt::harness {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kSpoolMagic = 0x50534c43;  // "CLSP" little-endian
+
+std::uint64_t spec_checksum(std::string_view bytes) {
+  Fnv1a h(0x53504f4f4cull);  // distinct seed from run-key/run-record passes
+  h.add_bytes(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+// NOTE: keep write_config/read_config (and the trace pair below) in
+// field-for-field lockstep with each other AND with hash_config/hash_trace
+// in run_key.cc; bump kSpoolFormatVersion on any change. A field present in
+// the hash but missing here would make a worker simulate a different
+// machine than the key promises — which the worker's re-derived-key check
+// turns into a clean per-cell error instead of a silently wrong record.
+void write_config(ByteWriter& w, const core::SimConfig& c) {
+  w.i64(c.num_threads);
+  w.i64(c.num_clusters);
+
+  w.i64(c.fetch_width);
+  w.i64(c.rename_width);
+  w.i64(c.commit_width);
+  w.i64(c.decode_queue_capacity);
+  w.i64(c.mispredict_penalty);
+  w.u32(static_cast<std::uint32_t>(c.fetch_selection));
+  w.i64(c.predictor.gshare_entries);
+  w.i64(c.predictor.history_bits);
+  w.i64(c.predictor.indirect_entries);
+  w.u64(c.trace_cache.capacity_uops);
+  w.i64(c.trace_cache.line_uops);
+  w.i64(c.trace_cache.assoc);
+
+  w.i64(c.rob_entries);
+  w.i64(c.iq_entries);
+  for (int i = 0; i < kMaxClusters; ++i) w.i64(c.iq_entries_c[i]);
+  w.i64(c.int_regs);
+  w.i64(c.fp_regs);
+  w.i64(c.mob_entries);
+  w.i64(c.num_links);
+  w.i64(c.link_latency);
+  w.i64(c.l1_write_ports);
+
+  w.u64(c.memory.l1_size);
+  w.i64(c.memory.l1_assoc);
+  w.i64(c.memory.l1_latency);
+  w.u64(c.memory.l2_size);
+  w.i64(c.memory.l2_assoc);
+  w.i64(c.memory.l2_latency);
+  w.i64(c.memory.memory_latency);
+  w.i64(c.memory.line_bytes);
+  w.i64(c.memory.num_l1_l2_buses);
+  w.i64(c.memory.bus_occupancy_cycles);
+  w.i64(c.memory.dtlb_entries);
+  w.i64(c.memory.dtlb_assoc);
+  w.i64(c.memory.tlb_walk_latency);
+
+  w.u32(static_cast<std::uint32_t>(c.steering));
+  w.i64(c.steer_imbalance_threshold);
+
+  w.u32(static_cast<std::uint32_t>(c.policy));
+  w.f64(c.policy_config.partition_fraction);
+  w.f64(c.policy_config.cspsp_guarantee_fraction);
+  w.u64(c.policy_config.cdprf_interval);
+  w.f64(c.policy_config.dcra_slow_share);
+  w.u64(c.policy_config.hillclimb_epoch);
+  w.f64(c.policy_config.hillclimb_delta);
+  w.f64(c.policy_config.unready_gate_fraction);
+
+  w.u64(c.watchdog_cycles);
+}
+
+void read_config(ByteReader& r, core::SimConfig& c) {
+  c.num_threads = static_cast<int>(r.i64());
+  c.num_clusters = static_cast<int>(r.i64());
+
+  c.fetch_width = static_cast<int>(r.i64());
+  c.rename_width = static_cast<int>(r.i64());
+  c.commit_width = static_cast<int>(r.i64());
+  c.decode_queue_capacity = static_cast<int>(r.i64());
+  c.mispredict_penalty = static_cast<int>(r.i64());
+  c.fetch_selection = static_cast<frontend::FetchSelection>(r.u32());
+  c.predictor.gshare_entries = static_cast<int>(r.i64());
+  c.predictor.history_bits = static_cast<int>(r.i64());
+  c.predictor.indirect_entries = static_cast<int>(r.i64());
+  c.trace_cache.capacity_uops = r.u64();
+  c.trace_cache.line_uops = static_cast<int>(r.i64());
+  c.trace_cache.assoc = static_cast<int>(r.i64());
+
+  c.rob_entries = static_cast<int>(r.i64());
+  c.iq_entries = static_cast<int>(r.i64());
+  for (int i = 0; i < kMaxClusters; ++i) {
+    c.iq_entries_c[i] = static_cast<int>(r.i64());
+  }
+  c.int_regs = static_cast<int>(r.i64());
+  c.fp_regs = static_cast<int>(r.i64());
+  c.mob_entries = static_cast<int>(r.i64());
+  c.num_links = static_cast<int>(r.i64());
+  c.link_latency = static_cast<int>(r.i64());
+  c.l1_write_ports = static_cast<int>(r.i64());
+
+  c.memory.l1_size = r.u64();
+  c.memory.l1_assoc = static_cast<int>(r.i64());
+  c.memory.l1_latency = static_cast<int>(r.i64());
+  c.memory.l2_size = r.u64();
+  c.memory.l2_assoc = static_cast<int>(r.i64());
+  c.memory.l2_latency = static_cast<int>(r.i64());
+  c.memory.memory_latency = static_cast<int>(r.i64());
+  c.memory.line_bytes = static_cast<int>(r.i64());
+  c.memory.num_l1_l2_buses = static_cast<int>(r.i64());
+  c.memory.bus_occupancy_cycles = static_cast<int>(r.i64());
+  c.memory.dtlb_entries = static_cast<int>(r.i64());
+  c.memory.dtlb_assoc = static_cast<int>(r.i64());
+  c.memory.tlb_walk_latency = static_cast<int>(r.i64());
+
+  c.steering = static_cast<steer::SteeringKind>(r.u32());
+  c.steer_imbalance_threshold = static_cast<int>(r.i64());
+
+  c.policy = static_cast<policy::PolicyKind>(r.u32());
+  c.policy_config.partition_fraction = r.f64();
+  c.policy_config.cspsp_guarantee_fraction = r.f64();
+  c.policy_config.cdprf_interval = r.u64();
+  c.policy_config.dcra_slow_share = r.f64();
+  c.policy_config.hillclimb_epoch = r.u64();
+  c.policy_config.hillclimb_delta = r.f64();
+  c.policy_config.unready_gate_fraction = r.f64();
+
+  c.watchdog_cycles = r.u64();
+}
+
+void write_trace(ByteWriter& w, const trace::TraceSpec& t) {
+  const trace::TraceProfile& p = t.profile;
+  w.str(p.name);
+  w.f64(p.frac_int_alu);
+  w.f64(p.frac_int_mul);
+  w.f64(p.frac_fp_add);
+  w.f64(p.frac_fp_mul);
+  w.f64(p.frac_simd);
+  w.f64(p.frac_load);
+  w.f64(p.frac_store);
+  w.f64(p.avg_block_len);
+  w.i64(p.num_blocks);
+  w.f64(p.hard_branch_fraction);
+  w.f64(p.indirect_fraction);
+  w.f64(p.dep_geo_p);
+  w.f64(p.two_src_prob);
+  w.u64(p.footprint_bytes);
+  w.f64(p.stream_fraction);
+  w.f64(p.chase_fraction);
+  w.u64(p.stream_stride);
+  w.u64(p.hot_bytes);
+  w.f64(p.old_src_p);
+  w.f64(p.fp_load_fraction);
+  w.u64(t.seed);
+}
+
+void read_trace(ByteReader& r, trace::TraceSpec& t) {
+  trace::TraceProfile& p = t.profile;
+  p.name = r.str();
+  p.frac_int_alu = r.f64();
+  p.frac_int_mul = r.f64();
+  p.frac_fp_add = r.f64();
+  p.frac_fp_mul = r.f64();
+  p.frac_simd = r.f64();
+  p.frac_load = r.f64();
+  p.frac_store = r.f64();
+  p.avg_block_len = r.f64();
+  p.num_blocks = static_cast<int>(r.i64());
+  p.hard_branch_fraction = r.f64();
+  p.indirect_fraction = r.f64();
+  p.dep_geo_p = r.f64();
+  p.two_src_prob = r.f64();
+  p.footprint_bytes = r.u64();
+  p.stream_fraction = r.f64();
+  p.chase_fraction = r.f64();
+  p.stream_stride = r.u64();
+  p.hot_bytes = r.u64();
+  p.old_src_p = r.f64();
+  p.fp_load_fraction = r.f64();
+  t.seed = r.u64();
+}
+
+// ---- Spool entry names ---------------------------------------------------
+
+std::string key_hex(const RunKey& key) {
+  char name[36];
+  std::snprintf(name, sizeof name, "%016llx%016llx",
+                static_cast<unsigned long long>(key.hi),
+                static_cast<unsigned long long>(key.lo));
+  return name;
+}
+
+bool parse_hex(std::string_view hex, std::uint64_t& out) {
+  out = 0;
+  for (char c : hex) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = std::uint64_t(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = std::uint64_t(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    out = out << 4 | digit;
+  }
+  return true;
+}
+
+/// "<032hex>.a<N>.cell" -> (key, N = prior failed attempts).
+bool parse_cell_name(const std::string& name, RunKey& key, int& attempts) {
+  constexpr std::string_view kSuffix = ".cell";
+  if (name.size() < 32 + 2 + 1 + kSuffix.size()) return false;
+  if (!parse_hex(std::string_view(name).substr(0, 16), key.hi)) return false;
+  if (!parse_hex(std::string_view(name).substr(16, 16), key.lo)) return false;
+  if (name[32] != '.' || name[33] != 'a') return false;
+  const std::string_view rest(name.c_str() + 34, name.size() - 34);
+  if (rest.size() <= kSuffix.size() ||
+      rest.substr(rest.size() - kSuffix.size()) != kSuffix) {
+    return false;
+  }
+  attempts = 0;
+  for (char c : rest.substr(0, rest.size() - kSuffix.size())) {
+    if (c < '0' || c > '9') return false;
+    attempts = attempts * 10 + (c - '0');
+  }
+  return true;
+}
+
+std::string cell_name(const RunKey& key, int attempts) {
+  return key_hex(key) + ".a" + std::to_string(attempts) + ".cell";
+}
+
+std::string read_whole_file(const fs::path& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = static_cast<bool>(in);
+  if (!ok) return {};
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ok = in.good() || in.eof();
+  return bytes;
+}
+
+std::size_t count_files(const fs::path& dir, std::string_view extension) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == extension) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string encode_cell_spec(const SpoolCell& cell) {
+  ByteWriter w;
+  w.u32(kSpoolMagic);
+  w.u32(kSpoolFormatVersion);
+  w.u64(cell.key.hi);
+  w.u64(cell.key.lo);
+  write_config(w, cell.config);
+  w.str(cell.workload.category);
+  w.str(cell.workload.type);
+  w.str(cell.workload.name);
+  w.u64(cell.workload.threads.size());
+  for (const trace::TraceSpec& t : cell.workload.threads) write_trace(w, t);
+  w.u64(cell.cycles);
+  w.u64(cell.warmup);
+  w.u64(spec_checksum(w.bytes()));
+  return std::move(w).take();
+}
+
+std::optional<SpoolCell> decode_cell_spec(std::string_view record) {
+  if (record.size() < sizeof(std::uint64_t)) return std::nullopt;
+  const std::string_view body =
+      record.substr(0, record.size() - sizeof(std::uint64_t));
+
+  ByteReader r(record);
+  if (r.u32() != kSpoolMagic) return std::nullopt;
+  if (r.u32() != kSpoolFormatVersion) return std::nullopt;
+
+  SpoolCell cell;
+  cell.key.hi = r.u64();
+  cell.key.lo = r.u64();
+  read_config(r, cell.config);
+  cell.workload.category = r.str();
+  cell.workload.type = r.str();
+  cell.workload.name = r.str();
+  const std::uint64_t threads = r.u64();
+  if (threads > 64) return std::nullopt;  // sanity bound before allocating
+  cell.workload.threads.resize(static_cast<std::size_t>(threads));
+  for (trace::TraceSpec& t : cell.workload.threads) read_trace(r, t);
+  cell.cycles = r.u64();
+  cell.warmup = r.u64();
+  const std::uint64_t stored_sum = r.u64();
+  if (!r.exhausted() || stored_sum != spec_checksum(body)) {
+    return std::nullopt;
+  }
+  return cell;
+}
+
+Spool::Spool(std::string dir, int max_attempts)
+    : dir_(std::move(dir)), max_attempts_(max_attempts < 1 ? 1 : max_attempts) {}
+
+bool Spool::init_dirs() const {
+  std::error_code ec;
+  for (const char* sub : {"todo", "claimed", "done", "failed"}) {
+    fs::create_directories(fs::path(dir_) / sub, ec);
+    if (ec) return false;
+  }
+  return true;
+}
+
+bool Spool::push(const SpoolCell& cell) const {
+  return write_file_atomic(
+      (fs::path(dir_) / "todo" / cell_name(cell.key, 0)).string(),
+      encode_cell_spec(cell));
+}
+
+namespace {
+
+void append_error(const fs::path& failed_dir, const RunKey& key, int attempt,
+                  const std::string& message) {
+  std::error_code ec;
+  fs::create_directories(failed_dir, ec);
+  std::ofstream out(failed_dir / (key_hex(key) + ".err"), std::ios::app);
+  out << "attempt " << attempt << ": " << message << "\n";
+}
+
+}  // namespace
+
+std::optional<Spool::Claim> Spool::claim(const std::string& worker_id) const {
+  std::error_code ec;
+  const fs::path todo = fs::path(dir_) / "todo";
+  const fs::path mine = fs::path(dir_) / "claimed" / worker_id;
+  fs::create_directories(mine, ec);
+  for (fs::directory_iterator it(todo, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    RunKey key;
+    int attempts = 0;
+    if (!parse_cell_name(name, key, attempts)) continue;
+    const fs::path held = mine / name;
+    std::error_code rn;
+    fs::rename(it->path(), held, rn);
+    if (rn) continue;  // another claimant won the rename race
+    // rename preserves mtime; start the lease clock now, not at push time.
+    std::error_code touch_ec;
+    fs::last_write_time(held, fs::file_time_type::clock::now(), touch_ec);
+    bool ok = false;
+    const std::string bytes = read_whole_file(held, ok);
+    std::optional<SpoolCell> cell =
+        ok ? decode_cell_spec(bytes) : std::nullopt;
+    if (!cell || !(cell->key == key)) {
+      // Corrupt or foreign spec: quarantine so it cannot wedge the queue.
+      append_error(fs::path(dir_) / "failed", key, attempts + 1,
+                   "unreadable or mismatched cell spec");
+      std::error_code q;
+      fs::rename(held, fs::path(dir_) / "failed" / (key_hex(key) + ".cell"),
+                 q);
+      continue;
+    }
+    return Claim{*std::move(cell), held.string(), attempts + 1};
+  }
+  return std::nullopt;
+}
+
+bool Spool::refresh_lease(const Claim& claim) {
+  std::error_code ec;
+  fs::last_write_time(claim.path, fs::file_time_type::clock::now(), ec);
+  return !ec;
+}
+
+bool Spool::ack(const Claim& claim) const {
+  std::error_code ec;
+  fs::rename(claim.path,
+             fs::path(dir_) / "done" / (key_hex(claim.cell.key) + ".cell"),
+             ec);
+  return !ec;
+}
+
+void Spool::fail(const Claim& claim, const std::string& message) const {
+  append_error(fs::path(dir_) / "failed", claim.cell.key, claim.attempt,
+               message);
+  std::error_code ec;  // rename failure = lease stolen meanwhile: benign
+  if (claim.attempt >= max_attempts_) {
+    fs::rename(claim.path,
+               fs::path(dir_) / "failed" / (key_hex(claim.cell.key) + ".cell"),
+               ec);
+  } else {
+    fs::rename(claim.path,
+               fs::path(dir_) / "todo" / cell_name(claim.cell.key, claim.attempt),
+               ec);
+  }
+}
+
+std::size_t Spool::reclaim_stale(std::chrono::milliseconds lease) const {
+  const auto now = fs::file_time_type::clock::now();
+  std::size_t moved = 0;
+  std::error_code ec;
+  const fs::path claimed = fs::path(dir_) / "claimed";
+  for (fs::directory_iterator worker(claimed, ec), wend; !ec && worker != wend;
+       worker.increment(ec)) {
+    if (!worker->is_directory(ec)) continue;
+    std::error_code fec;
+    for (fs::directory_iterator it(worker->path(), fec), end;
+         !fec && it != end; it.increment(fec)) {
+      const std::string name = it->path().filename().string();
+      RunKey key;
+      int attempts = 0;
+      if (!parse_cell_name(name, key, attempts)) continue;
+      std::error_code mt;
+      const auto mtime = fs::last_write_time(it->path(), mt);
+      if (mt || now - mtime < lease) continue;
+      const int attempt = attempts + 1;  // the execution that went silent
+      std::error_code rn;
+      if (attempt >= max_attempts_) {
+        append_error(fs::path(dir_) / "failed", key, attempt,
+                     "lease expired (worker dead or stuck); "
+                     "attempts exhausted");
+        fs::rename(it->path(),
+                   fs::path(dir_) / "failed" / (key_hex(key) + ".cell"), rn);
+      } else {
+        fs::rename(it->path(), fs::path(dir_) / "todo" / cell_name(key, attempt),
+                   rn);
+      }
+      if (!rn) ++moved;
+    }
+  }
+  return moved;
+}
+
+bool Spool::terminally_failed(const RunKey& key) const {
+  std::error_code ec;
+  return fs::exists(fs::path(dir_) / "failed" / (key_hex(key) + ".cell"), ec);
+}
+
+std::string Spool::failure_message(const RunKey& key) const {
+  bool ok = false;
+  std::string text = read_whole_file(
+      fs::path(dir_) / "failed" / (key_hex(key) + ".err"), ok);
+  return ok ? text : std::string();
+}
+
+SpoolCounts Spool::counts() const {
+  SpoolCounts c;
+  c.todo = count_files(fs::path(dir_) / "todo", ".cell");
+  c.done = count_files(fs::path(dir_) / "done", ".cell");
+  c.failed = count_files(fs::path(dir_) / "failed", ".cell");
+  std::error_code ec;
+  for (fs::directory_iterator it(fs::path(dir_) / "claimed", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_directory(ec)) c.claimed += count_files(it->path(), ".cell");
+  }
+  return c;
+}
+
+bool Spool::drained() const {
+  const SpoolCounts c = counts();
+  return c.todo == 0 && c.claimed == 0;
+}
+
+SpoolGcResult gc_spool(const std::string& dir, const SpoolGcOptions& options) {
+  SpoolGcResult result;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) return result;
+  const auto now = fs::file_time_type::clock::now();
+  const Spool spool(dir);
+
+  // Orphaned leases: stale claims requeue exactly as reclaim_stale does
+  // (terminal past the attempt cap), so a crashed fleet's work survives.
+  const fs::path claimed = fs::path(dir) / "claimed";
+  for (fs::directory_iterator worker(claimed, ec), wend; !ec && worker != wend;
+       worker.increment(ec)) {
+    if (!worker->is_directory(ec)) continue;
+    std::error_code fec;
+    for (fs::directory_iterator it(worker->path(), fec), end;
+         !fec && it != end; it.increment(fec)) {
+      if (it->path().extension() != ".cell") continue;
+      ++result.scanned;
+      std::error_code mt;
+      const auto mtime = fs::last_write_time(it->path(), mt);
+      if (mt || now - mtime < options.lease) continue;
+      ++result.reclaimed;
+    }
+  }
+  if (!options.dry_run && result.reclaimed > 0) {
+    result.reclaimed = spool.reclaim_stale(
+        std::chrono::duration_cast<std::chrono::milliseconds>(options.lease));
+  }
+
+  // Expired done/ acks and failed/ diagnostics.
+  const auto expire_in = [&](const char* sub, std::uint64_t& deleted) {
+    std::error_code dec;
+    for (fs::directory_iterator it(fs::path(dir) / sub, dec), end;
+         !dec && it != end; it.increment(dec)) {
+      const auto ext = it->path().extension();
+      if (ext != ".cell" && ext != ".err") continue;
+      ++result.scanned;
+      std::error_code mt;
+      const auto mtime = fs::last_write_time(it->path(), mt);
+      if (mt || now - mtime < options.done_ttl) continue;
+      std::error_code rm;
+      if (!options.dry_run && (!fs::remove(it->path(), rm) || rm)) continue;
+      ++deleted;
+    }
+  };
+  expire_in("done", result.deleted_done);
+  expire_in("failed", result.deleted_failed);
+
+  // Emptied per-worker claim dirs.
+  if (!options.dry_run) {
+    std::error_code dec;
+    for (fs::directory_iterator it(claimed, dec), end; !dec && it != end;
+         it.increment(dec)) {
+      if (!it->is_directory(dec)) continue;
+      std::error_code rm;
+      if (fs::is_empty(it->path(), rm) && !rm &&
+          fs::remove(it->path(), rm) && !rm) {
+        ++result.removed_dirs;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace clusmt::harness

@@ -1,0 +1,167 @@
+// Directory-based work queue for farming sweep cells to other processes
+// and hosts. The coordinator (harness/shard.h) serializes each cache-miss
+// cell — its RunKey plus the full (config, workload, cycles, warmup) spec —
+// into <spool>/todo/; workers (tools/sweep_worker.cc) claim cells by atomic
+// rename into <spool>/claimed/<worker-id>/, write results to the shared
+// --cache-dir RunStore, and ack by rename into <spool>/done/. The directory
+// is the whole protocol: any filesystem shared between the participants
+// (local disk for a single-host fan-out, NFS-like storage for multi-host)
+// is a cluster.
+//
+// Layout (all entries named by the cell's 128-bit RunKey):
+//   todo/<032hex>.a<N>.cell          pending; N prior attempts failed
+//   claimed/<worker>/<032hex>.a<N>.cell   leased; mtime is the heartbeat
+//   done/<032hex>.cell               acked (the result is in the store)
+//   failed/<032hex>.cell + .err      terminal after max_attempts failures
+//
+// Failure semantics: a claim whose mtime goes stale (dead or stuck worker)
+// is reclaimed — renamed back into todo/ with the attempt count bumped —
+// by any other participant, so stragglers get stolen. Duplicate execution
+// is harmless: results are content-keyed and byte-identical, and the store
+// write is atomic. A cell that fails max_attempts times (worker exception,
+// repeated lease expiry) moves to failed/ with the collected messages; the
+// coordinator surfaces it as a per-cell error instead of hanging. An
+// unreadable spec (corruption) is quarantined to failed/ immediately.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/config.h"
+#include "harness/run_key.h"
+#include "trace/workload.h"
+
+namespace clusmt::harness {
+
+/// Bump whenever the cell-spec layout changes (a field added to
+/// core::SimConfig or trace::TraceProfile, a string re-ordered). Workers
+/// then treat stale-format specs as unreadable instead of simulating a
+/// half-decoded machine.
+inline constexpr std::uint32_t kSpoolFormatVersion = 1;
+
+/// One spooled cell: everything a foreign process needs to reproduce the
+/// simulation, plus the key its result files under.
+struct SpoolCell {
+  RunKey key;  // run_key(config, workload, cycles, warmup)
+  core::SimConfig config;
+  trace::WorkloadSpec workload;
+  Cycle cycles = 0;
+  Cycle warmup = 0;
+};
+
+/// Serializes `cell` to a self-contained, versioned, checksummed record
+/// (same wire primitives as the run-store records). NOTE: the field list
+/// mirrors hash_config/hash_trace in run_key.cc — when a knob is added
+/// there, extend the codec in spool.cc and bump kSpoolFormatVersion.
+[[nodiscard]] std::string encode_cell_spec(const SpoolCell& cell);
+
+/// Decodes a spec, validating magic, version and checksum; nullopt on any
+/// mismatch. Workers additionally re-derive run_key() from the decoded
+/// spec and refuse cells whose embedded key disagrees (codec drift).
+[[nodiscard]] std::optional<SpoolCell> decode_cell_spec(
+    std::string_view record);
+
+struct SpoolCounts {
+  std::size_t todo = 0;
+  std::size_t claimed = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+};
+
+class Spool {
+ public:
+  static constexpr int kDefaultMaxAttempts = 3;
+
+  /// `dir` is the shared spool root; `max_attempts` bounds executions per
+  /// cell (failures + lease reclaims) before it turns terminal.
+  explicit Spool(std::string dir, int max_attempts = kDefaultMaxAttempts);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] int max_attempts() const noexcept { return max_attempts_; }
+
+  /// Creates todo/ claimed/ done/ failed/ (with parents). Idempotent.
+  [[nodiscard]] bool init_dirs() const;
+
+  /// Queues `cell` (atomic write into todo/). Re-pushing a key replaces the
+  /// pending entry and resets its attempt count.
+  [[nodiscard]] bool push(const SpoolCell& cell) const;
+
+  /// A held lease. `attempt` is 1-based: the Nth execution of this cell.
+  struct Claim {
+    SpoolCell cell;
+    std::string path;  // claimed/<worker>/<hex>.a<N>.cell
+    int attempt = 1;
+  };
+
+  /// Claims any pending cell by atomic rename into claimed/<worker_id>/
+  /// (the rename is the mutual exclusion: of two racing claimants exactly
+  /// one wins). The fresh claim's mtime is touched so the lease starts
+  /// now. Unreadable specs are quarantined to failed/ and skipped.
+  /// nullopt when todo/ is empty.
+  [[nodiscard]] std::optional<Claim> claim(const std::string& worker_id) const;
+
+  /// Heartbeat: re-touches the claim's mtime. Returns false when the file
+  /// is gone — the lease was stolen; the holder should finish (the result
+  /// is still byte-identical) but expect ack() to no-op.
+  static bool refresh_lease(const Claim& claim);
+
+  /// Acks a finished cell: rename into done/. False when the lease was
+  /// stolen meanwhile (benign — the thief will ack).
+  [[nodiscard]] bool ack(const Claim& claim) const;
+
+  /// Records a failed execution: appends `message` to failed/<key>.err and
+  /// either requeues the cell into todo/ with the attempt count bumped or,
+  /// at the attempt cap, moves it to failed/ terminally.
+  void fail(const Claim& claim, const std::string& message) const;
+
+  /// Renames every claimed entry whose mtime is older than `lease` back
+  /// into todo/ with the attempt count bumped (terminal past the cap), so
+  /// cells of dead or stuck workers get stolen. Returns entries moved
+  /// (requeued or terminally failed).
+  std::size_t reclaim_stale(std::chrono::milliseconds lease) const;
+
+  /// True when failed/<key>.cell exists (attempts exhausted / quarantined).
+  [[nodiscard]] bool terminally_failed(const RunKey& key) const;
+
+  /// Collected failure messages of `key` ("" when none recorded).
+  [[nodiscard]] std::string failure_message(const RunKey& key) const;
+
+  [[nodiscard]] SpoolCounts counts() const;
+
+  /// True when nothing is pending or leased (workers may exit).
+  [[nodiscard]] bool drained() const;
+
+ private:
+  std::string dir_;
+  int max_attempts_;
+};
+
+/// Hygiene options for long-lived spool directories (tools/cache_gc).
+struct SpoolGcOptions {
+  /// Claims older than this are orphaned leases: requeue them.
+  std::chrono::seconds lease{300};
+  /// Acked done/ entries and terminal failed/ entries older than this are
+  /// deleted (their results/diagnostics have been consumed).
+  std::chrono::seconds done_ttl{24 * 3600};
+  bool dry_run = false;
+};
+
+struct SpoolGcResult {
+  std::uint64_t scanned = 0;        // spool entries seen
+  std::uint64_t reclaimed = 0;      // orphaned leases requeued to todo/
+  std::uint64_t deleted_done = 0;   // expired done/ entries removed
+  std::uint64_t deleted_failed = 0; // expired failed/ entries removed
+  std::uint64_t removed_dirs = 0;   // emptied claimed/<worker> dirs pruned
+};
+
+/// One hygiene sweep: reclaims orphaned leases, expires acked/failed
+/// entries past their TTL, prunes emptied per-worker claim dirs. A missing
+/// or non-spool directory is a no-op. Only spool-protocol entries
+/// (*.cell, *.err) are ever touched.
+[[nodiscard]] SpoolGcResult gc_spool(const std::string& dir,
+                                     const SpoolGcOptions& options);
+
+}  // namespace clusmt::harness

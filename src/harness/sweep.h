@@ -29,6 +29,7 @@
 #include "core/config.h"
 #include "harness/run_cache.h"
 #include "harness/runner.h"
+#include "harness/shard.h"
 #include "trace/workload.h"
 
 namespace clusmt::harness {
@@ -78,8 +79,15 @@ struct SweepSpec {
   /// cache) and fill RunResult::fairness for every cell.
   bool with_fairness = false;
 
-  /// Host worker threads; 0 = all cores.
+  /// Host worker threads; 0 = all cores (or $CLUSMT_JOBS when set — the
+  /// coordinator exports it so spawned workers never oversubscribe).
   std::size_t jobs = 0;
+
+  /// Distributed execution (harness/shard.h): with shard.workers > 0 the
+  /// cache-miss cells are farmed to sweep_worker processes through a spool
+  /// directory before the (then fully warm) in-process assembly below —
+  /// tables are bit-identical for any worker count.
+  ShardSpec shard;
 
   /// Print per-point completion and a cache summary to stderr.
   bool progress = true;

@@ -1,0 +1,213 @@
+// Sharded sweep execution (harness/shard.h): run_sweep with
+// --shard-workers N farms cache-miss cells to real sweep_worker processes
+// through a spool directory, then assembles tables from the warm store.
+// Covers bit-identical output across worker counts (including 0 =
+// in-process), the all-warm fast path that spawns nothing, the missing
+// cache-dir error, and a cell that always crashes turning into a clean
+// per-cell error instead of a hang.
+//
+// These tests spawn the real sweep_worker binary, resolved relative to
+// this test binary (build/tests/ -> build/tools/sweep_worker), exactly as
+// a bench run would resolve it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/presets.h"
+#include "harness/run_cache.h"
+#include "harness/spool.h"
+#include "harness/sweep.h"
+#include "trace/workload.h"
+
+namespace clusmt::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (fs::temp_directory_path() / "clusmt_shard_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string subdir(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+
+  std::string dir_;
+};
+
+/// The small two-point grid every test runs: 2 schemes x 3 workloads with
+/// fairness baselines, enough to exercise grid cells, dedup, and baseline
+/// spooling while staying quick.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.suite = trace::build_quick_suite(1, 1, 2);
+  spec.suite.resize(3);
+  spec.cycles = 1500;
+  spec.warmup = 300;
+  spec.jobs = 2;
+  spec.with_fairness = true;
+  spec.progress = false;
+  spec.base = paper_baseline();
+  spec.axes = {{"scheme",
+                {{"Icount",
+                  [](core::SimConfig& c) {
+                    c.policy = policy::PolicyKind::kIcount;
+                  }},
+                 {"CDPRF", [](core::SimConfig& c) {
+                    c.policy = policy::PolicyKind::kCdprf;
+                  }}}}};
+  return spec;
+}
+
+/// Renders the sweep the way benches do, so "bit-identical tables" is
+/// checked on the actual emitted artifact bytes.
+std::string render_csv(const SweepResult& result) {
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    series.emplace_back(result.points[p].label + " thr",
+                        result.throughput(p));
+    series.emplace_back(result.points[p].label + " fair",
+                        result.fairness(p));
+  }
+  return category_table(result.suite, series, 6).to_csv();
+}
+
+TEST_F(ShardTest, WorkerCountsZeroOneFourProduceIdenticalTables) {
+  std::vector<std::string> csv;
+  std::vector<std::string> json;
+  for (const int workers : {0, 1, 4}) {
+    // Fresh cache + fresh store dir per worker count: every variant starts
+    // cold and really takes its own execution path.
+    RunCache cache;
+    cache.set_store_dir(subdir("store-" + std::to_string(workers)));
+    SweepSpec spec = small_spec();
+    spec.cache = &cache;
+    spec.shard.workers = workers;
+    spec.shard.spool_dir = subdir("spool-" + std::to_string(workers));
+    const SweepResult result = run_sweep(spec);
+    if (workers > 0) {
+      EXPECT_EQ(result.cache_misses, 0u)
+          << workers << " workers: assembly must run fully warm";
+      EXPECT_GT(result.cache_disk_hits, 0u);
+    } else {
+      EXPECT_GT(result.cache_misses, 0u) << "in-process run must simulate";
+    }
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+    for (std::size_t p = 0; p < result.points.size(); ++p) {
+      series.emplace_back(result.points[p].label, result.throughput(p));
+    }
+    csv.push_back(render_csv(result));
+    json.push_back(category_table(result.suite, series, 6).to_json());
+  }
+  EXPECT_EQ(csv[0], csv[1]) << "1 worker vs in-process";
+  EXPECT_EQ(csv[0], csv[2]) << "4 workers vs in-process";
+  EXPECT_EQ(json[0], json[1]);
+  EXPECT_EQ(json[0], json[2]);
+}
+
+TEST_F(ShardTest, WarmStoreSpawnsNoWorkersAndSpoolsNothing) {
+  RunCache cold;
+  cold.set_store_dir(subdir("store"));
+  SweepSpec spec = small_spec();
+  spec.cache = &cold;
+  (void)run_sweep(spec);  // in-process, fills the store
+
+  // Same spec, fresh cache over the warm store: the prefetch finds every
+  // cell on disk and the swarm machinery never engages.
+  RunCache warm;
+  warm.set_store_dir(subdir("store"));
+  spec.cache = &warm;
+  spec.shard.workers = 4;
+  spec.shard.spool_dir = subdir("spool");
+  const ShardStats stats = shard_prefetch(spec, spec.expand_points());
+  EXPECT_EQ(stats.served_from_store, stats.cells);
+  EXPECT_EQ(stats.spooled, 0u);
+  EXPECT_EQ(stats.workers_spawned, 0u);
+
+  const SweepResult result = run_sweep(spec);
+  EXPECT_EQ(result.cache_misses, 0u);
+}
+
+TEST_F(ShardTest, ShardWithoutCacheDirIsAnActionableError) {
+  RunCache cache;  // no store dir attached
+  SweepSpec spec = small_spec();
+  spec.cache = &cache;
+  spec.shard.workers = 2;
+  try {
+    (void)run_sweep(spec);
+    FAIL() << "expected a runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--shard-workers requires"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ShardTest, AlwaysCrashingCellExhaustsRetriesIntoPerCellError) {
+  // A 3-thread workload on a 2-thread machine: simulate_workload throws
+  // std::invalid_argument deterministically, in every worker, on every
+  // attempt. The sweep must fail with a clean per-cell error naming the
+  // cell — never hang, never leave the swarm running.
+  RunCache cache;
+  cache.set_store_dir(subdir("store"));
+  SweepSpec spec = small_spec();
+  spec.with_fairness = false;
+  spec.cache = &cache;
+  spec.shard.workers = 2;
+  spec.shard.spool_dir = subdir("spool");
+  spec.shard.max_attempts = 2;  // keep the retry churn short
+
+  trace::WorkloadSpec poison = spec.suite[0];
+  poison.name = "poison.3thread";
+  poison.threads.push_back(poison.threads[0]);
+  poison.threads.push_back(poison.threads[0]);
+  ASSERT_GT(poison.threads.size(),
+            static_cast<std::size_t>(spec.base.num_threads));
+  spec.suite = {spec.suite[1], poison};
+
+  try {
+    (void)run_sweep(spec);
+    FAIL() << "expected the poisoned cell to surface as an error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failed after"), std::string::npos) << what;
+    EXPECT_NE(what.find("poison.3thread"), std::string::npos) << what;
+  }
+
+  // The healthy cells completed and are reusable: dropping the poisoned
+  // workload, the same spec now runs entirely from the store.
+  spec.suite.pop_back();
+  spec.shard.spool_dir = subdir("spool2");
+  RunCache fresh;
+  fresh.set_store_dir(subdir("store"));
+  spec.cache = &fresh;
+  const SweepResult result = run_sweep(spec);
+  EXPECT_EQ(result.cache_misses, 0u)
+      << "healthy cells must have survived the failed sweep";
+
+  // And the spool preserved the diagnosis for post-mortem: one terminal
+  // cell per grid point (the poisoned workload keys differently under each
+  // scheme).
+  std::size_t terminal = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(subdir("spool")) / "failed")) {
+    terminal += entry.path().extension() == ".cell" ? 1 : 0;
+  }
+  EXPECT_EQ(terminal, 2u);
+}
+
+}  // namespace
+}  // namespace clusmt::harness

@@ -1,0 +1,359 @@
+// The spool work queue (harness/spool.h): cell-spec codec round-trips,
+// claim mutual exclusion under concurrent claimants, injected mid-cell
+// deaths healed by lease reclaim, attempt exhaustion turning terminal,
+// exactly-once-effective results in a shared store, and spool-dir hygiene
+// (gc_spool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/presets.h"
+#include "harness/run_key.h"
+#include "harness/run_store.h"
+#include "harness/spool.h"
+#include "trace/workload.h"
+
+namespace clusmt::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (fs::temp_directory_path() / "clusmt_spool_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+/// Distinct real cells: the quick suite's workloads on the paper baseline,
+/// keyed exactly as the sweep engine would key them.
+std::vector<SpoolCell> sample_cells(std::size_t count) {
+  const core::SimConfig config = paper_baseline();
+  const std::vector<trace::WorkloadSpec> suite =
+      trace::build_quick_suite(1, 2, 8);
+  std::vector<SpoolCell> cells;
+  for (std::size_t i = 0; i < count && i < suite.size(); ++i) {
+    SpoolCell cell;
+    cell.config = config;
+    cell.workload = suite[i];
+    cell.cycles = 2000 + 100 * static_cast<Cycle>(i);
+    cell.warmup = 500;
+    cell.key = run_key(cell.config, cell.workload, cell.cycles, cell.warmup);
+    cells.push_back(std::move(cell));
+  }
+  EXPECT_EQ(cells.size(), count) << "quick suite too small for this test";
+  return cells;
+}
+
+// ---- Cell-spec codec -----------------------------------------------------
+
+TEST_F(SpoolTest, CellSpecRoundTripReDerivesItsKey) {
+  for (const SpoolCell& cell : sample_cells(4)) {
+    const std::string record = encode_cell_spec(cell);
+    const auto decoded = decode_cell_spec(record);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->key, cell.key);
+    EXPECT_EQ(decoded->cycles, cell.cycles);
+    EXPECT_EQ(decoded->warmup, cell.warmup);
+    EXPECT_EQ(decoded->workload.name, cell.workload.name);
+    EXPECT_EQ(decoded->workload.category, cell.workload.category);
+    EXPECT_EQ(decoded->workload.type, cell.workload.type);
+    // The decisive property: the decoded spec reproduces the embedded key,
+    // i.e. every field run_key() hashes survived the round trip intact.
+    EXPECT_EQ(run_key(decoded->config, decoded->workload, decoded->cycles,
+                      decoded->warmup),
+              cell.key);
+  }
+}
+
+TEST_F(SpoolTest, CellSpecRejectsTruncationBitFlipsAndVersionBump) {
+  const SpoolCell cell = sample_cells(1)[0];
+  const std::string record = encode_cell_spec(cell);
+  ASSERT_TRUE(decode_cell_spec(record).has_value());
+
+  EXPECT_FALSE(decode_cell_spec("").has_value());
+  EXPECT_FALSE(decode_cell_spec("junk").has_value());
+  for (const std::size_t cut :
+       {record.size() - 1, record.size() / 2, std::size_t{6}}) {
+    EXPECT_FALSE(decode_cell_spec(record.substr(0, cut)).has_value())
+        << "truncated to " << cut;
+  }
+  for (const std::size_t at :
+       {std::size_t{5}, record.size() / 2, record.size() - 2}) {
+    std::string corrupt = record;
+    corrupt[at] ^= 0x20;
+    EXPECT_FALSE(decode_cell_spec(corrupt).has_value())
+        << "bit flip at " << at;
+  }
+  EXPECT_FALSE(decode_cell_spec(record + "y").has_value());
+}
+
+// ---- Claim lifecycle -----------------------------------------------------
+
+TEST_F(SpoolTest, PushClaimAckLifecycle) {
+  const Spool spool(dir_);
+  ASSERT_TRUE(spool.init_dirs());
+  const SpoolCell cell = sample_cells(1)[0];
+  ASSERT_TRUE(spool.push(cell));
+
+  SpoolCounts c = spool.counts();
+  EXPECT_EQ(c.todo, 1u);
+  EXPECT_FALSE(spool.drained());
+
+  const auto claim = spool.claim("w1");
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->cell.key, cell.key);
+  EXPECT_EQ(claim->attempt, 1);
+  c = spool.counts();
+  EXPECT_EQ(c.todo, 0u);
+  EXPECT_EQ(c.claimed, 1u);
+  EXPECT_FALSE(spool.drained()) << "a leased cell is still in flight";
+  EXPECT_FALSE(spool.claim("w2").has_value()) << "todo/ is empty";
+
+  EXPECT_TRUE(Spool::refresh_lease(*claim));
+  EXPECT_TRUE(spool.ack(*claim));
+  c = spool.counts();
+  EXPECT_EQ(c.claimed, 0u);
+  EXPECT_EQ(c.done, 1u);
+  EXPECT_TRUE(spool.drained());
+}
+
+TEST_F(SpoolTest, RacingClaimantsEachCellClaimedExactlyOnce) {
+  const Spool spool(dir_);
+  ASSERT_TRUE(spool.init_dirs());
+  const std::vector<SpoolCell> cells = sample_cells(8);
+  for (const SpoolCell& cell : cells) ASSERT_TRUE(spool.push(cell));
+
+  constexpr int kClaimants = 6;
+  std::vector<std::vector<RunKey>> claimed_by(kClaimants);
+  std::vector<std::thread> claimants;
+  for (int t = 0; t < kClaimants; ++t) {
+    claimants.emplace_back([&, t] {
+      const std::string id = "w" + std::to_string(t);
+      while (const auto claim = spool.claim(id)) {
+        claimed_by[t].push_back(claim->cell.key);
+        ASSERT_TRUE(spool.ack(*claim));
+      }
+    });
+  }
+  for (std::thread& t : claimants) t.join();
+
+  std::set<RunKey> seen;
+  std::size_t total = 0;
+  for (const auto& keys : claimed_by) {
+    for (const RunKey& key : keys) {
+      EXPECT_TRUE(seen.insert(key).second) << "cell claimed twice";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, cells.size());
+  EXPECT_TRUE(spool.drained());
+  EXPECT_EQ(spool.counts().done, cells.size());
+}
+
+// ---- Failure handling ----------------------------------------------------
+
+TEST_F(SpoolTest, LeaseReclaimRequeuesAbandonedClaimsWithBumpedAttempt) {
+  const Spool spool(dir_);
+  ASSERT_TRUE(spool.init_dirs());
+  const SpoolCell cell = sample_cells(1)[0];
+  ASSERT_TRUE(spool.push(cell));
+
+  // Claim, then "die" without acking (an injected mid-cell kill).
+  ASSERT_TRUE(spool.claim("victim").has_value());
+  EXPECT_EQ(spool.counts().claimed, 1u);
+
+  // A fresh lease must NOT be stealable.
+  EXPECT_EQ(spool.reclaim_stale(std::chrono::milliseconds(60000)), 0u);
+  EXPECT_EQ(spool.counts().claimed, 1u);
+
+  // With a zero lease the orphan is requeued, attempt bumped to 2.
+  EXPECT_EQ(spool.reclaim_stale(std::chrono::milliseconds(0)), 1u);
+  EXPECT_EQ(spool.counts().todo, 1u);
+  const auto second = spool.claim("thief");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->attempt, 2);
+  EXPECT_EQ(second->cell.key, cell.key);
+  EXPECT_TRUE(spool.ack(*second));
+  EXPECT_TRUE(spool.drained());
+}
+
+TEST_F(SpoolTest, FailuresExhaustAttemptsIntoTerminalWithMessages) {
+  const Spool spool(dir_, /*max_attempts=*/3);
+  ASSERT_TRUE(spool.init_dirs());
+  const SpoolCell cell = sample_cells(1)[0];
+  ASSERT_TRUE(spool.push(cell));
+
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    const auto claim = spool.claim("w");
+    ASSERT_TRUE(claim.has_value()) << "attempt " << attempt;
+    EXPECT_EQ(claim->attempt, attempt);
+    spool.fail(*claim, "boom " + std::to_string(attempt));
+  }
+  EXPECT_FALSE(spool.claim("w").has_value());
+  EXPECT_TRUE(spool.terminally_failed(cell.key));
+  EXPECT_TRUE(spool.drained()) << "terminal cells do not block drain";
+  const std::string messages = spool.failure_message(cell.key);
+  EXPECT_NE(messages.find("boom 1"), std::string::npos);
+  EXPECT_NE(messages.find("boom 3"), std::string::npos);
+
+  // Re-pushing the key resurrects it with a fresh attempt budget.
+  ASSERT_TRUE(spool.push(cell));
+  const auto fresh = spool.claim("w");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->attempt, 1);
+}
+
+TEST_F(SpoolTest, CorruptSpecIsQuarantinedNotClaimed) {
+  const Spool spool(dir_);
+  ASSERT_TRUE(spool.init_dirs());
+  const SpoolCell cell = sample_cells(1)[0];
+  ASSERT_TRUE(spool.push(cell));
+  // Corrupt the pending spec in place.
+  for (const auto& entry : fs::directory_iterator(fs::path(dir_) / "todo")) {
+    std::ofstream(entry.path(), std::ios::binary) << "garbage";
+  }
+  EXPECT_FALSE(spool.claim("w").has_value());
+  EXPECT_EQ(spool.counts().todo, 0u);
+  EXPECT_TRUE(spool.terminally_failed(cell.key));
+}
+
+// ---- The swarm shape: concurrent claimants + injected kills --------------
+
+TEST_F(SpoolTest, SwarmWithInjectedKillsDrainsExactlyOnceEffective) {
+  // 6 claimant threads drain 10 cells through one spool into one shared
+  // store. Each claimant abandons its first claim (simulating a kill mid-
+  // cell) and relies on lease reclaim to heal; the "result" written is a
+  // deterministic function of the key, so exactly-once-EFFECTIVE is
+  // checked by the store holding the right record for every key at the
+  // end, with no key lost or corrupted.
+  const Spool spool(dir_ + "/spool", /*max_attempts=*/10);
+  ASSERT_TRUE(spool.init_dirs());
+  const RunStore store(dir_ + "/store");
+  const std::vector<SpoolCell> cells = sample_cells(10);
+  for (const SpoolCell& cell : cells) ASSERT_TRUE(spool.push(cell));
+
+  const auto result_of = [](const SpoolCell& cell) {
+    RunResult r;
+    r.workload = cell.workload.name;
+    r.throughput = static_cast<double>(cell.key.lo % 1000) / 10.0;
+    return r;
+  };
+
+  std::atomic<std::size_t> completed{0};
+  constexpr int kClaimants = 6;
+  std::vector<std::thread> claimants;
+  for (int t = 0; t < kClaimants; ++t) {
+    claimants.emplace_back([&, t] {
+      const std::string id = "w" + std::to_string(t);
+      bool killed_once = false;
+      while (true) {
+        const auto claim = spool.claim(id);
+        if (!claim) {
+          if (spool.drained()) return;
+          // Steal abandoned leases. The lease is long relative to cell
+          // execution, as in production — live claims must NOT be stolen.
+          (void)spool.reclaim_stale(std::chrono::minutes(5));
+          std::this_thread::yield();
+          continue;
+        }
+        if (!killed_once) {
+          // Die mid-cell: no result, no ack, no fail. Backdating the
+          // lease stands in for the heartbeat a dead worker stops
+          // sending.
+          killed_once = true;
+          fs::last_write_time(claim->path, fs::file_time_type::clock::now() -
+                                               std::chrono::hours(1));
+          continue;
+        }
+        ASSERT_TRUE(store.save(claim->cell.key, result_of(claim->cell)));
+        if (spool.ack(*claim)) completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : claimants) t.join();
+
+  EXPECT_TRUE(spool.drained());
+  EXPECT_EQ(completed.load(), cells.size());
+  for (const SpoolCell& cell : cells) {
+    const auto loaded = store.load(cell.key);
+    ASSERT_TRUE(loaded.has_value()) << cell.workload.name;
+    EXPECT_EQ(loaded->workload, cell.workload.name);
+    EXPECT_EQ(loaded->throughput, result_of(cell).throughput);
+  }
+}
+
+// ---- Spool hygiene (cache_gc spool) --------------------------------------
+
+TEST_F(SpoolTest, GcReclaimsOrphansAndExpiresOldEntries) {
+  const Spool spool(dir_);
+  ASSERT_TRUE(spool.init_dirs());
+  const std::vector<SpoolCell> cells = sample_cells(3);
+  for (const SpoolCell& cell : cells) ASSERT_TRUE(spool.push(cell));
+
+  // Cell 0: acked long ago. Cell 1: orphaned claim. Cell 2: stays pending.
+  const auto done_claim = spool.claim("old");
+  ASSERT_TRUE(done_claim.has_value());
+  ASSERT_TRUE(spool.ack(*done_claim));
+  const fs::path done_dir = fs::path(dir_) / "done";
+  for (const auto& entry : fs::directory_iterator(done_dir)) {
+    fs::last_write_time(entry.path(), fs::file_time_type::clock::now() -
+                                          std::chrono::hours(48));
+  }
+  const auto orphan = spool.claim("dead-worker");
+  ASSERT_TRUE(orphan.has_value());
+  fs::last_write_time(orphan->path, fs::file_time_type::clock::now() -
+                                        std::chrono::hours(2));
+
+  SpoolGcOptions dry;
+  dry.lease = std::chrono::seconds(300);
+  dry.done_ttl = std::chrono::seconds(24 * 3600);
+  dry.dry_run = true;
+  const SpoolGcResult planned = gc_spool(dir_, dry);
+  EXPECT_EQ(planned.reclaimed, 1u);
+  EXPECT_EQ(planned.deleted_done, 1u);
+  EXPECT_EQ(spool.counts().done, 1u) << "dry run must not delete";
+  EXPECT_EQ(spool.counts().claimed, 1u) << "dry run must not requeue";
+
+  SpoolGcOptions wet = dry;
+  wet.dry_run = false;
+  const SpoolGcResult swept = gc_spool(dir_, wet);
+  EXPECT_EQ(swept.reclaimed, 1u);
+  EXPECT_EQ(swept.deleted_done, 1u);
+  const SpoolCounts after = spool.counts();
+  EXPECT_EQ(after.done, 0u);
+  EXPECT_EQ(after.claimed, 0u);
+  EXPECT_EQ(after.todo, 2u) << "orphan requeued next to the pending cell";
+
+  // The requeued orphan claims with a bumped attempt.
+  std::set<int> attempts;
+  while (const auto claim = spool.claim("w")) {
+    attempts.insert(claim->attempt);
+    ASSERT_TRUE(spool.ack(*claim));
+  }
+  EXPECT_EQ(attempts, (std::set<int>{1, 2}));
+
+  const SpoolGcResult missing =
+      gc_spool(dir_ + "/nope", SpoolGcOptions{});
+  EXPECT_EQ(missing.scanned, 0u);
+}
+
+}  // namespace
+}  // namespace clusmt::harness

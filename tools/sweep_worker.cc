@@ -1,0 +1,228 @@
+// Spool worker: the execution half of the sharded sweep protocol
+// (harness/spool.h, harness/shard.h). A long-running process that loops
+// claim -> simulate -> spill to the shared --cache-dir RunStore -> ack,
+// exiting when the spool drains or after --idle-timeout-ms without work.
+// Run one (or several) per host against a shared spool directory; the
+// coordinator bench spawns local ones itself via --shard-workers.
+//
+// Usage:
+//   sweep_worker --spool-dir D --cache-dir C [--jobs N] [--lease-ms M]
+//                [--max-attempts K] [--idle-timeout-ms T] [--worker-id ID]
+//
+// --spool-dir / --cache-dir fall back to $CLUSMT_SPOOL_DIR /
+// $CLUSMT_CACHE_DIR. --jobs (claimant threads, each simulating one cell at
+// a time) falls back to $CLUSMT_JOBS, then all cores; the value is
+// re-exported as $CLUSMT_JOBS so nothing below oversubscribes. The tape
+// registry stays warm across cells, so a worker pays each (profile, seed)
+// trace recording once per process.
+//
+// Robustness: claims are leases — a heartbeat thread refreshes their mtime
+// every lease/3, and a claim whose holder dies goes stale and is stolen
+// (by this worker's own idle loop, a sibling, or the coordinator). A cell
+// whose simulation throws is failed back into the queue with its message;
+// after --max-attempts failures it turns terminal. Duplicate execution
+// after a steal is harmless: results are content-keyed and byte-identical.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/cli.h"
+#include "harness/run_cache.h"
+#include "harness/run_key.h"
+#include "harness/runner.h"
+#include "harness/spool.h"
+
+using namespace clusmt;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --spool-dir D --cache-dir C [--jobs N] [--lease-ms M]\n"
+      "          [--max-attempts K] [--idle-timeout-ms T] [--worker-id ID]\n"
+      "--spool-dir/--cache-dir fall back to $CLUSMT_SPOOL_DIR /\n"
+      "$CLUSMT_CACHE_DIR; --jobs to $CLUSMT_JOBS, then all cores.\n",
+      argv0);
+  std::exit(2);
+}
+
+std::string flag_or_env(const CliArgs& args, const std::string& flag,
+                        const char* env) {
+  std::string value = args.get_string(flag, "");
+  if (value.empty()) {
+    if (const char* e = std::getenv(env)) value = e;
+  }
+  return value;
+}
+
+/// Claims held by live claimant threads, heartbeat-refreshed as a set.
+class LeaseTable {
+ public:
+  void add(const harness::Spool::Claim& claim) {
+    std::lock_guard lock(mutex_);
+    paths_.push_back(claim.path);
+  }
+  void remove(const harness::Spool::Claim& claim) {
+    std::lock_guard lock(mutex_);
+    std::erase(paths_, claim.path);
+  }
+  void refresh_all() const {
+    std::lock_guard lock(mutex_);
+    for (const std::string& path : paths_) {
+      std::error_code ec;
+      std::filesystem::last_write_time(
+          path, std::filesystem::file_time_type::clock::now(), ec);
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> paths_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string spool_dir = flag_or_env(args, "spool-dir",
+                                            "CLUSMT_SPOOL_DIR");
+  const std::string cache_dir = flag_or_env(args, "cache-dir",
+                                            "CLUSMT_CACHE_DIR");
+  if (spool_dir.empty() || cache_dir.empty()) usage(argv[0]);
+
+  std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  if (jobs == 0) {
+    if (const char* env = std::getenv("CLUSMT_JOBS")) {
+      jobs = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  // Re-export the budget: any nested ThreadPool(0) in this process obeys
+  // the coordinator's core division instead of grabbing every core.
+  setenv("CLUSMT_JOBS", std::to_string(jobs).c_str(), 1);
+
+  const int lease_ms = static_cast<int>(args.get_int("lease-ms", 15000));
+  const int max_attempts = static_cast<int>(args.get_int(
+      "max-attempts", harness::Spool::kDefaultMaxAttempts));
+  const int idle_timeout_ms =
+      static_cast<int>(args.get_int("idle-timeout-ms", 10000));
+  std::string worker_id = args.get_string("worker-id", "");
+  if (worker_id.empty()) worker_id = "w" + std::to_string(getpid());
+
+  harness::RunCache& cache = harness::RunCache::instance();
+  cache.set_store_dir(cache_dir);
+  const harness::RunStore store(cache_dir);
+  const harness::Spool spool(spool_dir, max_attempts);
+  if (!spool.init_dirs()) {
+    std::fprintf(stderr, "error: cannot open spool %s\n", spool_dir.c_str());
+    return 1;
+  }
+
+  LeaseTable leases;
+  std::atomic<bool> stop{false};
+  std::thread heartbeat([&] {
+    const auto period =
+        std::chrono::milliseconds(std::max(50, lease_ms / 3));
+    while (!stop.load(std::memory_order_relaxed)) {
+      leases.refresh_all();
+      std::this_thread::sleep_for(period);
+    }
+  });
+
+  std::atomic<std::uint64_t> simulated{0};
+  std::atomic<std::uint64_t> failed{0};
+  const auto claimant = [&] {
+    auto last_work = std::chrono::steady_clock::now();
+    while (true) {
+      std::optional<harness::Spool::Claim> claim = spool.claim(worker_id);
+      if (!claim) {
+        if (spool.drained()) return;
+        // Straggler stealing: requeue siblings' stale leases while idle.
+        (void)spool.reclaim_stale(std::chrono::milliseconds(lease_ms));
+        if (std::chrono::steady_clock::now() - last_work >
+            std::chrono::milliseconds(idle_timeout_ms)) {
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      last_work = std::chrono::steady_clock::now();
+      const harness::SpoolCell& cell = claim->cell;
+      // Refuse cells whose spec no longer reproduces its own key: the
+      // codec and hash_config/hash_trace drifted apart (a knob added to
+      // one but not the other), and simulating would file a wrong-machine
+      // result under this key.
+      if (!(harness::run_key(cell.config, cell.workload, cell.cycles,
+                             cell.warmup) == cell.key)) {
+        spool.fail(*claim, "cell spec does not re-derive its key "
+                           "(spool codec / run_key drift)");
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      leases.add(*claim);
+      bool ok = false;
+      std::string error;
+      try {
+        // Through the cache: a cell stolen-and-finished elsewhere loads
+        // from the store instead of re-simulating, and the tape registry
+        // underneath keeps (profile, seed) recordings warm per process.
+        (void)cache.get_or_run(cell.key, [&] {
+          return harness::simulate_workload(cell.config, cell.workload,
+                                            cell.cycles, cell.warmup);
+        });
+        ok = true;
+      } catch (const std::exception& e) {
+        error = e.what();
+      } catch (...) {
+        error = "unknown exception";
+      }
+      leases.remove(*claim);
+      if (ok) {
+        // The ack contract is "the result is durably in the store": the
+        // cache's spill is best-effort, so verify and retry before acking.
+        std::error_code ec;
+        if (!std::filesystem::exists(store.path_of(cell.key), ec)) {
+          ok = store.save(cell.key,
+                          cache.get_or_run(cell.key, [&] {
+                            return harness::simulate_workload(
+                                cell.config, cell.workload, cell.cycles,
+                                cell.warmup);
+                          }));
+        }
+      }
+      if (!ok) {
+        spool.fail(*claim, error.empty() ? "run store write failed" : error);
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      (void)spool.ack(*claim);
+      simulated.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> claimants;
+  claimants.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) claimants.emplace_back(claimant);
+  for (std::thread& t : claimants) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  heartbeat.join();
+
+  std::fprintf(stderr,
+               "[worker %s] %llu cells done, %llu failed attempts, exiting "
+               "(%s)\n",
+               worker_id.c_str(),
+               static_cast<unsigned long long>(
+                   simulated.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   failed.load(std::memory_order_relaxed)),
+               spool.drained() ? "spool drained" : "idle timeout");
+  return 0;
+}
