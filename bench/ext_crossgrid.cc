@@ -48,8 +48,8 @@ int main(int argc, char** argv) {
       {"iq32:32", [](core::SimConfig&) {}},
       {"iq48:16",
        [](core::SimConfig& c) {
-         c.iq_entries_c[0] = 48;
-         c.iq_entries_c[1] = 16;
+         c.shape[0].iq_entries = 48;
+         c.shape[1].iq_entries = 16;
        }}};
   spec.label_fn = [](const std::vector<std::string>& parts) {
     return parts[0] + "@" + parts[1] + "/" + parts[2] + "/" + parts[3];

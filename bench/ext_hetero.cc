@@ -1,0 +1,84 @@
+// Extension survey (beyond the paper's figures): heterogeneous cluster
+// shapes. The paper evaluates its 14 schemes only on identical clusters;
+// real clustered machines are P+E asymmetric. This sweeps every scheme
+// across four machine shapes on the Table 1 register-file baseline:
+//
+//   sym       the homogeneous paper machine (cache-shared with the
+//             paper-figure benches)
+//   w4:2      2:1 issue width — cluster 0 gets 4 ports, cluster 1 gets 2
+//   iq48:16   asymmetric IQ and register file at a fixed total
+//             (48/16 IQ entries, 96/32 registers of each class)
+//   far4      a far interconnect: every cross-cluster copy takes 4 cycles
+//             (the per-pair link matrix, links/bandwidth unchanged)
+//
+// The table is normalised to Icount on the symmetric machine, so each
+// column reads as "scheme throughput on this shape vs the flat baseline"
+// — which schemes degrade gracefully on asymmetric hardware, and which
+// ones collapse.
+//
+// The shared shape flags (--width=4,2, --iq=48,16, --int-regs, --fp-regs,
+// --link; see harness/shape_flags.h) move the *base* machine of the whole
+// grid; the shape axis then applies its own overrides on top.
+#include "bench_util.h"
+#include "harness/presets.h"
+#include "harness/shape_flags.h"
+
+using namespace clusmt;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt =
+      bench::BenchOptions::parse(argc, argv, /*default_cycles=*/120000);
+  const CliArgs args(argc, argv);
+  const auto suite = opt.suite();
+  if (opt.handle_list(suite)) return 0;
+
+  harness::SweepSpec spec = opt.sweep(suite);
+  spec.base = harness::rf_study_config(64);
+  harness::apply_shape_flags(args, spec.base);
+
+  spec.axes = {bench::scheme_axis(policy::all_policy_kinds()),
+               {"shape",
+                {{"sym", [](core::SimConfig&) {}},
+                 {"w4:2",
+                  [](core::SimConfig& c) {
+                    c.shape[0].issue_width = 4;
+                    c.shape[1].issue_width = 2;
+                  }},
+                 {"iq48:16",
+                  [](core::SimConfig& c) {
+                    c.shape[0].iq_entries = 48;
+                    c.shape[1].iq_entries = 16;
+                    c.shape[0].int_regs = 96;
+                    c.shape[1].int_regs = 32;
+                    c.shape[0].fp_regs = 96;
+                    c.shape[1].fp_regs = 32;
+                  }},
+                 {"far4",
+                  [](core::SimConfig& c) {
+                    for (int from = 0; from < c.num_clusters; ++from) {
+                      for (int to = 0; to < c.num_clusters; ++to) {
+                        if (from != to) c.link_latency_cc[from][to] = 4;
+                      }
+                    }
+                  }}}}};
+  spec.label_fn = [](const std::vector<std::string>& parts) {
+    return parts[0] + "@" + parts[1];
+  };
+
+  const harness::SweepResult res = harness::run_sweep(spec);
+
+  // Normalise to the flat paper machine: Icount on the symmetric shape.
+  const auto baseline = res.throughput(res.point_index("Icount@sym"));
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    series.emplace_back(res.points[p].label,
+                        harness::ratio_to_baseline(res.throughput(p),
+                                                   baseline));
+  }
+
+  bench::emit_category_table(
+      "Extension — scheme x heterogeneous cluster shape "
+      "(vs Icount @ symmetric)",
+      suite, series, opt);
+  return 0;
+}

@@ -1,6 +1,7 @@
 // One back-end cluster: issue queue, the two physical register files
-// (integer and FP/SIMD) and the three issue ports. The core's pipeline
-// stages orchestrate these structures; the cluster only owns state.
+// (integer and FP/SIMD) and the issue ports (three in the paper's Table 1
+// shape; heterogeneous grids vary the width). The core's pipeline stages
+// orchestrate these structures; the cluster only owns state.
 #pragma once
 
 #include <memory>
@@ -16,6 +17,7 @@ struct ClusterConfig {
   int iq_entries = 32;       // per-cluster issue queue (Table 1: 32-64)
   int int_registers = 128;   // 0 = unbounded (Figure 2 methodology)
   int fp_registers = 128;    // 0 = unbounded
+  int issue_width = PortSet::kNumPorts;  // issue ports (Table 1: 3)
 };
 
 class Cluster {
@@ -23,7 +25,8 @@ class Cluster {
   explicit Cluster(const ClusterConfig& config)
       : iq_(config.iq_entries),
         int_rf_(config.int_registers),
-        fp_rf_(config.fp_registers) {}
+        fp_rf_(config.fp_registers),
+        ports_(config.issue_width) {}
 
   [[nodiscard]] IssueQueue& iq() noexcept { return iq_; }
   [[nodiscard]] const IssueQueue& iq() const noexcept { return iq_; }

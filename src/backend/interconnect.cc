@@ -10,6 +10,14 @@ Interconnect::Interconnect(int num_links, int latency_cycles)
   if (latency_cycles < 0) throw std::invalid_argument("negative latency");
 }
 
+void Interconnect::set_pair_latency(int from, int to, int latency_cycles) {
+  if (from < 0 || from >= kMaxClusters || to < 0 || to >= kMaxClusters) {
+    throw std::invalid_argument("cluster pair out of range");
+  }
+  if (latency_cycles < 0) throw std::invalid_argument("negative latency");
+  pair_latency_[from][to] = latency_cycles;
+}
+
 bool Interconnect::try_acquire() noexcept {
   if (used_this_cycle_ >= num_links_) {
     ++stats_.denied;

@@ -1,6 +1,8 @@
 // Inter-cluster interconnection network (paper Table 1): two point-to-point
 // links of one-cycle latency. Copy µops arbitrate for a link slot in their
 // issue cycle; link bandwidth is the global copies-per-cycle budget.
+// Heterogeneous grids may override the latency per cluster pair
+// (set_pair_latency); unset pairs keep the shared base latency.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +26,14 @@ class Interconnect {
   bool try_acquire() noexcept;
 
   [[nodiscard]] int latency() const noexcept { return latency_; }
+  /// Copy latency from cluster `from` to cluster `to` (pair override,
+  /// else the shared base latency).
+  [[nodiscard]] int latency(int from, int to) const noexcept {
+    const int v = pair_latency_[from][to];
+    return v > 0 ? v : latency_;
+  }
+  /// Overrides one directed pair's latency (0 restores the base).
+  void set_pair_latency(int from, int to, int latency_cycles);
   [[nodiscard]] int num_links() const noexcept { return num_links_; }
   [[nodiscard]] const InterconnectStats& stats() const noexcept {
     return stats_;
@@ -33,6 +43,7 @@ class Interconnect {
  private:
   int num_links_;
   int latency_;
+  int pair_latency_[kMaxClusters][kMaxClusters] = {};  // 0 = base latency
   int used_this_cycle_ = 0;
   InterconnectStats stats_;
 };

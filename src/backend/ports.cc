@@ -4,25 +4,30 @@ namespace clusmt::backend {
 
 bool PortSet::try_book(trace::PortClass cls) noexcept {
   // Prefer the most restrictive compatible port first so integer µops do
-  // not needlessly consume the FP/SIMD-capable ports: for int, try port 2
-  // (shared with mem) last.
+  // not needlessly consume the FP/SIMD-capable ports: for int, try the
+  // last port (shared with mem) last. Ascending order does exactly that
+  // under the generalized mix (mem port is always the last index).
   switch (cls) {
-    case trace::PortClass::kFpSimd:
-      for (int p : {0, 1}) {
+    case trace::PortClass::kFpSimd: {
+      const int fp_ports = num_ports_ == 1 ? 1 : num_ports_ - 1;
+      for (int p = 0; p < fp_ports; ++p) {
         if (!busy_[p]) {
           busy_[p] = true;
           return true;
         }
       }
       return false;
-    case trace::PortClass::kMem:
-      if (!busy_[2]) {
-        busy_[2] = true;
+    }
+    case trace::PortClass::kMem: {
+      const int mem_port = num_ports_ - 1;
+      if (!busy_[mem_port]) {
+        busy_[mem_port] = true;
         return true;
       }
       return false;
+    }
     case trace::PortClass::kInt:
-      for (int p : {0, 1, 2}) {
+      for (int p = 0; p < num_ports_; ++p) {
         if (!busy_[p]) {
           busy_[p] = true;
           return true;
@@ -35,8 +40,8 @@ bool PortSet::try_book(trace::PortClass cls) noexcept {
 
 int PortSet::free_compatible(trace::PortClass cls) const noexcept {
   int count = 0;
-  for (int p = 0; p < kNumPorts; ++p) {
-    if (!busy_[p] && compatible(p, cls)) ++count;
+  for (int p = 0; p < num_ports_; ++p) {
+    if (!busy_[p] && compatible(p, cls, num_ports_)) ++count;
   }
   return count;
 }

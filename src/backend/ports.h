@@ -1,8 +1,11 @@
-// Issue-port model of one cluster (paper Table 1):
+// Issue-port model of one cluster. At the paper's width of 3 (Table 1):
 //   Port 0: int, fp, simd     Port 1: int, fp, simd     Port 2: int, mem
-// Each port accepts one µop per cycle. Figure 5's workload-imbalance
-// accounting asks, per port class, whether a cluster had a free compatible
-// port after selection — exposed here via free_compatible().
+// Heterogeneous grids vary the width per cluster; the mix generalizes as
+// "last port is int+mem, every earlier port is int+fp/simd" (a width-1
+// cluster has one universal port), which reproduces Table 1 exactly at
+// width 3. Each port accepts one µop per cycle. Figure 5's workload-
+// imbalance accounting asks, per port class, whether a cluster had a free
+// compatible port after selection — exposed here via free_compatible().
 #pragma once
 
 #include <array>
@@ -13,7 +16,13 @@ namespace clusmt::backend {
 
 class PortSet {
  public:
-  static constexpr int kNumPorts = 3;
+  static constexpr int kNumPorts = 3;  // paper Table 1 width
+  static constexpr int kMaxPorts = 8;  // hard bound on per-cluster width
+
+  PortSet() noexcept = default;
+  explicit PortSet(int num_ports) noexcept : num_ports_(num_ports) {}
+
+  [[nodiscard]] int num_ports() const noexcept { return num_ports_; }
 
   /// Resets all ports to free (start of cycle).
   void new_cycle() noexcept { busy_ = {}; }
@@ -30,25 +39,30 @@ class PortSet {
 
   /// True when every port is booked this cycle (no class can issue).
   [[nodiscard]] bool all_booked() const noexcept {
-    return busy_[0] && busy_[1] && busy_[2];
+    for (int p = 0; p < num_ports_; ++p) {
+      if (!busy_[p]) return false;
+    }
+    return true;
   }
 
-  /// Static compatibility: can `port` execute µops of `cls`?
+  /// Compatibility under the generalized mix: can `port` of a
+  /// `num_ports`-wide cluster execute µops of `cls`?
   [[nodiscard]] static constexpr bool compatible(
-      int port, trace::PortClass cls) noexcept {
+      int port, trace::PortClass cls, int num_ports = kNumPorts) noexcept {
     switch (cls) {
       case trace::PortClass::kInt:
-        return true;  // all three ports execute integer µops
+        return true;  // every port executes integer µops
       case trace::PortClass::kFpSimd:
-        return port == 0 || port == 1;
+        return num_ports == 1 || port < num_ports - 1;
       case trace::PortClass::kMem:
-        return port == 2;
+        return port == num_ports - 1;
     }
     return false;
   }
 
  private:
-  std::array<bool, kNumPorts> busy_ = {};
+  int num_ports_ = kNumPorts;
+  std::array<bool, kMaxPorts> busy_ = {};
 };
 
 }  // namespace clusmt::backend

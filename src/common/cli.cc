@@ -82,6 +82,36 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   return value;
 }
 
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return {};
+  std::vector<std::int64_t> values;
+  const std::string& text = it->second;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token = text.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    const char* begin = token.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const std::int64_t value = std::strtoll(begin, &end, 10);
+    if (end == begin || *end != '\0' || errno == ERANGE) {
+      die_bad_value(name, text, "a comma-separated list of integers");
+    }
+    if (value < 0) {
+      die_bad_value(name, text,
+                    "a comma-separated list of non-negative integers");
+    }
+    values.push_back(value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

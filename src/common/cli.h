@@ -24,6 +24,13 @@ class CliArgs {
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
+  /// Comma-separated integer list ("--iq=48,16"); empty when the flag is
+  /// absent. Junk tokens, empty elements ("48,,16", trailing comma),
+  /// negative values and out-of-range literals are all usage errors that
+  /// exit(2) — arity checks are the caller's job (the list length is
+  /// context-dependent).
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
   /// Non-flag positional arguments in order.

@@ -48,29 +48,54 @@ Simulator::Simulator(const SimConfig& config)
   if (config.memory.l1_latency < 1) {
     throw std::invalid_argument("memory.l1_latency must be >= 1");
   }
+  // Heterogeneous shape overrides: negative values are always malformed,
+  // and a width override must fit the port model. Only the clusters that
+  // exist are checked — trailing shape slots are inert.
+  for (int c = 0; c < config.num_clusters; ++c) {
+    const ClusterShape& s = config.shape[c];
+    if (s.issue_width < 0 || s.iq_entries < 0 || s.int_regs < 0 ||
+        s.fp_regs < 0) {
+      throw std::invalid_argument("negative cluster shape override");
+    }
+    if (config.effective_issue_width(c) < 1 ||
+        config.effective_issue_width(c) > backend::PortSet::kMaxPorts) {
+      throw std::invalid_argument("issue width out of range");
+    }
+    // Unbounded register mode is a machine-wide policy branch
+    // (rf_unbounded); mixing it with per-cluster bounded files would make
+    // the policies' global view a lie. Reject the combination.
+    if (config.rf_unbounded() && (s.int_regs > 0 || s.fp_regs > 0)) {
+      throw std::invalid_argument(
+          "per-cluster register override with unbounded register mode");
+    }
+    for (int to = 0; to < config.num_clusters; ++to) {
+      if (config.link_latency_cc[c][to] < 0) {
+        throw std::invalid_argument("negative pair link latency");
+      }
+    }
+  }
   // Committed architectural mappings alone pin num_threads x arch-regs
   // physical registers of each class; without headroom on top, renaming
   // eventually starves with every ROB empty and nothing left to commit —
   // a silent machine-wide wedge, not a slow configuration. Reject it.
   // (The paper's two-thread setups all pass; four threads need the
   // 128-registers-per-cluster end of Table 1's range.)
-  const struct {
-    int per_cluster;
-    int arch;
-    const char* what;
-  } reg_floors[] = {
-      {config.int_regs, kNumIntArchRegs, "integer"},
-      {config.fp_regs, kNumFpArchRegs, "FP/SIMD"},
-  };
-  for (const auto& floor : reg_floors) {
-    if (floor.per_cluster == 0) continue;  // unbounded mode
-    const int total = floor.per_cluster * config.num_clusters;
-    const int committed_floor = config.num_threads * floor.arch;
+  for (const RegClass cls : {RegClass::kInt, RegClass::kFp}) {
+    const bool is_int = cls == RegClass::kInt;
+    if ((is_int ? config.int_regs : config.fp_regs) == 0) {
+      continue;  // unbounded mode
+    }
+    int total = 0;
+    for (int c = 0; c < config.num_clusters; ++c) {
+      total += config.effective_regs(c, cls);
+    }
+    const int arch = is_int ? kNumIntArchRegs : kNumFpArchRegs;
+    const int committed_floor = config.num_threads * arch;
     if (total < committed_floor + config.rename_width) {
       std::ostringstream err;
-      err << "config: " << total << " total " << floor.what
+      err << "config: " << total << " total " << (is_int ? "integer" : "FP/SIMD")
           << " physical registers cannot back " << config.num_threads
-          << " threads x " << floor.arch
+          << " threads x " << arch
           << " architectural registers plus rename headroom ("
           << committed_floor + config.rename_width << " required)";
       throw std::invalid_argument(err.str());
@@ -98,12 +123,29 @@ Simulator::Simulator(const SimConfig& config)
   for (int c = 0; c < config.num_clusters; ++c) {
     clusters_.emplace_back(
         backend::ClusterConfig{.iq_entries = config.effective_iq_entries(c),
-                               .int_registers = config.int_regs,
-                               .fp_registers = config.fp_regs});
+                               .int_registers = config.effective_int_regs(c),
+                               .fp_registers = config.effective_fp_regs(c),
+                               .issue_width = config.effective_issue_width(c)});
+  }
+  // Capability-aware steering: balance loads relative to each cluster's IQ
+  // capacity (the identity scale when all clusters match).
+  {
+    int caps[kMaxClusters] = {};
+    for (int c = 0; c < config.num_clusters; ++c) {
+      caps[c] = config.effective_iq_entries(c);
+    }
+    steering_.set_capacities(
+        std::span<const int>(caps, config.num_clusters));
   }
 
   interconnect_ = std::make_unique<backend::Interconnect>(
       config.num_links, config.link_latency);
+  for (int from = 0; from < config.num_clusters; ++from) {
+    for (int to = 0; to < config.num_clusters; ++to) {
+      interconnect_->set_pair_latency(from, to,
+                                      config.link_latency_cc[from][to]);
+    }
+  }
   hierarchy_ = std::make_unique<memory::MemoryHierarchy>(config.memory);
   mob_ = std::make_unique<memory::MemOrderBuffer>(config.mob_entries);
 
@@ -209,6 +251,12 @@ void Simulator::init_view() {
   }
   view_.rf_capacity[0] = clusters_[0].rf(RegClass::kInt).capacity();
   view_.rf_capacity[1] = clusters_[0].rf(RegClass::kFp).capacity();
+  view_.issue_width = config_.issue_width;
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    view_.rf_capacity_c[c][0] = clusters_[c].rf(RegClass::kInt).capacity();
+    view_.rf_capacity_c[c][1] = clusters_[c].rf(RegClass::kFp).capacity();
+    view_.issue_width_c[c] = clusters_[c].ports().num_ports();
+  }
   view_.rf_unbounded = config_.rf_unbounded();
   for (int c = 0; c < config_.num_clusters; ++c) {
     view_.iq_occ[c] = clusters_[c].iq().occupancy();
@@ -512,7 +560,11 @@ void Simulator::dispatch_event(EventKind kind, ThreadId tid, int rob_slot,
           // The copy's value crosses the interconnect; retry next cycle
           // when both links are busy.
           if (interconnect_->try_acquire()) {
-            schedule(now_ + static_cast<Cycle>(config_.link_latency),
+            // A copy µop sits in the producer's cluster and writes the
+            // consumer's (uop->cluster → dst.cluster); heterogeneous
+            // grids may place that pair near or far.
+            schedule(now_ + static_cast<Cycle>(interconnect_->latency(
+                                uop->cluster, uop->dst.cluster)),
                      EventKind::kCopyArrive, *uop);
           } else {
             schedule(now_ + 1, EventKind::kComplete, *uop);
@@ -905,8 +957,13 @@ int Simulator::try_rename_front(ThreadId tid, ClusterId forced) {
     int order_len = 0;
     for (int c = 0; c < num_clusters; ++c) {
       if (c == preferred) continue;
+      // Capacity-scaled like the steering comparisons (identity on
+      // homogeneous grids), so fallback order also respects shape.
+      const int load = steering_.scaled_load(c, iq_occ[c]);
       int pos = order_len++;
-      while (pos > 0 && iq_occ[order[pos - 1]] > iq_occ[c]) {
+      while (pos > 0 &&
+             steering_.scaled_load(order[pos - 1], iq_occ[order[pos - 1]]) >
+                 load) {
         order[pos] = order[pos - 1];
         --pos;
       }

@@ -27,13 +27,22 @@ void hash_config(Fnv1a& h, const core::SimConfig& c) {
 
   h.add(c.rob_entries);
   h.add(c.iq_entries);
-  for (int i = 0; i < kMaxClusters; ++i) h.add(c.iq_entries_c[i]);
   h.add(c.int_regs);
   h.add(c.fp_regs);
+  h.add(c.issue_width);
   h.add(c.mob_entries);
   h.add(c.num_links);
   h.add(c.link_latency);
   h.add(c.l1_write_ports);
+  for (int i = 0; i < kMaxClusters; ++i) {
+    h.add(c.shape[i].issue_width);
+    h.add(c.shape[i].iq_entries);
+    h.add(c.shape[i].int_regs);
+    h.add(c.shape[i].fp_regs);
+  }
+  for (int i = 0; i < kMaxClusters; ++i) {
+    for (int j = 0; j < kMaxClusters; ++j) h.add(c.link_latency_cc[i][j]);
+  }
 
   h.add(c.memory.l1_size);
   h.add(c.memory.l1_assoc);

@@ -26,7 +26,7 @@ namespace clusmt::harness {
 /// Bump whenever the record layout changes — a field added to RunResult or
 /// core::SimStats, a string re-ordered, kMaxThreads resized. Old records
 /// then read as misses instead of deserializing garbage.
-inline constexpr std::uint32_t kRunStoreFormatVersion = 1;
+inline constexpr std::uint32_t kRunStoreFormatVersion = 2;  // v2: ClusterShape keys
 
 /// Serializes `result` (with its `key`) to a self-contained record.
 [[nodiscard]] std::string encode_run_record(const RunKey& key,

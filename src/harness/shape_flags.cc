@@ -1,0 +1,76 @@
+#include "harness/shape_flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace clusmt::harness {
+
+namespace {
+
+[[noreturn]] void die_arity(const char* flag, std::size_t got,
+                            std::size_t want) {
+  std::fprintf(stderr,
+               "error: --%s expects %zu comma-separated values (one per "
+               "cluster%s), got %zu\n",
+               flag, want, std::string(flag) == "link" ? " pair" : "", got);
+  std::exit(2);
+}
+
+/// Fetches --`flag` and enforces one element per cluster (`want`).
+std::vector<std::int64_t> cluster_list(const CliArgs& args, const char* flag,
+                                       std::size_t want) {
+  std::vector<std::int64_t> values = args.get_int_list(flag);
+  if (!values.empty() && values.size() != want) {
+    die_arity(flag, values.size(), want);
+  }
+  return values;
+}
+
+}  // namespace
+
+bool has_shape_flags(const CliArgs& args) {
+  for (const char* flag :
+       {"clusters", "width", "iq", "int-regs", "fp-regs", "link"}) {
+    if (args.has(flag)) return true;
+  }
+  return false;
+}
+
+void apply_shape_flags(const CliArgs& args, core::SimConfig& config) {
+  const std::int64_t clusters =
+      args.get_int("clusters", config.num_clusters);
+  if (clusters < 1 || clusters > kMaxClusters) {
+    std::fprintf(stderr, "error: --clusters expects 1..%d, got %lld\n",
+                 kMaxClusters, static_cast<long long>(clusters));
+    std::exit(2);
+  }
+  config.num_clusters = static_cast<int>(clusters);
+  const auto n = static_cast<std::size_t>(config.num_clusters);
+
+  const std::vector<std::int64_t> width = cluster_list(args, "width", n);
+  const std::vector<std::int64_t> iq = cluster_list(args, "iq", n);
+  const std::vector<std::int64_t> int_regs =
+      cluster_list(args, "int-regs", n);
+  const std::vector<std::int64_t> fp_regs = cluster_list(args, "fp-regs", n);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!width.empty()) config.shape[c].issue_width = static_cast<int>(width[c]);
+    if (!iq.empty()) config.shape[c].iq_entries = static_cast<int>(iq[c]);
+    if (!int_regs.empty()) {
+      config.shape[c].int_regs = static_cast<int>(int_regs[c]);
+    }
+    if (!fp_regs.empty()) {
+      config.shape[c].fp_regs = static_cast<int>(fp_regs[c]);
+    }
+  }
+
+  const std::vector<std::int64_t> link = cluster_list(args, "link", n * n);
+  for (std::size_t from = 0; from < n && !link.empty(); ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      config.link_latency_cc[from][to] =
+          static_cast<int>(link[from * n + to]);
+    }
+  }
+}
+
+}  // namespace clusmt::harness

@@ -48,13 +48,22 @@ void write_config(ByteWriter& w, const core::SimConfig& c) {
 
   w.i64(c.rob_entries);
   w.i64(c.iq_entries);
-  for (int i = 0; i < kMaxClusters; ++i) w.i64(c.iq_entries_c[i]);
   w.i64(c.int_regs);
   w.i64(c.fp_regs);
+  w.i64(c.issue_width);
   w.i64(c.mob_entries);
   w.i64(c.num_links);
   w.i64(c.link_latency);
   w.i64(c.l1_write_ports);
+  for (int i = 0; i < kMaxClusters; ++i) {
+    w.i64(c.shape[i].issue_width);
+    w.i64(c.shape[i].iq_entries);
+    w.i64(c.shape[i].int_regs);
+    w.i64(c.shape[i].fp_regs);
+  }
+  for (int i = 0; i < kMaxClusters; ++i) {
+    for (int j = 0; j < kMaxClusters; ++j) w.i64(c.link_latency_cc[i][j]);
+  }
 
   w.u64(c.memory.l1_size);
   w.i64(c.memory.l1_assoc);
@@ -104,15 +113,24 @@ void read_config(ByteReader& r, core::SimConfig& c) {
 
   c.rob_entries = static_cast<int>(r.i64());
   c.iq_entries = static_cast<int>(r.i64());
-  for (int i = 0; i < kMaxClusters; ++i) {
-    c.iq_entries_c[i] = static_cast<int>(r.i64());
-  }
   c.int_regs = static_cast<int>(r.i64());
   c.fp_regs = static_cast<int>(r.i64());
+  c.issue_width = static_cast<int>(r.i64());
   c.mob_entries = static_cast<int>(r.i64());
   c.num_links = static_cast<int>(r.i64());
   c.link_latency = static_cast<int>(r.i64());
   c.l1_write_ports = static_cast<int>(r.i64());
+  for (int i = 0; i < kMaxClusters; ++i) {
+    c.shape[i].issue_width = static_cast<int>(r.i64());
+    c.shape[i].iq_entries = static_cast<int>(r.i64());
+    c.shape[i].int_regs = static_cast<int>(r.i64());
+    c.shape[i].fp_regs = static_cast<int>(r.i64());
+  }
+  for (int i = 0; i < kMaxClusters; ++i) {
+    for (int j = 0; j < kMaxClusters; ++j) {
+      c.link_latency_cc[i][j] = static_cast<int>(r.i64());
+    }
+  }
 
   c.memory.l1_size = r.u64();
   c.memory.l1_assoc = static_cast<int>(r.i64());

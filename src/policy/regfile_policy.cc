@@ -14,8 +14,10 @@ namespace {
 bool CssprfPolicy::allow_rf_alloc(const PipelineView& view, ThreadId tid,
                                   ClusterId c, RegClass cls, int count) {
   if (view.rf_unbounded) return true;
-  const int limit = half_of(view.rf_capacity[static_cast<int>(cls)],
-                            config_.partition_fraction);
+  // Cap against the target cluster's own file: on heterogeneous grids a
+  // wide cluster's half is legitimately larger than a narrow one's.
+  const int limit =
+      half_of(view.rf_capacity_of(c, cls), config_.partition_fraction);
   return view.rf_used[tid][c][static_cast<int>(cls)] + count <= limit;
 }
 

@@ -13,12 +13,17 @@ struct PipelineView {
   int num_threads = 2;
   int num_clusters = 2;
 
-  // Capacities.
+  // Capacities. The scalars are the homogeneous bases; the _c arrays are
+  // per-cluster overrides for heterogeneous grids with zero-means-inherit
+  // semantics (0 falls back to the base), so hand-built homogeneous views
+  // never need to fill them. Policies read per-cluster capacity via the
+  // *_of accessors, never the raw fields.
   int iq_capacity = 32;  // entries per cluster (homogeneous base)
-  // Per-cluster issue-queue override for heterogeneous grids; 0 falls back
-  // to iq_capacity. Policies read per-cluster capacity via iq_capacity_of.
   int iq_capacity_c[kMaxClusters] = {};
   int rf_capacity[kNumRegClasses] = {128, 128};  // per cluster, per class
+  int rf_capacity_c[kMaxClusters][kNumRegClasses] = {};
+  int issue_width = 3;  // issue ports per cluster (homogeneous base)
+  int issue_width_c[kMaxClusters] = {};
   bool rf_unbounded = false;
 
   // Issue-queue occupancies.
@@ -77,8 +82,18 @@ struct PipelineView {
     return total;
   }
 
+  /// Register-file capacity of one cluster (override, else the base).
+  [[nodiscard]] int rf_capacity_of(ClusterId c, RegClass cls) const noexcept {
+    const int v = rf_capacity_c[c][static_cast<int>(cls)];
+    return v > 0 ? v : rf_capacity[static_cast<int>(cls)];
+  }
+
+  /// Machine-wide register capacity: the sum of each cluster's own file
+  /// (NOT per-cluster × num_clusters — clusters may differ in shape).
   [[nodiscard]] int rf_capacity_total(RegClass cls) const noexcept {
-    return rf_capacity[static_cast<int>(cls)] * num_clusters;
+    int total = 0;
+    for (int c = 0; c < num_clusters; ++c) total += rf_capacity_of(c, cls);
+    return total;
   }
 
   /// Issue-queue capacity of one cluster (override, else the base).
@@ -89,6 +104,17 @@ struct PipelineView {
   [[nodiscard]] int iq_capacity_total() const noexcept {
     int total = 0;
     for (int c = 0; c < num_clusters; ++c) total += iq_capacity_of(c);
+    return total;
+  }
+
+  /// Issue width of one cluster (override, else the base).
+  [[nodiscard]] int issue_width_of(ClusterId c) const noexcept {
+    return issue_width_c[c] > 0 ? issue_width_c[c] : issue_width;
+  }
+
+  [[nodiscard]] int issue_width_total() const noexcept {
+    int total = 0;
+    for (int c = 0; c < num_clusters; ++c) total += issue_width_of(c);
     return total;
   }
 

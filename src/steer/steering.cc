@@ -15,6 +15,25 @@ Steering::Steering(SteeringKind kind, int num_clusters,
   }
 }
 
+void Steering::set_capacities(std::span<const int> capacities) {
+  if (static_cast<int>(capacities.size()) < num_clusters_) {
+    throw std::invalid_argument("capacity for every cluster required");
+  }
+  cap_ref_ = 0;
+  bool uniform = true;
+  for (int c = 0; c < num_clusters_; ++c) {
+    if (capacities[c] < 1) {
+      throw std::invalid_argument("cluster capacity must be positive");
+    }
+    capacity_[c] = capacities[c];
+    cap_ref_ = std::max(cap_ref_, capacities[c]);
+    uniform = uniform && capacities[c] == capacities[0];
+  }
+  // Equal capacities scale to the identity; skip the arithmetic entirely
+  // so the homogeneous machine keeps its raw-occupancy comparisons.
+  heterogeneous_ = !uniform;
+}
+
 ClusterId Steering::dependence_balance(std::span<const int> dep_count,
                                        std::span<const int> iq_occupancy) {
   // Dependence vote: cluster holding the most source operands. Values
@@ -31,15 +50,20 @@ ClusterId Steering::dependence_balance(std::span<const int> dep_count,
     return balanced;
   }
   ClusterId dep_best = -1;
+  int dep_best_load = 0;
   for (int c = 0; c < num_clusters_; ++c) {
-    if (dep_count[c] == best_votes &&
-        (dep_best < 0 || iq_occupancy[c] < iq_occupancy[dep_best])) {
+    if (dep_count[c] != best_votes) continue;
+    const int load = scaled_load(c, iq_occupancy[c]);
+    if (dep_best < 0 || load < dep_best_load) {
       dep_best = c;
+      dep_best_load = load;
     }
   }
   // Workload-balance override: ignore the dependence vote when its cluster
-  // is ahead of the lightest one by more than the threshold.
-  if (iq_occupancy[dep_best] - iq_occupancy[balanced] >
+  // is ahead of the lightest one by more than the threshold. Loads are
+  // capacity-scaled, so on heterogeneous grids a wide cluster is not
+  // penalised for legitimately holding more µops.
+  if (dep_best_load - scaled_load(balanced, iq_occupancy[balanced]) >
       imbalance_threshold_) {
     ++stats_.balance_overrides;
     return balanced;

@@ -36,6 +36,23 @@ class Steering final {
  public:
   Steering(SteeringKind kind, int num_clusters, int imbalance_threshold = 6);
 
+  /// Declares per-cluster issue-queue capacities for capability-aware
+  /// balancing on heterogeneous grids: loads are compared relative to
+  /// capacity, so a wide cluster legitimately holds more work before the
+  /// balance override fires. All-equal capacities (and the default of
+  /// never calling this) keep every comparison byte-identical to the raw
+  /// homogeneous mechanism.
+  void set_capacities(std::span<const int> capacities);
+
+  /// `occupancy` normalised to the reference (largest) cluster capacity;
+  /// the identity when capacities are homogeneous. The rename stage uses
+  /// the same scale for its fallback cluster ordering.
+  [[nodiscard]] int scaled_load(ClusterId c, int occupancy) const noexcept {
+    if (!heterogeneous_) return occupancy;
+    return static_cast<int>(static_cast<std::int64_t>(occupancy) * cap_ref_ /
+                            capacity_[c]);
+  }
+
   /// Preferred cluster for a µop.
   /// `dep_count[c]` — number of the µop's source operands whose value is
   /// resident in cluster c; `iq_occupancy[c]` — current total issue-queue
@@ -65,8 +82,13 @@ class Steering final {
   [[nodiscard]] ClusterId least_loaded(
       std::span<const int> iq_occupancy) const noexcept {
     ClusterId best = 0;
+    int best_load = scaled_load(0, iq_occupancy[0]);
     for (int c = 1; c < num_clusters_; ++c) {
-      if (iq_occupancy[c] < iq_occupancy[best]) best = c;
+      const int load = scaled_load(c, iq_occupancy[c]);
+      if (load < best_load) {
+        best = c;
+        best_load = load;
+      }
     }
     return best;
   }
@@ -78,6 +100,9 @@ class Steering final {
   int num_clusters_;
   int imbalance_threshold_;
   int rr_next_ = 0;
+  bool heterogeneous_ = false;
+  int cap_ref_ = 0;  // largest declared capacity (the scale reference)
+  int capacity_[kMaxClusters] = {};
   SteeringStats stats_;
 };
 

@@ -299,6 +299,53 @@ TEST(CliDeath, MalformedDoubleExitsWithError) {
               ::testing::ExitedWithCode(2), "--frac expects a number");
 }
 
+TEST(CliDeath, IntListJunkTokenExitsWithError) {
+  // "--iq=48,16x" must not silently truncate the second cluster to 16.
+  const char* argv[] = {"prog", "--iq=48,16x"};
+  const CliArgs args(2, argv);
+  EXPECT_EXIT((void)args.get_int_list("iq"), ::testing::ExitedWithCode(2),
+              "--iq expects a comma-separated list");
+}
+
+TEST(CliDeath, IntListEmptyElementExitsWithError) {
+  // A dangling comma ("48,") or a double comma ("48,,16") is a malformed
+  // list, not a shorter one.
+  const char* trailing[] = {"prog", "--iq=48,"};
+  EXPECT_EXIT((void)CliArgs(2, trailing).get_int_list("iq"),
+              ::testing::ExitedWithCode(2),
+              "--iq expects a comma-separated list");
+  const char* doubled[] = {"prog", "--width=4,,2"};
+  EXPECT_EXIT((void)CliArgs(2, doubled).get_int_list("width"),
+              ::testing::ExitedWithCode(2),
+              "--width expects a comma-separated list");
+}
+
+TEST(CliDeath, IntListNegativeValueExitsWithError) {
+  // Shape fields are sizes; -16 IQ entries is a usage error, not a value.
+  const char* argv[] = {"prog", "--iq=48,-16"};
+  const CliArgs args(2, argv);
+  EXPECT_EXIT((void)args.get_int_list("iq"), ::testing::ExitedWithCode(2),
+              "non-negative");
+}
+
+TEST(CliDeath, BareFlagAskedAsIntListExitsWithError) {
+  const char* argv[] = {"prog", "--iq"};
+  const CliArgs args(2, argv);
+  EXPECT_EXIT((void)args.get_int_list("iq"), ::testing::ExitedWithCode(2),
+              "--iq expects a comma-separated list");
+}
+
+TEST(Cli, WellFormedIntListsParse) {
+  const char* argv[] = {"prog", "--iq=48,16", "--width=3", "--link=1,4,4,1"};
+  const CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int_list("iq"),
+            (std::vector<std::int64_t>{48, 16}));
+  EXPECT_EQ(args.get_int_list("width"), (std::vector<std::int64_t>{3}));
+  EXPECT_EQ(args.get_int_list("link"),
+            (std::vector<std::int64_t>{1, 4, 4, 1}));
+  EXPECT_TRUE(args.get_int_list("absent").empty());
+}
+
 TEST(Cli, WellFormedNumbersStillParse) {
   const char* argv[] = {"prog", "--n=-42", "--x=2.5e-3", "--big=123456789"};
   const CliArgs args(4, argv);

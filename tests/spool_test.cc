@@ -83,6 +83,69 @@ TEST_F(SpoolTest, CellSpecRoundTripReDerivesItsKey) {
   }
 }
 
+TEST_F(SpoolTest, CellSpecRoundTripsHeterogeneousShapes) {
+  // Every ClusterShape field and link-matrix slot must survive the codec:
+  // the decoded spec re-derives the embedded key, which hashes them all.
+  SpoolCell cell = sample_cells(1)[0];
+  cell.config.issue_width = 4;
+  cell.config.shape[0] = {.issue_width = 4, .iq_entries = 48,
+                          .int_regs = 96, .fp_regs = 80};
+  cell.config.shape[1] = {.issue_width = 2, .iq_entries = 16,
+                          .int_regs = 32, .fp_regs = 48};
+  cell.config.link_latency_cc[0][1] = 4;
+  cell.config.link_latency_cc[1][0] = 2;
+  cell.key = run_key(cell.config, cell.workload, cell.cycles, cell.warmup);
+
+  const auto decoded = decode_cell_spec(encode_cell_spec(cell));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->config.shape[0].issue_width, 4);
+  EXPECT_EQ(decoded->config.shape[1].iq_entries, 16);
+  EXPECT_EQ(decoded->config.shape[0].fp_regs, 80);
+  EXPECT_EQ(decoded->config.link_latency_cc[0][1], 4);
+  EXPECT_EQ(run_key(decoded->config, decoded->workload, decoded->cycles,
+                    decoded->warmup),
+            cell.key);
+}
+
+TEST_F(SpoolTest, OldFormatVersionIsRejectedNotMisdecoded) {
+  // A v1 record (pre-ClusterShape layout) must fail the *version* check,
+  // not limp through the field reader and checksum. To isolate the version
+  // gate, forge an otherwise self-consistent record: patch the version
+  // field to every stale value and fix up the trailing checksum so only
+  // the version differs.
+  ASSERT_GE(kSpoolFormatVersion, 2u)
+      << "the ClusterShape layout change requires a version bump";
+  const SpoolCell cell = sample_cells(1)[0];
+  const std::string record = encode_cell_spec(cell);
+  ASSERT_TRUE(decode_cell_spec(record).has_value());
+
+  const auto with_version = [&](std::uint32_t version) {
+    std::string forged = record;
+    for (int i = 0; i < 4; ++i) {  // version u32 sits after the u32 magic
+      forged[4 + i] = static_cast<char>(version >> (8 * i));
+    }
+    // Recompute the checksum exactly as spool.cc does (FNV over the body
+    // with the spool seed), so the forgery is valid except for version.
+    Fnv1a h(0x53504f4f4cull);
+    h.add_bytes(forged.data(), forged.size() - sizeof(std::uint64_t));
+    const std::uint64_t sum = h.digest();
+    for (int i = 0; i < 8; ++i) {
+      forged[forged.size() - 8 + i] = static_cast<char>(sum >> (8 * i));
+    }
+    return forged;
+  };
+  EXPECT_TRUE(decode_cell_spec(with_version(kSpoolFormatVersion)).has_value())
+      << "forgery plumbing is broken: rewriting the current version and "
+         "checksum must still decode";
+  for (std::uint32_t stale = 0; stale < kSpoolFormatVersion; ++stale) {
+    EXPECT_FALSE(decode_cell_spec(with_version(stale)).has_value())
+        << "version " << stale;
+  }
+  EXPECT_FALSE(
+      decode_cell_spec(with_version(kSpoolFormatVersion + 1)).has_value())
+      << "future versions are unreadable too, not best-effort parsed";
+}
+
 TEST_F(SpoolTest, CellSpecRejectsTruncationBitFlipsAndVersionBump) {
   const SpoolCell cell = sample_cells(1)[0];
   const std::string record = encode_cell_spec(cell);

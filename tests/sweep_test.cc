@@ -46,6 +46,52 @@ TEST(RunKey, SensitiveToEveryRunInput) {
   EXPECT_NE(run_key(base, reseeded, 1000, 200), key);
 }
 
+TEST(RunKey, SensitiveToEveryClusterShapeField) {
+  // Heterogeneous grids: every per-cluster shape field, the width scalar
+  // and every link-matrix slot must perturb the content hash — a missed
+  // field silently merges cache entries for different machines.
+  const auto suite = tiny_suite(1);
+  const core::SimConfig base = paper_baseline();
+  const RunKey key = run_key(base, suite[0], 1000, 200);
+
+  const auto perturbed = [&](void (*mutate)(core::SimConfig&)) {
+    core::SimConfig other = base;
+    mutate(other);
+    return run_key(other, suite[0], 1000, 200);
+  };
+  EXPECT_NE(perturbed([](core::SimConfig& c) { c.issue_width = 4; }), key);
+  for (int cl = 0; cl < kMaxClusters; ++cl) {
+    core::SimConfig other = base;
+    other.shape[cl].issue_width = 2;
+    EXPECT_NE(run_key(other, suite[0], 1000, 200), key) << "width " << cl;
+    other = base;
+    other.shape[cl].iq_entries = 48;
+    EXPECT_NE(run_key(other, suite[0], 1000, 200), key) << "iq " << cl;
+    other = base;
+    other.shape[cl].int_regs = 96;
+    EXPECT_NE(run_key(other, suite[0], 1000, 200), key) << "int " << cl;
+    other = base;
+    other.shape[cl].fp_regs = 96;
+    EXPECT_NE(run_key(other, suite[0], 1000, 200), key) << "fp " << cl;
+  }
+  for (int from = 0; from < kMaxClusters; ++from) {
+    for (int to = 0; to < kMaxClusters; ++to) {
+      core::SimConfig other = base;
+      other.link_latency_cc[from][to] = 9;
+      EXPECT_NE(run_key(other, suite[0], 1000, 200), key)
+          << "link " << from << "->" << to;
+    }
+  }
+  // Distinct fields must not alias each other either: the same value in
+  // a different slot is a different machine.
+  core::SimConfig a = base;
+  a.shape[0].iq_entries = 48;
+  core::SimConfig b = base;
+  b.shape[1].iq_entries = 48;
+  EXPECT_NE(run_key(a, suite[0], 1000, 200),
+            run_key(b, suite[0], 1000, 200));
+}
+
 TEST(RunKey, TraceContentNotNameIsIdentity) {
   const auto suite = tiny_suite(1);
   trace::TraceSpec a = suite[0].threads[0];

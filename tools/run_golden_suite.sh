@@ -26,9 +26,11 @@ flags=(--per-type 1 --mixes 2 --cycles 20000 --warmup 5000 --seed 1)
 # Headline + main figure benches, plus the ablation benches whose runtime
 # the shared run cache pays for (ROADMAP "golden coverage growth"): the
 # ablations reuse the figure benches' base configurations, so most of their
-# cells are cache hits on a warm CI run dir.
+# cells are cache hits on a warm CI run dir. ext_hetero gates the
+# heterogeneous-shape grid; its symmetric column shares cells with the
+# rf-study benches.
 for bench in headline_summary fig2_iq_throughput fig3_copies fig10_fairness \
-             ablate_links ablate_steering; do
+             ablate_links ablate_steering ext_hetero; do
   "$bin_dir/bench_$bench" "${flags[@]}" \
     --golden-emit "$out_dir/$bench.json" >/dev/null
 done
