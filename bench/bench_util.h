@@ -33,6 +33,11 @@
 //                  across machines.
 //   --worker-bin P sweep_worker binary to spawn (falls back to
 //                  $CLUSMT_WORKER_BIN, then next to the bench binary)
+//   --degrade-local  when the worker swarm cannot make progress (missing
+//                  binary, spawn failures, dead workers, exhausted cells),
+//                  warn and simulate the remaining cells in-process
+//                  instead of aborting the sweep; tables stay
+//                  bit-identical
 #pragma once
 
 #include <chrono>
@@ -112,6 +117,7 @@ struct BenchOptions {
       }
     }
     opt.shard.worker_bin = args.get_string("worker-bin", "");
+    opt.shard.degrade_local = args.get_bool("degrade-local", false);
     return opt;
   }
 

@@ -1,0 +1,68 @@
+// Bounded exponential backoff with deterministic jitter, shared by every
+// retry loop that talks to flaky external state (worker respawns in
+// harness/shard.cc, spool claim polling). Immediate-retry loops turn a
+// transient failure — a spawn hitting a pid limit, a worker crash-looping
+// on one bad cell — into a storm that starves the very resource that
+// failed; this ramp spaces retries out exponentially and jitters them so a
+// fleet of coordinators sharing a filesystem never retries in lock-step.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace clusmt {
+
+struct BackoffOptions {
+  std::chrono::milliseconds initial{50};
+  std::chrono::milliseconds max{5000};
+  double multiplier = 2.0;
+  /// Symmetric jitter fraction: a delay of D is drawn uniformly from
+  /// [D*(1-jitter), D*(1+jitter)] (then clamped to [initial/2, max]).
+  double jitter = 0.5;
+};
+
+class Backoff {
+ public:
+  using Options = BackoffOptions;
+
+  explicit Backoff(Options options = {}, std::uint64_t seed = 1) noexcept
+      : options_(options),
+        rng_(seed),
+        current_ms_(static_cast<double>(options.initial.count())) {}
+
+  /// The next delay to sleep: the current (jittered) backoff, after which
+  /// the un-jittered base advances by `multiplier` up to `max`.
+  [[nodiscard]] std::chrono::milliseconds next() noexcept {
+    const double base = current_ms_;
+    current_ms_ = std::min(current_ms_ * options_.multiplier,
+                           static_cast<double>(options_.max.count()));
+    ++retries_;
+    const double spread =
+        base * options_.jitter * (2.0 * rng_.uniform() - 1.0);
+    const double lo = static_cast<double>(options_.initial.count()) / 2.0;
+    const double hi = static_cast<double>(options_.max.count());
+    const double jittered = std::clamp(base + spread, lo, hi);
+    return std::chrono::milliseconds(static_cast<std::int64_t>(jittered));
+  }
+
+  /// Back to the initial delay — call after a success so the next failure
+  /// burst starts gentle again.
+  void reset() noexcept {
+    current_ms_ = static_cast<double>(options_.initial.count());
+    retries_ = 0;
+  }
+
+  /// next() calls since construction or the last reset().
+  [[nodiscard]] int retries() const noexcept { return retries_; }
+
+ private:
+  Options options_;
+  Xoshiro256 rng_;
+  double current_ms_;
+  int retries_ = 0;
+};
+
+}  // namespace clusmt

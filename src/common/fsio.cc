@@ -6,9 +6,26 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/faultpoint.h"
+
 namespace clusmt {
 
 bool write_file_atomic(const std::string& path, std::string_view content) {
+  // Fault points (inert unless armed, see common/faultpoint.h):
+  //   fsio.write   error  → open fails (permission / path vanished)
+  //                enospc → the disk fills mid-write: a prefix lands in the
+  //                         temp file, the write fails, the temp is removed
+  //                partial→ a TORN write: a prefix is renamed into place and
+  //                         success is reported — the silent corruption a
+  //                         non-atomic filesystem or firmware lie produces;
+  //                         checksummed readers must treat it as a miss
+  //                crash  → the process dies before writing anything
+  //   fsio.rename  error  → the final rename fails (temp removed)
+  //                crash  → the process dies between fsync and rename,
+  //                         leaving a completed orphan temp file behind
+  const faultpoint::Mode fault = faultpoint::maybe_fail("fsio.write");
+  if (fault == faultpoint::Mode::kError) return false;
+
   // Unique per process *and* per call, so concurrent writers targeting the
   // same destination never share a temp file; the final rename picks a
   // last-writer-wins but always-complete version.
@@ -19,9 +36,12 @@ bool write_file_atomic(const std::string& path, std::string_view content) {
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
 
+  const bool torn = fault == faultpoint::Mode::kPartial;
+  const bool enospc = fault == faultpoint::Mode::kEnospc;
   bool ok = true;
   const char* data = content.data();
   std::size_t left = content.size();
+  if (torn || enospc) left /= 2;  // only a prefix reaches the disk
   while (left > 0) {
     const ::ssize_t n = ::write(fd, data, left);
     if (n < 0) {
@@ -31,10 +51,13 @@ bool write_file_atomic(const std::string& path, std::string_view content) {
     data += n;
     left -= static_cast<std::size_t>(n);
   }
+  if (enospc) ok = false;  // the kernel reported ENOSPC mid-stream
   if (ok && ::fsync(fd) != 0) ok = false;
   if (::close(fd) != 0) ok = false;
+  if (ok && faultpoint::inject_error("fsio.rename")) ok = false;
   if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
   if (!ok) ::unlink(tmp.c_str());
+  // A torn write reports success: the writer believes the record landed.
   return ok;
 }
 

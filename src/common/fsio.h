@@ -15,6 +15,11 @@ namespace clusmt {
 /// renamed over `path`. Readers therefore observe either the old file or
 /// the complete new one, never a prefix. Returns false (and removes the
 /// temp file) on any I/O failure; the previous `path` contents survive.
+///
+/// Carries the `fsio.write` / `fsio.rename` fault points
+/// (common/faultpoint.h): open/rename failure, ENOSPC mid-write, a torn
+/// write that reports success, and crashes before the write or between
+/// fsync and rename are all injectable for recovery testing.
 [[nodiscard]] bool write_file_atomic(const std::string& path,
                                      std::string_view content);
 

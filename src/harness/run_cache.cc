@@ -1,5 +1,7 @@
 #include "harness/run_cache.h"
 
+#include <cstdio>
+
 namespace clusmt::harness {
 
 RunCache& RunCache::instance() {
@@ -41,8 +43,36 @@ RunResult RunCache::get_or_run(const RunKey& key,
   try {
     RunResult result = compute();
     // Best-effort spill: a full disk or read-only cache dir degrades to
-    // process-local caching, it does not fail the run.
-    if (store != nullptr) (void)store->save(key, result);
+    // process-local caching, it does not fail the run. After enough
+    // consecutive failures the disk tier is demoted to read-only so a full
+    // disk costs one warning and lost persistence, not a syscall per cell.
+    if (store != nullptr &&
+        !store_degraded_.load(std::memory_order_relaxed)) {
+      if (store->save(key, result)) {
+        consecutive_save_failures_.store(0, std::memory_order_relaxed);
+      } else {
+        save_failures_.fetch_add(1, std::memory_order_relaxed);
+        if (!warned_save_failure_.exchange(true,
+                                           std::memory_order_relaxed)) {
+          std::fprintf(stderr,
+                       "clusmt: warning: run-store spill to '%s' failed "
+                       "(disk full or unwritable); results stay correct, "
+                       "only persistence is lost\n",
+                       store->dir().c_str());
+        }
+        const int consecutive =
+            consecutive_save_failures_.fetch_add(
+                1, std::memory_order_relaxed) + 1;
+        if (consecutive >= kDegradeAfterSaveFailures &&
+            !store_degraded_.exchange(true, std::memory_order_relaxed)) {
+          std::fprintf(stderr,
+                       "clusmt: warning: run store '%s' degraded to "
+                       "memory-only after %d consecutive failed writes; "
+                       "loads continue, new cells are not persisted\n",
+                       store->dir().c_str(), consecutive);
+        }
+      }
+    }
     promise.set_value(std::move(result));
   } catch (...) {
     // Cache the failure too: every requester of an invalid cell sees the
@@ -60,6 +90,10 @@ bool RunCache::contains(const RunKey& key) const {
 void RunCache::set_store_dir(const std::string& dir) {
   std::lock_guard lock(mutex_);
   store_ = dir.empty() ? nullptr : std::make_shared<const RunStore>(dir);
+  // A new (or re-attached) directory gets a fresh chance at persistence.
+  store_degraded_.store(false, std::memory_order_relaxed);
+  consecutive_save_failures_.store(0, std::memory_order_relaxed);
+  warned_save_failure_.store(false, std::memory_order_relaxed);
 }
 
 std::string RunCache::store_dir() const {
@@ -78,6 +112,10 @@ void RunCache::clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   disk_hits_.store(0, std::memory_order_relaxed);
+  save_failures_.store(0, std::memory_order_relaxed);
+  consecutive_save_failures_.store(0, std::memory_order_relaxed);
+  store_degraded_.store(false, std::memory_order_relaxed);
+  warned_save_failure_.store(false, std::memory_order_relaxed);
 }
 
 trace::WorkloadSpec baseline_workload(const trace::TraceSpec& trace) {

@@ -51,9 +51,25 @@ class RunCache {
 
   /// Attaches (or, with an empty dir, detaches) the disk tier. Safe to call
   /// concurrently with get_or_run; in-flight owners keep the store they
-  /// started with.
+  /// started with. Re-attaching also clears a write degradation (below).
   void set_store_dir(const std::string& dir);
   [[nodiscard]] std::string store_dir() const;
+
+  /// True once the disk tier has been demoted to read-only: after
+  /// kDegradeAfterSaveFailures *consecutive* failed spills (full disk,
+  /// revoked permissions) the cache stops attempting writes, warns once on
+  /// stderr, and keeps serving loads + memory-tier caching — a full disk
+  /// costs persistence, never the sweep. Cleared by set_store_dir.
+  [[nodiscard]] bool store_write_degraded() const noexcept {
+    return store_degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Failed spill attempts observed (for tests and progress reporting).
+  [[nodiscard]] std::uint64_t save_failures() const noexcept {
+    return save_failures_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr int kDegradeAfterSaveFailures = 3;
 
   /// Requests served from a finished or in-flight in-memory entry.
   [[nodiscard]] std::uint64_t hits() const noexcept {
@@ -81,6 +97,10 @@ class RunCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> save_failures_{0};
+  std::atomic<int> consecutive_save_failures_{0};
+  std::atomic<bool> store_degraded_{false};
+  std::atomic<bool> warned_save_failure_{false};
 };
 
 /// The single-thread workload a fairness baseline of `trace` runs as. The

@@ -1,12 +1,14 @@
 #include "harness/run_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <vector>
 
+#include "common/faultpoint.h"
 #include "common/fsio.h"
 #include "common/hash.h"
 #include "common/wire.h"
@@ -88,7 +90,13 @@ std::uint64_t checksum(std::string_view bytes) {
   return h.digest();
 }
 
+std::atomic<std::uint64_t> g_corrupt_reads{0};
+
 }  // namespace
+
+std::uint64_t run_store_corrupt_reads() {
+  return g_corrupt_reads.load(std::memory_order_relaxed);
+}
 
 std::string encode_run_record(const RunKey& key, const RunResult& result) {
   ByteWriter w;
@@ -145,15 +153,34 @@ std::string RunStore::path_of(const RunKey& key) const {
 }
 
 std::optional<RunResult> RunStore::load(const RunKey& key) const {
+  // Fault point run_store.load (error → the read itself fails: a vanished
+  // mount, an unreadable sector; partial → a truncated byte stream reaches
+  // the decoder). Both must read as a miss, never as a wrong result.
+  const faultpoint::Mode fault = faultpoint::maybe_fail("run_store.load");
+  if (fault == faultpoint::Mode::kError ||
+      fault == faultpoint::Mode::kEnospc) {
+    return std::nullopt;
+  }
   std::ifstream in(path_of(key), std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return std::nullopt;  // absent: a plain miss, not corruption
   std::string record((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
   if (!in.good() && !in.eof()) return std::nullopt;
-  return decode_run_record(key, record);
+  if (fault == faultpoint::Mode::kPartial) record.resize(record.size() / 2);
+  std::optional<RunResult> decoded = decode_run_record(key, record);
+  if (!decoded) {
+    // The file exists but failed validation: torn write, bit rot, stale
+    // format, foreign key. Count it so the sweep can report the churn.
+    g_corrupt_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decoded;
 }
 
 bool RunStore::save(const RunKey& key, const RunResult& result) const {
+  // Fault point run_store.save: any error-like mode fails the save exactly
+  // as a full disk does — callers must degrade, never abort (the RunCache
+  // drops to memory-only caching after repeated failures).
+  if (faultpoint::inject_error("run_store.save")) return false;
   const std::string path = path_of(key);
   std::error_code ec;
   std::filesystem::create_directories(

@@ -86,6 +86,13 @@ struct MergeResult {
 [[nodiscard]] bool parse_record_name(const std::string& basename,
                                      RunKey& key);
 
+/// Process-wide count of reads that found a record on disk but rejected it
+/// during validation (bad magic/version/key/checksum, truncation). Every
+/// such record silently costs a recompute; the sweep progress line surfaces
+/// the total as "N corrupt records ignored" so bit rot and format drift are
+/// visible instead of just slow.
+[[nodiscard]] std::uint64_t run_store_corrupt_reads();
+
 /// Size/count-capped LRU sweep over a run-store directory: scans every
 /// `*.run` record, and while the store exceeds `max_bytes`/`max_files`
 /// deletes records oldest-mtime-first (a record's mtime is its last write;

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/faultpoint.h"
 #include "harness/run_cache.h"
 #include "harness/run_key.h"
 #include "harness/spool.h"
@@ -53,6 +55,9 @@ std::string resolve_worker_bin(const std::string& explicit_bin) {
 
 pid_t spawn_worker(const std::string& bin,
                    const std::vector<std::string>& args) {
+  // Fault point `shard.spawn`: error → posix_spawn fails (pid/memory
+  // limits), exercising the respawn-backoff and degrade-local paths.
+  if (faultpoint::inject_error("shard.spawn")) return -1;
   std::vector<char*> argv;
   argv.reserve(args.size() + 2);
   argv.push_back(const_cast<char*>(bin.c_str()));
@@ -183,11 +188,44 @@ ShardStats shard_prefetch(const SweepSpec& spec,
   }
   stats.spooled = outstanding.size();
 
+  std::vector<std::string> failures;
+
+  // Degrade-local fallback (ShardSpec::degrade_local): simulate a pending
+  // cell in-process through the sweep's own cache — same key, same store
+  // spill — so a dead swarm costs wall-clock, never the sweep or its
+  // bit-identical tables. A cell whose *simulation* throws still lands in
+  // `failures` (degrading does not launder genuinely poisoned cells).
+  auto simulate_locally = [&](const Pending& pending) {
+    const SpoolCell& c = pending.cell;
+    try {
+      (void)cache.get_or_run(c.key, [&] {
+        return simulate_workload(c.config, c.workload, c.cycles, c.warmup);
+      });
+      ++stats.simulated_locally;
+    } catch (const std::exception& e) {
+      failures.push_back(pending.label + ": " + e.what());
+    }
+  };
+  auto degrade_all = [&](const std::string& why) {
+    std::fprintf(stderr,
+                 "[shard] warning: %s; degrade-local is simulating the %zu "
+                 "remaining cell(s) in-process\n",
+                 why.c_str(), outstanding.size());
+    for (const auto& [key, pending] : outstanding) simulate_locally(pending);
+    outstanding.clear();
+  };
+
   // Divide the host's cores among the local workers (each worker runs
   // --jobs claimant threads); remote workers watching the same spool
   // bring their own budget.
-  const std::string bin = resolve_worker_bin(spec.shard.worker_bin);
   const int workers = spec.shard.workers;
+  std::string bin;
+  try {
+    bin = resolve_worker_bin(spec.shard.worker_bin);
+  } catch (const std::exception& e) {
+    if (!spec.shard.degrade_local) throw;
+    degrade_all(e.what());
+  }
   std::size_t total_cores =
       spec.jobs != 0 ? spec.jobs
                      : std::max(1u, std::thread::hardware_concurrency());
@@ -214,12 +252,15 @@ ShardStats shard_prefetch(const SweepSpec& spec,
       ++stats.workers_spawned;
     }
   };
-  for (int i = 0; i < workers; ++i) spawn_one();
-  if (pids.empty()) {
-    throw std::runtime_error("sharded sweep: failed to spawn any worker (" +
-                             bin + ")");
+  for (int i = 0; i < workers && !outstanding.empty(); ++i) spawn_one();
+  if (pids.empty() && !outstanding.empty()) {
+    if (!spec.shard.degrade_local) {
+      throw std::runtime_error("sharded sweep: failed to spawn any worker (" +
+                               bin + ")");
+    }
+    degrade_all("failed to spawn any worker (" + bin + ")");
   }
-  if (spec.progress) {
+  if (spec.progress && !pids.empty()) {
     std::fprintf(stderr,
                  "[shard] %zu cells: %zu served from store, %zu spooled to "
                  "%s; %d workers x %zu jobs\n",
@@ -229,7 +270,15 @@ ShardStats shard_prefetch(const SweepSpec& spec,
 
   const auto lease = std::chrono::milliseconds(
       spec.shard.lease_ms < 1 ? 1 : spec.shard.lease_ms);
-  std::vector<std::string> failures;
+  // Respawn pacing: an immediate-respawn loop against a swarm that dies
+  // instantly (bad binary, pid limit, injected spawn faults) is a fork
+  // storm. Exponential backoff with jitter spaces the rounds out; a round
+  // whose workers made progress resets the ramp.
+  Backoff respawn_backoff(
+      Backoff::Options{std::chrono::milliseconds(50),
+                       std::chrono::milliseconds(2000), 2.0, 0.5},
+      static_cast<std::uint64_t>(getpid()));
+  std::size_t progress_at_last_respawn = 0;
   auto last_reclaim = Clock::now();
   auto last_progress = Clock::now();
   try {
@@ -245,6 +294,13 @@ ShardStats shard_prefetch(const SweepSpec& spec,
         std::error_code again;
         if (fs::exists(store.path_of(it->first), again)) {
           ++stats.simulated_by_workers;
+        } else if (spec.shard.degrade_local) {
+          std::fprintf(stderr,
+                       "[shard] warning: cell '%s' exhausted its attempts "
+                       "(%s); degrade-local is simulating it in-process\n",
+                       it->second.label.c_str(),
+                       first_line(spool.failure_message(it->first)).c_str());
+          simulate_locally(it->second);
         } else {
           failures.push_back(
               it->second.label + ": " +
@@ -272,19 +328,33 @@ ShardStats shard_prefetch(const SweepSpec& spec,
     if (pids.empty()) {
       // Workers are gone with work left. Respawn while the attempt budget
       // lasts: a crash-looping cell turns terminal through lease reclaim,
-      // so this loop is bounded either way.
+      // so this loop is bounded either way. Rounds are spaced by the
+      // backoff ramp, reset whenever the previous generation delivered.
+      if (stats.simulated_by_workers > progress_at_last_respawn) {
+        respawn_backoff.reset();
+      }
+      progress_at_last_respawn = stats.simulated_by_workers;
       if (stats.workers_spawned >= spawn_cap) {
-        throw std::runtime_error(
-            "sharded sweep: workers keep exiting with " +
-            std::to_string(outstanding.size()) +
+        const std::string why =
+            "workers keep exiting with " + std::to_string(outstanding.size()) +
             " cells outstanding (spawned " +
             std::to_string(stats.workers_spawned) + "; see " + spool_dir +
-            "/failed)");
+            "/failed)";
+        if (spec.shard.degrade_local) {
+          degrade_all(why);
+          break;
+        }
+        throw std::runtime_error("sharded sweep: " + why);
       }
+      std::this_thread::sleep_for(respawn_backoff.next());
       for (int i = 0; i < workers && stats.workers_spawned < spawn_cap; ++i) {
         spawn_one();
       }
       if (pids.empty()) {
+        if (spec.shard.degrade_local) {
+          degrade_all("failed to respawn workers (" + bin + ")");
+          break;
+        }
         throw std::runtime_error("sharded sweep: failed to respawn workers (" +
                                  bin + ")");
       }
@@ -305,8 +375,9 @@ ShardStats shard_prefetch(const SweepSpec& spec,
     throw std::runtime_error(message);
   }
   if (spec.progress) {
-    std::fprintf(stderr, "[shard] %zu cells simulated by workers\n",
-                 stats.simulated_by_workers);
+    std::fprintf(stderr,
+                 "[shard] %zu cells simulated by workers, %zu locally\n",
+                 stats.simulated_by_workers, stats.simulated_locally);
   }
   if (temp_spool) {
     std::error_code ec;

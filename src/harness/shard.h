@@ -51,6 +51,14 @@ struct ShardSpec {
   /// Workers exit after this long without claiming anything (they also
   /// exit as soon as the spool drains).
   int idle_timeout_ms = 10000;
+
+  /// Degrade instead of abort when the swarm cannot make progress: if the
+  /// worker binary is missing, no worker can be spawned, the respawn
+  /// budget runs out, or a cell turns terminal without a stored result,
+  /// the remaining cells are simulated in-process (through the same cache,
+  /// so tables stay bit-identical) with a surfaced warning, rather than
+  /// throwing. Off by default: CI wants a dead swarm to be loud.
+  bool degrade_local = false;
 };
 
 /// Cell traffic of one sharded prefetch, for progress/CI reporting.
@@ -59,6 +67,7 @@ struct ShardStats {
   std::size_t served_from_store = 0; // already warm in memory or on disk
   std::size_t spooled = 0;           // misses handed to the worker swarm
   std::size_t simulated_by_workers = 0;
+  std::size_t simulated_locally = 0; // degrade-local fallback executions
   int workers_spawned = 0;           // includes straggler respawns
 };
 
@@ -68,7 +77,11 @@ struct ShardStats {
 /// workers already watching the same spool). Throws std::runtime_error
 /// when no store is attached, the worker binary cannot be found or
 /// spawned, workers keep dying, or any cell exhausts its attempts — the
-/// last with a per-cell list of the recorded failure messages.
+/// last with a per-cell list of the recorded failure messages. With
+/// ShardSpec::degrade_local, every swarm-level failure after the
+/// no-store check instead falls back to in-process simulation of the
+/// affected cells (warning on stderr, counted in
+/// ShardStats::simulated_locally).
 ShardStats shard_prefetch(const SweepSpec& spec,
                           const std::vector<ConfigPoint>& points);
 

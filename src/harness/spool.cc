@@ -5,6 +5,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/faultpoint.h"
 #include "common/fsio.h"
 #include "common/hash.h"
 #include "common/wire.h"
@@ -393,6 +394,12 @@ std::optional<Spool::Claim> Spool::claim(const std::string& worker_id) const {
                  q);
       continue;
     }
+    // Fault point `spool.claim`: crash → the claimant dies holding a
+    // fresh lease (the classic crash-after-claim-rename window — the cell
+    // sits in claimed/ until reclaim_stale steals it); error → the
+    // claimant goes silent after claiming (same orphaned-lease outcome,
+    // without killing the process).
+    if (faultpoint::inject_error("spool.claim")) return std::nullopt;
     return Claim{*std::move(cell), held.string(), attempts + 1};
   }
   return std::nullopt;
@@ -405,10 +412,25 @@ bool Spool::refresh_lease(const Claim& claim) {
 }
 
 bool Spool::ack(const Claim& claim) const {
+  // Fault point `spool.ack`: crash → the worker dies after persisting the
+  // result but before acking (the lease expires and the cell is re-run —
+  // which the next worker satisfies straight from the store, so the
+  // duplicate is a disk hit, not a recompute); error → the ack is lost the
+  // same way without killing the process.
+  if (faultpoint::inject_error("spool.ack")) return false;
   std::error_code ec;
   fs::rename(claim.path,
              fs::path(dir_) / "done" / (key_hex(claim.cell.key) + ".cell"),
              ec);
+  return !ec;
+}
+
+bool Spool::release(const Claim& claim) const {
+  std::error_code ec;
+  fs::rename(
+      claim.path,
+      fs::path(dir_) / "todo" / cell_name(claim.cell.key, claim.attempt - 1),
+      ec);
   return !ec;
 }
 
@@ -429,9 +451,18 @@ void Spool::fail(const Claim& claim, const std::string& message) const {
 
 std::size_t Spool::reclaim_stale(std::chrono::milliseconds lease) const {
   const auto now = fs::file_time_type::clock::now();
+  const auto steady_now = std::chrono::steady_clock::now();
   std::size_t moved = 0;
   std::error_code ec;
   const fs::path claimed = fs::path(dir_) / "claimed";
+  // Two independent staleness clauses (header comment): the absolute
+  // mtime-age test catches dead workers immediately when clocks agree; the
+  // observation test — "this very mtime has sat unchanged for a full lease
+  // of OUR steady clock" — catches them even when the claimant's host
+  // stamped an mtime from the future. Paths seen this scan; anything else
+  // in observed_ is a finished/stolen claim whose state can be dropped.
+  std::lock_guard observed_lock(observed_mutex_);
+  std::map<std::string, LeaseObservation> still_present;
   for (fs::directory_iterator worker(claimed, ec), wend; !ec && worker != wend;
        worker.increment(ec)) {
     if (!worker->is_directory(ec)) continue;
@@ -444,7 +475,18 @@ std::size_t Spool::reclaim_stale(std::chrono::milliseconds lease) const {
       if (!parse_cell_name(name, key, attempts)) continue;
       std::error_code mt;
       const auto mtime = fs::last_write_time(it->path(), mt);
-      if (mt || now - mtime < lease) continue;
+      if (mt) continue;
+      const std::string path = it->path().string();
+      auto [obs, fresh] = observed_.try_emplace(
+          path, LeaseObservation{mtime, steady_now});
+      if (!fresh && obs->second.mtime != mtime) {
+        obs->second = LeaseObservation{mtime, steady_now};  // heartbeat seen
+      }
+      const bool mtime_stale = now - mtime >= lease;
+      const bool observed_stale =
+          steady_now - obs->second.first_seen >= lease;
+      still_present.emplace(path, obs->second);
+      if (!mtime_stale && !observed_stale) continue;
       const int attempt = attempts + 1;  // the execution that went silent
       std::error_code rn;
       if (attempt >= max_attempts_) {
@@ -457,9 +499,13 @@ std::size_t Spool::reclaim_stale(std::chrono::milliseconds lease) const {
         fs::rename(it->path(), fs::path(dir_) / "todo" / cell_name(key, attempt),
                    rn);
       }
-      if (!rn) ++moved;
+      if (!rn) {
+        ++moved;
+        still_present.erase(path);
+      }
     }
   }
+  observed_ = std::move(still_present);
   return moved;
 }
 

@@ -22,10 +22,29 @@
 // repeated lease expiry) moves to failed/ with the collected messages; the
 // coordinator surfaces it as a per-cell error instead of hanging. An
 // unreadable spec (corruption) is quarantined to failed/ immediately.
+//
+// Clock-skew / NFS caveat: lease staleness is judged from claim-file
+// mtimes, which on a shared filesystem are stamped by *another host's*
+// clock. reclaim_stale therefore treats a claim as stale when EITHER its
+// absolute mtime age exceeds the lease (the fast path when clocks agree)
+// OR this process has observed the same mtime unchanged for a full lease
+// of its own steady-clock time (robust to hosts whose clocks run ahead —
+// even to mtimes in the future). What the protocol does assume of the
+// filesystem: atomic rename within the spool tree, and close-to-open
+// visibility of renames and mtime updates. NFS provides both with default
+// (close-to-open) consistency, but aggressive attribute caching
+// (actimeo/nocto mounts) can delay heartbeat-mtime visibility by the
+// attribute-cache TTL — size leases comfortably above `acdirmax`/`acregmax`
+// (several × the heartbeat period at minimum) or stragglers get stolen
+// spuriously. Duplicate execution stays harmless either way: results are
+// content-keyed and store writes are atomic.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -112,15 +131,25 @@ class Spool {
   /// stolen meanwhile (benign — the thief will ack).
   [[nodiscard]] bool ack(const Claim& claim) const;
 
+  /// Voluntarily returns an unfinished claim to todo/ WITHOUT bumping the
+  /// attempt count — the drain path of a worker told to shut down
+  /// (SIGTERM): the cell was never executed to failure, so surrendering it
+  /// must not burn one of its attempts. False when the lease was stolen
+  /// meanwhile (benign).
+  [[nodiscard]] bool release(const Claim& claim) const;
+
   /// Records a failed execution: appends `message` to failed/<key>.err and
   /// either requeues the cell into todo/ with the attempt count bumped or,
   /// at the attempt cap, moves it to failed/ terminally.
   void fail(const Claim& claim, const std::string& message) const;
 
-  /// Renames every claimed entry whose mtime is older than `lease` back
-  /// into todo/ with the attempt count bumped (terminal past the cap), so
-  /// cells of dead or stuck workers get stolen. Returns entries moved
-  /// (requeued or terminally failed).
+  /// Renames every stale claimed entry back into todo/ with the attempt
+  /// count bumped (terminal past the cap), so cells of dead or stuck
+  /// workers get stolen. A claim is stale when its mtime age exceeds
+  /// `lease` OR this Spool instance has watched the same mtime sit
+  /// unchanged for `lease` of local steady-clock time (see the clock-skew
+  /// caveat in the header comment). Returns entries moved (requeued or
+  /// terminally failed).
   std::size_t reclaim_stale(std::chrono::milliseconds lease) const;
 
   /// True when failed/<key>.cell exists (attempts exhausted / quarantined).
@@ -137,6 +166,16 @@ class Spool {
  private:
   std::string dir_;
   int max_attempts_;
+
+  // Skew-robust staleness: per claim path, the last mtime seen and the
+  // local steady-clock instant it was first seen at. Observation state of
+  // this coordinator process only — never shared through the filesystem.
+  struct LeaseObservation {
+    std::filesystem::file_time_type mtime;
+    std::chrono::steady_clock::time_point first_seen;
+  };
+  mutable std::mutex observed_mutex_;
+  mutable std::map<std::string, LeaseObservation> observed_;
 };
 
 /// Hygiene options for long-lived spool directories (tools/cache_gc).

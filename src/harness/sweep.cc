@@ -104,6 +104,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
   const std::uint64_t hits_before = cache.hits();
   const std::uint64_t misses_before = cache.misses();
   const std::uint64_t disk_hits_before = cache.disk_hits();
+  const std::uint64_t corrupt_before = run_store_corrupt_reads();
   TapeRegistry& tapes = TapeRegistry::instance();
   const std::uint64_t tape_hits_before = tapes.hits();
   const std::uint64_t tape_recordings_before = tapes.recordings();
@@ -202,12 +203,13 @@ SweepResult run_sweep(const SweepSpec& spec) {
   out.tape_hits = tapes.hits() - tape_hits_before;
   out.tape_recordings = tapes.recordings() - tape_recordings_before;
   out.tape_live = tapes.live_sources() - tape_live_before;
+  out.corrupt_records = run_store_corrupt_reads() - corrupt_before;
   if (spec.progress) {
     std::fprintf(
         stderr,
         "[sweep] %zu points x %zu workloads: %llu simulated, %llu cached, "
         "%llu loaded from disk; tapes: %llu replayed, %llu recorded, "
-        "%llu live\n",
+        "%llu live",
         num_points, num_workloads,
         static_cast<unsigned long long>(out.cache_misses),
         static_cast<unsigned long long>(out.cache_hits),
@@ -215,6 +217,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
         static_cast<unsigned long long>(out.tape_hits),
         static_cast<unsigned long long>(out.tape_recordings),
         static_cast<unsigned long long>(out.tape_live));
+    if (out.corrupt_records > 0) {
+      std::fprintf(stderr, "; %llu corrupt records ignored",
+                   static_cast<unsigned long long>(out.corrupt_records));
+    }
+    std::fprintf(stderr, "\n");
   }
   return out;
 }

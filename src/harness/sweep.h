@@ -122,6 +122,12 @@ struct SweepResult {
   std::uint64_t tape_recordings = 0;
   std::uint64_t tape_live = 0;
 
+  /// Store records found on disk during this sweep but rejected by
+  /// validation (truncation, bit rot, stale format) — each silently cost a
+  /// recompute; the progress line surfaces the count so corruption is
+  /// visible instead of just slow.
+  std::uint64_t corrupt_records = 0;
+
   /// Index of the point labelled `label`; throws std::out_of_range.
   [[nodiscard]] std::size_t point_index(const std::string& label) const;
 

@@ -1,0 +1,295 @@
+// Chaos-hardening of the distributed sweep/store/spool stack
+// (common/faultpoint.h): multi-worker sharded sweeps run under randomized
+// fault schedules — worker crashes after claim and before ack, injected
+// simulation failures, torn store writes, read errors, spawn failures —
+// and the resulting tables must be BYTE-identical to a fault-free run,
+// with the shared store exactly-once-effective (one valid record per cell,
+// byte-identical to the fault-free record). Also covers the full-disk
+// degradation of the run store to a memory-only tier, and the
+// --degrade-local rescue of a swarm that cannot spawn.
+//
+// Worker-side faults are armed through $CLUSMT_FAULTS (inherited by the
+// spawned sweep_worker processes); coordinator-side faults are armed
+// programmatically — crash-mode points only ever fire in workers because
+// the coordinator never claims or acks.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/faultpoint.h"
+#include "harness/presets.h"
+#include "harness/run_cache.h"
+#include "harness/shard.h"
+#include "harness/sweep.h"
+#include "trace/workload.h"
+
+namespace clusmt::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Captured before any test runs (ChaosTest fixtures unset the variable):
+// the schedule the CI job exported, if any.
+const std::string g_ambient_faults = [] {
+  const char* env = std::getenv("CLUSMT_FAULTS");
+  return env != nullptr ? std::string(env) : std::string();
+}();
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Neutralize any ambient schedule (e.g. the CI smoke arming): every
+    // test arms exactly the faults it wants, and the fault-free reference
+    // runs must really be fault-free.
+    faultpoint::disarm_all();
+    ::unsetenv("CLUSMT_FAULTS");
+    std::string tmpl =
+        (fs::temp_directory_path() / "clusmt_chaos_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    faultpoint::disarm_all();
+    ::unsetenv("CLUSMT_FAULTS");
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string subdir(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+
+  std::string dir_;
+};
+
+/// Same small grid as shard_test: 2 schemes x 3 workloads with fairness
+/// baselines — grid cells, dedup, and baseline spooling, kept quick.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.suite = trace::build_quick_suite(1, 1, 2);
+  spec.suite.resize(3);
+  spec.cycles = 1500;
+  spec.warmup = 300;
+  spec.jobs = 2;
+  spec.with_fairness = true;
+  spec.progress = false;
+  spec.base = paper_baseline();
+  spec.axes = {{"scheme",
+                {{"Icount",
+                  [](core::SimConfig& c) {
+                    c.policy = policy::PolicyKind::kIcount;
+                  }},
+                 {"CDPRF", [](core::SimConfig& c) {
+                    c.policy = policy::PolicyKind::kCdprf;
+                  }}}}};
+  return spec;
+}
+
+/// The emitted artifact bytes, as a bench would write them.
+std::string render_csv(const SweepResult& result) {
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    series.emplace_back(result.points[p].label + " thr",
+                        result.throughput(p));
+    series.emplace_back(result.points[p].label + " fair",
+                        result.fairness(p));
+  }
+  return category_table(result.suite, series, 6).to_csv();
+}
+
+std::string render_json(const SweepResult& result) {
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    series.emplace_back(result.points[p].label, result.throughput(p));
+  }
+  return category_table(result.suite, series, 6).to_json();
+}
+
+/// Every .run record under `dir`, keyed by store-relative path. Orphan
+/// temp files from injected crashes are deliberately not collected: they
+/// are invisible to readers, which is the point of atomic writes.
+std::map<std::string, std::string> store_records(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code fec;
+    if (!it->is_regular_file(fec) || it->path().extension() != ".run") {
+      continue;
+    }
+    std::ifstream in(it->path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::error_code rel_ec;
+    out.emplace(fs::relative(it->path(), dir, rel_ec).string(),
+                std::move(bytes));
+  }
+  return out;
+}
+
+// The acceptance-criterion test: >= 2 workers, >= 6 distinct fault points
+// across worker and coordinator processes, randomized per-round schedules,
+// and byte-identical artifacts + store against a fault-free reference.
+TEST_F(ChaosTest, ShardedSweepUnderFaultScheduleMatchesFaultFreeRun) {
+  // Fault-free reference: the table bytes and the exact store records.
+  SweepSpec ref_spec = small_spec();
+  RunCache ref_cache;
+  ref_cache.set_store_dir(subdir("store-ref"));
+  ref_spec.cache = &ref_cache;
+  const SweepResult reference = run_sweep(ref_spec);
+  const std::string ref_csv = render_csv(reference);
+  const std::string ref_json = render_json(reference);
+  const auto ref_records = store_records(subdir("store-ref"));
+  ASSERT_FALSE(ref_records.empty());
+
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("chaos round " + std::to_string(round));
+    const std::string tag = std::to_string(round);
+    const std::string seed = std::to_string(100 + round);
+
+    // Worker-side schedule, inherited via the environment by every
+    // sweep_worker the coordinator spawns. Crash points land in the
+    // claim->ack window; the rest are error/torn-write/read faults whose
+    // worst case is a recompute.
+    const std::string worker_schedule =
+        "spool.claim:crash:0.04:" + seed +
+        ";spool.ack:crash:0.04:" + seed +
+        ";worker.sim:error:0.08:" + seed +
+        ";fsio.write:partial:0.05:" + seed +
+        ";run_store.load:error:0.1:" + seed;
+    ASSERT_EQ(::setenv("CLUSMT_FAULTS", worker_schedule.c_str(), 1), 0);
+    // The coordinator process must not run the worker schedule: clear
+    // everything (this also forces the env parse, making the clear stick
+    // for this process) and arm coordinator-side faults explicitly.
+    faultpoint::disarm_all();
+    faultpoint::arm("shard.spawn",
+                    {faultpoint::Mode::kError, 1.0,
+                     static_cast<std::uint64_t>(round), /*max_fires=*/1, 20});
+    faultpoint::arm("run_store.load", faultpoint::Mode::kError, 0.15,
+                    static_cast<std::uint64_t>(round));
+
+    RunCache cache;
+    cache.set_store_dir(subdir("store-" + tag));
+    SweepSpec spec = small_spec();
+    spec.cache = &cache;
+    spec.shard.workers = 2;
+    spec.shard.spool_dir = subdir("spool-" + tag);
+    spec.shard.max_attempts = 8;
+    spec.shard.lease_ms = 600;
+    spec.shard.idle_timeout_ms = 4000;
+    spec.shard.degrade_local = true;  // liveness backstop: never hang CI
+    const SweepResult result = run_sweep(spec);
+
+    // The armed spawn fault deterministically ate the first spawn attempt.
+    EXPECT_EQ(faultpoint::fires("shard.spawn"), 1u);
+    faultpoint::disarm_all();
+    ::unsetenv("CLUSMT_FAULTS");
+
+    // Tables byte-identical to the fault-free run.
+    EXPECT_EQ(render_csv(result), ref_csv);
+    EXPECT_EQ(render_json(result), ref_json);
+
+    // Store exactly-once-effective: exactly one record per cell, each
+    // byte-identical to the fault-free record (duplicate executions and
+    // torn writes must never leave a second or different version).
+    const auto records = store_records(subdir("store-" + tag));
+    EXPECT_EQ(records.size(), ref_records.size());
+    for (const auto& [rel, bytes] : ref_records) {
+      const auto it = records.find(rel);
+      ASSERT_NE(it, records.end()) << "missing record " << rel;
+      EXPECT_EQ(it->second, bytes) << "record bytes differ: " << rel;
+    }
+  }
+}
+
+TEST_F(ChaosTest, FullDiskStoreDegradesToMemoryOnlyWithWarning) {
+  // Every save fails (the disk is "full" from the first write): the sweep
+  // must complete with correct numbers, warn once, and demote the store to
+  // memory-only instead of aborting or warning per cell.
+  SweepSpec ref_spec = small_spec();
+  RunCache ref_cache;  // no store attached: pure in-memory reference
+  ref_spec.cache = &ref_cache;
+  const std::string ref_csv = render_csv(run_sweep(ref_spec));
+
+  faultpoint::arm("run_store.save", faultpoint::Mode::kError);
+  RunCache cache;
+  cache.set_store_dir(subdir("store"));
+  SweepSpec spec = small_spec();
+  spec.cache = &cache;
+  ::testing::internal::CaptureStderr();
+  const SweepResult result = run_sweep(spec);
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  faultpoint::disarm_all();
+
+  EXPECT_EQ(render_csv(result), ref_csv) << "degradation must not change "
+                                            "results";
+  EXPECT_TRUE(cache.store_write_degraded());
+  EXPECT_GE(cache.save_failures(),
+            static_cast<std::uint64_t>(RunCache::kDegradeAfterSaveFailures));
+  EXPECT_NE(log.find("degraded to memory-only"), std::string::npos) << log;
+  EXPECT_TRUE(store_records(subdir("store")).empty())
+      << "no record can land while every write fails";
+
+  // Re-attaching a (healthy) store clears the degradation.
+  cache.set_store_dir(subdir("store2"));
+  EXPECT_FALSE(cache.store_write_degraded());
+}
+
+TEST_F(ChaosTest, SpawnFailuresDegradeToLocalWhenRequested) {
+  SweepSpec ref_spec = small_spec();
+  RunCache ref_cache;
+  ref_spec.cache = &ref_cache;
+  const std::string ref_csv = render_csv(run_sweep(ref_spec));
+
+  // Default (degrade_local off): an unspawnable worker binary aborts.
+  {
+    RunCache cache;
+    cache.set_store_dir(subdir("store-abort"));
+    SweepSpec spec = small_spec();
+    spec.cache = &cache;
+    spec.shard.workers = 2;
+    spec.shard.spool_dir = subdir("spool-abort");
+    spec.shard.worker_bin = subdir("no-such-binary");
+    EXPECT_THROW((void)run_sweep(spec), std::runtime_error);
+  }
+
+  // degrade_local: the same dead swarm falls back to in-process
+  // simulation and the sweep completes bit-identically.
+  {
+    RunCache cache;
+    cache.set_store_dir(subdir("store-degrade"));
+    SweepSpec spec = small_spec();
+    spec.cache = &cache;
+    spec.shard.workers = 2;
+    spec.shard.spool_dir = subdir("spool-degrade");
+    spec.shard.worker_bin = subdir("no-such-binary");
+    spec.shard.degrade_local = true;
+    const ShardStats stats = shard_prefetch(spec, spec.expand_points());
+    EXPECT_GT(stats.simulated_locally, 0u);
+    EXPECT_EQ(stats.simulated_locally, stats.spooled);
+    EXPECT_EQ(stats.workers_spawned, 0);
+
+    const SweepResult result = run_sweep(spec);  // fully warm now
+    EXPECT_EQ(result.cache_misses, 0u);
+    EXPECT_EQ(render_csv(result), ref_csv);
+  }
+}
+
+// CI smoke hook: when the job exports an ambient CLUSMT_FAULTS (the ASan
+// lane does), its schedule must at least parse — a typo in the workflow
+// should fail loudly here instead of silently arming nothing.
+TEST(ChaosEnvSmoke, AmbientScheduleParsesCleanly) {
+  if (g_ambient_faults.empty()) GTEST_SKIP() << "no ambient CLUSMT_FAULTS";
+  EXPECT_TRUE(faultpoint::arm_from_spec(g_ambient_faults))
+      << g_ambient_faults;
+  faultpoint::disarm_all();
+}
+
+}  // namespace
+}  // namespace clusmt::harness

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "common/faultpoint.h"
 #include "harness/presets.h"
+#include "harness/run_cache.h"
 #include "harness/runner.h"
 #include "trace/workload.h"
 
@@ -136,6 +142,73 @@ TEST(ByCategory, SizeMismatchThrows) {
   const auto suite = trace::build_quick_suite(1, 1, 1);
   EXPECT_THROW((void)by_category(suite, std::vector<double>(1)),
                std::invalid_argument);
+}
+
+TEST(RunCacheDegrade, ConsecutiveSaveFailuresDemoteTheStoreToReadOnly) {
+  const std::string dir = ::testing::TempDir() + "clusmt_degrade_store";
+  RunCache cache;
+  cache.set_store_dir(dir);
+  ASSERT_FALSE(cache.store_write_degraded());
+
+  // Every spill fails, as on a full disk. One failure is not degradation
+  // (a transient); kDegradeAfterSaveFailures consecutive ones are.
+  faultpoint::arm("run_store.save", faultpoint::Mode::kError);
+  const auto fill = [&](std::uint64_t from, std::uint64_t n) {
+    for (std::uint64_t i = from; i < from + n; ++i) {
+      (void)cache.get_or_run(RunKey{i, ~i}, [] { return RunResult{}; });
+    }
+  };
+  fill(0, 1);
+  EXPECT_FALSE(cache.store_write_degraded()) << "one failure is transient";
+  EXPECT_EQ(cache.save_failures(), 1u);
+  fill(1, RunCache::kDegradeAfterSaveFailures - 1);
+  EXPECT_TRUE(cache.store_write_degraded());
+  const std::uint64_t failures_at_degrade = cache.save_failures();
+
+  // Degraded = memory-only: further cells compute fine, attempt no saves.
+  faultpoint::disarm_all();  // the disk "recovers" — too late, we stopped
+  fill(100, 3);
+  EXPECT_EQ(cache.save_failures(), failures_at_degrade)
+      << "degraded cache must stop attempting saves";
+  EXPECT_TRUE(cache.store_write_degraded());
+  EXPECT_EQ(cache.misses(),
+            static_cast<std::uint64_t>(RunCache::kDegradeAfterSaveFailures) +
+                3)
+      << "every cell still computes and memoizes";
+
+  // Re-attaching a store clears the demotion and saves flow again.
+  cache.set_store_dir(dir);
+  EXPECT_FALSE(cache.store_write_degraded());
+  fill(200, 1);
+  EXPECT_EQ(cache.save_failures(), failures_at_degrade)
+      << "healthy disk: no new failures";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(RunCacheDegrade, RecoveryBetweenFailuresResetsTheStrikeCount) {
+  const std::string dir = ::testing::TempDir() + "clusmt_flaky_store";
+  RunCache cache;
+  cache.set_store_dir(dir);
+
+  std::uint64_t next = 0;
+  const auto one = [&] {
+    (void)cache.get_or_run(RunKey{next, ~next}, [] { return RunResult{}; });
+    ++next;
+  };
+  // Alternate fail/succeed well past the threshold: never degrades,
+  // because the failures are not consecutive.
+  for (int i = 0; i < 2 * RunCache::kDegradeAfterSaveFailures; ++i) {
+    faultpoint::arm("run_store.save", faultpoint::Mode::kError);
+    one();
+    faultpoint::disarm_all();
+    one();
+  }
+  EXPECT_FALSE(cache.store_write_degraded());
+  EXPECT_EQ(cache.save_failures(),
+            static_cast<std::uint64_t>(2 * RunCache::kDegradeAfterSaveFailures));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faultpoint.h"
 #include "common/thread_pool.h"
 #include "harness/presets.h"
 #include "harness/run_cache.h"
@@ -266,6 +267,77 @@ TEST_F(RunStoreTest, ConcurrentWritersToOneDirAgree) {
   for (std::uint64_t k = 0; k < 8; ++k) {
     EXPECT_TRUE(RunStore(dir_).load(RunKey{k, ~k}).has_value());
   }
+}
+
+// ---- Injected-fault recovery (common/faultpoint.h) -----------------------
+
+TEST_F(RunStoreTest, EnospcSaveFailsCleanlyAndKeepsThePriorRecord) {
+  const RunKey key{21, 42};
+  const RunStore store(dir_);
+  ASSERT_TRUE(store.save(key, sample_result(0.0)));
+  const std::string before =
+      [&] {
+        std::ifstream in(store.path_of(key), std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+      }();
+
+  // The disk fills mid-write: the save reports failure, the temp file is
+  // cleaned up, and the previously persisted record is untouched.
+  faultpoint::arm("fsio.write", faultpoint::Mode::kEnospc);
+  EXPECT_FALSE(store.save(key, sample_result(9.0)));
+  faultpoint::disarm_all();
+
+  std::ifstream in(store.path_of(key), std::ios::binary);
+  const std::string after((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, before) << "a failed write must leave the old record";
+  const auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(sample_result(0.0), *loaded);
+  // No orphan temp files either: the failed write cleaned up after itself.
+  std::size_t strays = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() != ".run") {
+      ++strays;
+    }
+  }
+  EXPECT_EQ(strays, 0u);
+}
+
+TEST_F(RunStoreTest, TornWriteReadsAsMissAndCountsAsCorrupt) {
+  const RunKey key{5, 6};
+  const RunStore store(dir_);
+
+  // A torn write REPORTS SUCCESS (the silent corruption a non-atomic
+  // filesystem produces) but lands only a prefix of the record.
+  faultpoint::arm("fsio.write", faultpoint::Mode::kPartial);
+  EXPECT_TRUE(store.save(key, sample_result(0.0)));
+  faultpoint::disarm_all();
+
+  const std::uint64_t corrupt_before = run_store_corrupt_reads();
+  EXPECT_FALSE(store.load(key).has_value())
+      << "the checksum must reject the torn record";
+  EXPECT_EQ(run_store_corrupt_reads(), corrupt_before + 1)
+      << "a rejected record must be surfaced, not silently recomputed";
+
+  // A clean rewrite recovers the cell.
+  ASSERT_TRUE(store.save(key, sample_result(0.0)));
+  EXPECT_TRUE(store.load(key).has_value());
+}
+
+TEST_F(RunStoreTest, InjectedLoadErrorIsAMissNotCorruption) {
+  const RunKey key{30, 31};
+  const RunStore store(dir_);
+  ASSERT_TRUE(store.save(key, sample_result(0.0)));
+
+  const std::uint64_t corrupt_before = run_store_corrupt_reads();
+  faultpoint::arm("run_store.load", faultpoint::Mode::kError);
+  EXPECT_FALSE(store.load(key).has_value());
+  faultpoint::disarm_all();
+  EXPECT_EQ(run_store_corrupt_reads(), corrupt_before)
+      << "an I/O error is not a corrupt record";
+  EXPECT_TRUE(store.load(key).has_value()) << "the record itself is fine";
 }
 
 TEST_F(RunStoreTest, UnwritableDirDegradesToProcessLocalCaching) {

@@ -22,16 +22,27 @@
 // whose simulation throws is failed back into the queue with its message;
 // after --max-attempts failures it turns terminal. Duplicate execution
 // after a steal is harmless: results are content-keyed and byte-identical.
+//
+// SIGTERM drains: the worker surrenders every held lease back to todo/
+// (attempt count unchanged — nothing failed) and exits promptly, so a
+// coordinator tearing the swarm down or an operator's kill never strands
+// cells behind a lease expiry. SIGKILL still loses nothing: the leases go
+// stale and are stolen.
+#include <signal.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include "common/faultpoint.h"
 
 #include "common/cli.h"
 #include "harness/run_cache.h"
@@ -63,30 +74,49 @@ std::string flag_or_env(const CliArgs& args, const std::string& flag,
   return value;
 }
 
-/// Claims held by live claimant threads, heartbeat-refreshed as a set.
+/// Claims held by live claimant threads, heartbeat-refreshed as a set and
+/// surrendered wholesale on a drain.
 class LeaseTable {
  public:
   void add(const harness::Spool::Claim& claim) {
     std::lock_guard lock(mutex_);
-    paths_.push_back(claim.path);
+    claims_.push_back(claim);
   }
   void remove(const harness::Spool::Claim& claim) {
     std::lock_guard lock(mutex_);
-    std::erase(paths_, claim.path);
+    std::erase_if(claims_, [&](const harness::Spool::Claim& c) {
+      return c.path == claim.path;
+    });
   }
   void refresh_all() const {
     std::lock_guard lock(mutex_);
-    for (const std::string& path : paths_) {
+    for (const harness::Spool::Claim& c : claims_) {
       std::error_code ec;
       std::filesystem::last_write_time(
-          path, std::filesystem::file_time_type::clock::now(), ec);
+          c.path, std::filesystem::file_time_type::clock::now(), ec);
     }
+  }
+  /// SIGTERM drain: every held lease goes back to todo/ with its attempt
+  /// count unchanged (the cell never ran to failure), instantly
+  /// re-claimable instead of waiting out a lease expiry.
+  std::size_t release_all(const harness::Spool& spool) {
+    std::lock_guard lock(mutex_);
+    std::size_t released = 0;
+    for (const harness::Spool::Claim& c : claims_) {
+      if (spool.release(c)) ++released;
+    }
+    claims_.clear();
+    return released;
   }
 
  private:
   mutable std::mutex mutex_;
-  std::vector<std::string> paths_;
+  std::vector<harness::Spool::Claim> claims_;
 };
+
+volatile std::sig_atomic_t g_drain = 0;
+
+extern "C" void handle_sigterm(int) { g_drain = 1; }
 
 }  // namespace
 
@@ -126,14 +156,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  struct sigaction drain_action = {};
+  drain_action.sa_handler = handle_sigterm;
+  sigaction(SIGTERM, &drain_action, nullptr);
+
   LeaseTable leases;
   std::atomic<bool> stop{false};
+  // The heartbeat doubles as the drain watcher: it polls in short slices
+  // (the coordinator's SIGTERM→SIGKILL grace is seconds, so sleeping a
+  // whole lease/3 period would blow through it), refreshes held leases
+  // once per period, and on SIGTERM releases them and exits the process.
   std::thread heartbeat([&] {
     const auto period =
         std::chrono::milliseconds(std::max(50, lease_ms / 3));
+    auto last_refresh = std::chrono::steady_clock::now();
     while (!stop.load(std::memory_order_relaxed)) {
-      leases.refresh_all();
-      std::this_thread::sleep_for(period);
+      if (g_drain != 0) {
+        const std::size_t released = leases.release_all(spool);
+        std::fprintf(stderr,
+                     "[worker %s] SIGTERM: drained, released %zu lease(s) "
+                     "back to todo\n",
+                     worker_id.c_str(), released);
+        _exit(0);
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_refresh >= period) {
+        leases.refresh_all();
+        last_refresh = now;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
   });
 
@@ -142,6 +193,7 @@ int main(int argc, char** argv) {
   const auto claimant = [&] {
     auto last_work = std::chrono::steady_clock::now();
     while (true) {
+      if (g_drain != 0) return;  // draining: claim nothing new
       std::optional<harness::Spool::Claim> claim = spool.claim(worker_id);
       if (!claim) {
         if (spool.drained()) return;
@@ -168,6 +220,15 @@ int main(int argc, char** argv) {
         continue;
       }
       leases.add(*claim);
+      // Fault point `worker.sim`: error → this execution attempt fails
+      // cleanly (requeued with a bumped attempt count, terminal at the
+      // cap); crash → the worker dies mid-simulation holding the lease.
+      if (faultpoint::inject_error("worker.sim")) {
+        leases.remove(*claim);
+        spool.fail(*claim, "injected fault: worker.sim");
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       bool ok = false;
       std::string error;
       try {
