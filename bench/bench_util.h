@@ -19,6 +19,10 @@
 //                  invocations (falls back to $CLUSMT_CACHE_DIR)
 //   --no-tape      bypass the trace-tape registry: every thread generates
 //                  its µop stream live (the tape differential oracle)
+//   --no-skip-ahead  disable quiescent-cycle skip-ahead: simulate every
+//                  cycle (the skip differential oracle; results identical)
+//   --no-rename-memo disable rename-plan memoization (the memo oracle;
+//                  results identical)
 //   --golden-emit PATH  also write the table as golden JSON (the format
 //                  tools/golden_diff compares; see bench/golden/)
 //   --shard-workers N  distributed mode: farm cache-miss cells to N local
@@ -78,6 +82,8 @@ struct BenchOptions {
   std::string cache_dir;
   std::size_t jobs = 0;
   bool no_tape = false;
+  bool skip_ahead = true;
+  bool rename_memo = true;
   harness::ShardSpec shard;
 
   static BenchOptions parse(int argc, char** argv, Cycle default_cycles,
@@ -109,6 +115,8 @@ struct BenchOptions {
     harness::RunCache::instance().set_store_dir(opt.cache_dir);
     opt.no_tape = args.get_bool("no-tape", false);
     harness::TapeRegistry::instance().set_enabled(!opt.no_tape);
+    opt.skip_ahead = !args.get_bool("no-skip-ahead", false);
+    opt.rename_memo = !args.get_bool("no-rename-memo", false);
     opt.shard.workers = static_cast<int>(args.get_int("shard-workers", 0));
     opt.shard.spool_dir = args.get_string("spool-dir", "");
     if (opt.shard.spool_dir.empty()) {
@@ -165,6 +173,8 @@ struct BenchOptions {
     spec.warmup = warmup;
     spec.jobs = jobs;
     spec.shard = shard;
+    spec.skip_ahead = skip_ahead;
+    spec.rename_memo = rename_memo;
     return spec;
   }
 };

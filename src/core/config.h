@@ -71,6 +71,20 @@ struct SimConfig {
   /// Aborts the run if no µop commits for this many cycles (deadlock trap).
   Cycle watchdog_cycles = 100000;
 
+  // --- Model-level fast paths (behavior-preserving; differential knobs) ---
+  /// Quiescent-cycle skip-ahead: when a cycle provably changes nothing but
+  /// monotone stall counters (no fetch/rename/issue/commit/event progress),
+  /// jump `now` to the next timing-wheel event (capped at interval-policy
+  /// boundaries and the watchdog limit) and replicate the per-cycle stat
+  /// deltas in closed form. SimStats are bit-identical either way; OFF is
+  /// the differential oracle (tests/skip_ahead_test.cc).
+  bool skip_ahead = true;
+  /// Rename-plan memoization: replica-set presence masks and a per-thread
+  /// plan-shape cache keyed by (µop identity, replica masks, forced
+  /// cluster) replace the per-µop copy-plan rederivation. Pure-function
+  /// cache — decisions are bit-identical; OFF is the oracle.
+  bool rename_memo = true;
+
   /// Effective per-thread ROB capacity (0 selects the unbounded mode).
   [[nodiscard]] int effective_rob_entries() const noexcept {
     return rob_entries == 0 ? 4096 : rob_entries;

@@ -1,8 +1,10 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -173,15 +175,339 @@ void Simulator::attach_thread(ThreadId tid, const trace::TraceSpec& spec) {
 void Simulator::run(Cycle cycles) {
   const Cycle end = now_ + cycles;
   while (now_ < end) {
+    // Quiescent-cycle skip-ahead: when the structural pre-check passes and
+    // the frozen state cannot change for >= 2 cycles, simulate ONE real
+    // probe cycle. If its delta has the quiescent shape (only monotone
+    // per-cycle stall counters moved), every cycle up to the horizon would
+    // repeat it exactly — replicate the delta in closed form and jump.
+    // Any other delta means the cycle did real work; it stands as a normal
+    // simulated cycle and the loop continues. SimStats stay bit-identical
+    // to the cycle-by-cycle oracle either way (tests/skip_ahead_test.cc).
+    // A failed attempt costs only the snapshot: the probed cycle was a
+    // real simulated cycle regardless. But on busy workloads the
+    // structural pre-check passes spuriously for long stretches (the
+    // machine looks idle for one cycle while work is in flight), so
+    // failed probes back off exponentially — attempting less often is
+    // always sound, because skipping is semantically the identity.
+    if (config_.skip_ahead && now_ >= skip_retry_at_ && maybe_quiescent()) {
+      const Cycle horizon = skip_horizon(end);
+      if (horizon > now_ + 1) {
+        if (probe_and_replicate(horizon)) {
+          skip_backoff_ = 0;
+        } else {
+          skip_backoff_ = std::min<Cycle>(skip_backoff_ * 2 + 1, 64);
+          skip_retry_at_ = now_ + skip_backoff_;
+        }
+        continue;
+      }
+    }
     step();
-    if (now_ - last_commit_cycle_ > config_.watchdog_cycles) {
-      std::ostringstream err;
-      err << "simulator watchdog: no commit since cycle "
-          << last_commit_cycle_ << " (now " << now_ << ", policy "
-          << policy_.name() << ")";
-      throw std::runtime_error(err.str());
+    check_watchdog();
+  }
+}
+
+// Probes up to num_threads consecutive cycles. The machine may be frozen
+// in every respect EXCEPT the rename-selection tie-break cursor, which on
+// a tie rotates through the tied threads with some period p <= num_threads
+// (the orbit of a deterministic map on a finite set, and the fingerprint
+// captures its whole state). A window is replicable when p probed cycles
+// bring the fingerprint back to its start, every probe's delta has the
+// quiescent shape, and all p per-cycle deltas are identical — then every
+// remaining cycle up to the horizon repeats that same delta, and the
+// cursor advance is replayed exactly by k select calls over the frozen
+// view. The common fixpoint case closes at p == 1 with no replay.
+//
+// Returns false only when a probe revealed real activity (the delta was
+// not quiescent-shaped, phases disagreed, or no orbit closed) — the
+// caller's backoff keys off that. Benign exits (window consumed or too
+// short for another probe) return true: the machine really was idle.
+bool Simulator::probe_and_replicate(Cycle horizon) {
+  SkipSnapshot prev;
+  capture_snapshot(prev);
+  const std::uint64_t base_fp = prev.select_fingerprint;
+  ProbeDelta d0{};
+  int phase = 0;
+  for (;;) {
+    step();  // a probe: one fully simulated cycle
+    check_watchdog();
+    if (!probe_delta_replicable(prev)) {
+      return false;  // the probe did real work; it stands as a normal cycle
+    }
+    ++phase;
+    const ProbeDelta d = delta_since(prev);
+    if (phase == 1) {
+      d0 = d;
+    } else if (!(d == d0)) {
+      return false;  // phases stall on different resources: not replicable
+    }
+    if (policy_.select_state_fingerprint() == base_fp) {
+      if (now_ >= horizon) return true;  // probes consumed the whole window
+      const std::uint64_t k = horizon - now_;
+      replicate_skip(d0, horizon);
+      // Fixpoint (p == 1) needs no replay: f(s) == s implies f^k(s) == s.
+      // For p > 1 the orbit just closed, so f^p is the identity on the
+      // cursor and only k mod p of the k frozen cycles' calls remain.
+      if (phase > 1) replay_select_cursor(k % static_cast<std::uint64_t>(phase));
+      check_watchdog();
+      return true;
+    }
+    if (phase >= config_.num_threads) return false;  // no closed orbit: bail
+    if (now_ + 1 >= horizon) return true;  // no room for another probe
+    capture_snapshot(prev);
+  }
+}
+
+// Advances the rename-selection cursor exactly as k further frozen cycles
+// would: rename_stage makes one select call per cycle whenever any thread
+// has queued µops and is rename-eligible, and both queries are pure
+// functions of the (frozen) view, so the per-cycle candidate mask is
+// constant over the window.
+void Simulator::replay_select_cursor(std::uint64_t k) {
+  std::uint32_t candidates = 0;
+  for (int t = 0; t < config_.num_threads; ++t) {
+    if (!fetch_->queue_empty(t)) candidates |= 1u << t;
+  }
+  candidates = policy_.rename_eligible(view_, candidates);
+  if (candidates == 0) return;  // select never runs; the cursor is frozen
+  for (std::uint64_t i = 0; i < k; ++i) {
+    (void)policy_.select_rename_thread(view_, candidates);
+  }
+}
+
+// The watchdog fires on the same cycle with the same message whether the
+// preceding cycles were simulated or skipped: skip_horizon() caps every
+// jump at last_commit_cycle_ + watchdog_cycles + 1, the first now_ at
+// which this condition can hold.
+void Simulator::check_watchdog() const {
+  if (now_ - last_commit_cycle_ > config_.watchdog_cycles) {
+    std::ostringstream err;
+    err << "simulator watchdog: no commit since cycle "
+        << last_commit_cycle_ << " (now " << now_ << ", policy "
+        << policy_.name() << ")";
+    throw std::runtime_error(err.str());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Quiescent-cycle skip-ahead (SimConfig::skip_ahead)
+// --------------------------------------------------------------------------
+
+// Structural pre-filter, run every iteration: can this cycle possibly make
+// progress? Cheap O(clusters + threads) checks only — a false positive
+// merely wastes one snapshot (the probe bails), a false negative merely
+// simulates normally. Everything here is a pure query; in particular
+// fetch_eligible is stateless for every scheme (gates read l2_pending /
+// iq_unready, which are frozen between events).
+bool Simulator::maybe_quiescent() {
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    if (clusters_[c].iq().ready_count() > 0) return false;
+  }
+  for (int t = 0; t < config_.num_threads; ++t) {
+    if (!robs_[t].empty() && robs_[t].head().stage == UopStage::kDone) {
+      return false;
     }
   }
+  // Fetch progress: mirror select_fetch_thread's can_fetch test — an
+  // eligible thread with decode-queue room whose stall expired will fetch.
+  // Structural part first: when every queue is full or stalled (the
+  // common blocked shape) the policy's eligibility mask is irrelevant, so
+  // the virtual query is skipped entirely.
+  std::uint32_t can_fetch = 0;
+  for (int t = 0; t < config_.num_threads; ++t) {
+    if (now_ >= fetch_->stalled_until(t) &&
+        fetch_->queue_size(t) < config_.decode_queue_capacity) {
+      can_fetch |= 1u << t;
+    }
+  }
+  if (can_fetch == 0) return true;
+  const std::uint32_t all = (1u << config_.num_threads) - 1;
+  return (policy_.fetch_eligible(view_, all) & can_fetch) == 0;
+}
+
+// First cycle at which the frozen machine may change, computed from
+// pre-probe state (conservative: the probe can only push boundaries
+// later). Skipped cycles are strictly before the returned horizon.
+Cycle Simulator::skip_horizon(Cycle end) {
+  Cycle h = std::min(end, next_event_cycle());
+  // An event due this cycle or next forbids any skip; the caller's
+  // horizon > now_+1 test will fail, so the remaining bounds are moot.
+  if (h <= now_ + 1) return h;
+  h = std::min(h, policy_.quiesce_horizon(now_));
+  // The watchdog must throw at exactly the oracle's cycle (the message
+  // embeds now_); the +1 is the first cycle the condition can hold.
+  h = std::min(h, last_commit_cycle_ + config_.watchdog_cycles + 1);
+  for (int t = 0; t < config_.num_threads; ++t) {
+    // A stalled thread with queue room resumes fetching when the stall
+    // expires (mispredict refill, I-TLB walk). Applied to policy-gated
+    // threads too — conservative, never wrong.
+    const Cycle until = fetch_->stalled_until(t);
+    if (until > now_ &&
+        fetch_->queue_size(t) < config_.decode_queue_capacity) {
+      h = std::min(h, until);
+    }
+  }
+  return h;
+}
+
+void Simulator::capture_snapshot(SkipSnapshot& snap) const {
+  snap.stats = stats_;
+  snap.blocked_epoch = blocked_epoch_;
+  snap.fetch = fetch_->stats();
+  snap.steer = steering_.stats();
+  snap.mob = mob_->stats();
+  snap.event_order = event_order_;
+  snap.events_coalesced = events_coalesced_;
+  snap.select_fingerprint = policy_.select_state_fingerprint();
+  snap.last_commit_cycle = last_commit_cycle_;
+  for (int t = 0; t < config_.num_threads; ++t) {
+    for (int k = 0; k < kNumRegClasses; ++k) {
+      snap.rf_blocked[t][k] = rf_blocked_flags_[t][k];
+    }
+  }
+}
+
+// The heart of the oracle: the probe cycle is valid to replicate iff its
+// delta over the snapshot is exactly the quiescent shape. Allowed to move:
+// stats_.cycles (+1), the per-cycle stall counters a fully blocked
+// rename records (rename_blocked_cycles, rename_block_*,
+// iq_pref_stall_events), the MOB's full_stalls and waits (blocked loads
+// re-polling against a frozen store set), and the steering decision
+// tallies of the doomed attempt. Everything else — commits, renames,
+// issues, fetches, squashes, events, policy/steering cursors, starvation
+// flags — must be frozen, or the next cycle would not repeat this one.
+bool Simulator::probe_delta_replicable(const SkipSnapshot& snap) const {
+  // Blocked loads may persist through the window, but the retry pass must
+  // have rebuilt the list identically: any load that forwarded, accessed,
+  // or was squashed changes the machine and forbids replication. The
+  // epoch counts content changes, so one compare stands in for the
+  // element-wise check.
+  if (blocked_epoch_ != snap.blocked_epoch) return false;
+  if (event_order_ != snap.event_order) return false;
+  if (events_coalesced_ != snap.events_coalesced) return false;
+  if (last_commit_cycle_ != snap.last_commit_cycle) return false;
+  // Starvation flags feed CDPRF's counters through the view; replication
+  // (and the quiesce replay) assume they repeat identically.
+  for (int t = 0; t < config_.num_threads; ++t) {
+    for (int k = 0; k < kNumRegClasses; ++k) {
+      if (rf_blocked_flags_[t][k] != snap.rf_blocked[t][k]) return false;
+    }
+  }
+
+  const SimStats& a = snap.stats;
+  const SimStats& b = stats_;
+  if (b.cycles != a.cycles + 1) return false;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    if (b.committed[t] != a.committed[t]) return false;
+  }
+  if (b.committed_copies != a.committed_copies) return false;
+  if (b.committed_branches != a.committed_branches) return false;
+  if (b.committed_loads != a.committed_loads) return false;
+  if (b.committed_stores != a.committed_stores) return false;
+  if (b.renamed_uops != a.renamed_uops) return false;
+  if (b.copies_created != a.copies_created) return false;
+  if (b.rename_cycles != a.rename_cycles) return false;
+  // rename_blocked_cycles, rename_block_{iq,rf,rob,mob} and
+  // iq_pref_stall_events may move: they are the per-cycle stall counters
+  // replicate_skip() scales.
+  if (b.non_preferred_dispatches != a.non_preferred_dispatches) return false;
+  if (b.issued_uops != a.issued_uops) return false;
+  if (b.cycles_with_issue != a.cycles_with_issue) return false;
+  for (int i = 0; i < 2; ++i) {
+    for (int k = 0; k < trace::kNumPortClasses; ++k) {
+      if (b.imbalance_events[i][k] != a.imbalance_events[i][k]) return false;
+    }
+  }
+  if (b.squashed_uops != a.squashed_uops) return false;
+  if (b.branches_resolved != a.branches_resolved) return false;
+  if (b.mispredicts_resolved != a.mispredicts_resolved) return false;
+  if (b.policy_flushes != a.policy_flushes) return false;
+  if (b.load_l2_misses != a.load_l2_misses) return false;
+  if (b.store_l2_misses != a.store_l2_misses) return false;
+  if (b.load_forwards != a.load_forwards) return false;
+
+  // The front end must not have moved at all (its cursors only advance on
+  // a successful selection, which these counters would record).
+  const frontend::FetchStats& f = fetch_->stats();
+  if (f.fetched_uops != snap.fetch.fetched_uops) return false;
+  if (f.wrong_path_uops != snap.fetch.wrong_path_uops) return false;
+  if (f.fetch_cycles != snap.fetch.fetch_cycles) return false;
+  if (f.tc_hit_cycles != snap.fetch.tc_hit_cycles) return false;
+  if (f.mispredicts_seen != snap.fetch.mispredicts_seen) return false;
+  if (f.itlb_stalls != snap.fetch.itlb_stalls) return false;
+
+  // MOB: the full-stall tally of a blocked memory rename and the wait
+  // tally of re-polled blocked loads may move (both replicate per cycle);
+  // an allocation, forward, or cache access is real progress.
+  const memory::MobStats& m = mob_->stats();
+  if (m.allocations != snap.mob.allocations) return false;
+  if (m.forwards != snap.mob.forwards) return false;
+  if (m.cache_accesses != snap.mob.cache_accesses) return false;
+
+  // Round-robin steering advances its cursor on every decision, even a
+  // doomed one; replicating would skew every later steer. The stateless
+  // kinds just replicate their tallies.
+  if (steering_.kind() == steer::SteeringKind::kRoundRobin &&
+      steering_.stats().decisions != snap.steer.decisions) {
+    return false;
+  }
+  return true;
+}
+
+// The per-cycle delta of one probed cycle, restricted to the counters a
+// quiescent cycle is allowed to move. Phases of a tie-rotation orbit must
+// produce identical deltas for the window to be replicable, which the
+// defaulted equality compares.
+Simulator::ProbeDelta Simulator::delta_since(const SkipSnapshot& s) const {
+  ProbeDelta d;
+  d.rename_blocked_cycles =
+      stats_.rename_blocked_cycles - s.stats.rename_blocked_cycles;
+  d.rename_block_iq = stats_.rename_block_iq - s.stats.rename_block_iq;
+  d.rename_block_rf = stats_.rename_block_rf - s.stats.rename_block_rf;
+  d.rename_block_rob = stats_.rename_block_rob - s.stats.rename_block_rob;
+  d.rename_block_mob = stats_.rename_block_mob - s.stats.rename_block_mob;
+  d.iq_pref_stall_events =
+      stats_.iq_pref_stall_events - s.stats.iq_pref_stall_events;
+  d.mob_full_stalls = mob_->stats().full_stalls - s.mob.full_stalls;
+  d.mob_waits = mob_->stats().waits - s.mob.waits;
+  d.steer_decisions = steering_.stats().decisions - s.steer.decisions;
+  d.steer_balance_overrides =
+      steering_.stats().balance_overrides - s.steer.balance_overrides;
+  d.steer_dependence_free =
+      steering_.stats().dependence_free - s.steer.dependence_free;
+  return d;
+}
+
+void Simulator::replicate_skip(const ProbeDelta& d, Cycle horizon) {
+  const std::uint64_t k = horizon - now_;  // cycles skipped: [now_, horizon)
+  stats_.cycles += k;
+  stats_.rename_blocked_cycles += d.rename_blocked_cycles * k;
+  stats_.rename_block_iq += d.rename_block_iq * k;
+  stats_.rename_block_rf += d.rename_block_rf * k;
+  stats_.rename_block_rob += d.rename_block_rob * k;
+  stats_.rename_block_mob += d.rename_block_mob * k;
+  stats_.iq_pref_stall_events += d.iq_pref_stall_events * k;
+
+  mob_->note_full_stalls(d.mob_full_stalls * k);
+  mob_->note_waits(d.mob_waits * k);
+  steer::SteeringStats sd;
+  sd.decisions = d.steer_decisions;
+  sd.balance_overrides = d.steer_balance_overrides;
+  sd.dependence_free = d.steer_dependence_free;
+  steering_.add_stats(sd, k);
+
+  // Interval policies integrate their per-cycle counters over the skipped
+  // cycles (CDPRF in closed form). view_ carries the frozen occupancies
+  // and the probe-validated rf_blocked flags.
+  policy_.quiesce(view_, now_, horizon);
+
+  // The commit round-robin rotates unconditionally every cycle.
+  commit_rr_ = static_cast<ThreadId>(
+      (static_cast<std::uint64_t>(commit_rr_) + k) %
+      static_cast<std::uint64_t>(config_.num_threads));
+
+  cycles_skipped_ += k;
+  ++skip_episodes_;
+  now_ = horizon;
 }
 
 void Simulator::reset_stats() {
@@ -192,6 +518,8 @@ void Simulator::reset_stats() {
   fetch_->reset_stats();
   interconnect_->reset_stats();
   steering_.reset_stats();
+  cycles_skipped_ = 0;
+  skip_episodes_ = 0;
 }
 
 void Simulator::step() {
@@ -366,6 +694,13 @@ void Simulator::sync_decode_depth(ThreadId tid) {
 void Simulator::schedule(Cycle cycle, EventKind kind, const DynUop& uop) {
   const Cycle delta = cycle - now_;
   assert(delta >= 1 && "events must be scheduled strictly in the future");
+  // Min-update the next-event hint while it is valid (> now_). A stale
+  // hint must stay stale — earlier events it does not know about may be
+  // pending — until next_event_cycle() rescans. The update is sound even
+  // on the coalesce return below: a record for `cycle` already exists.
+  if (next_event_hint_ > now_ && cycle < next_event_hint_) {
+    next_event_hint_ = cycle;
+  }
   const int rob_slot = robs_[uop.tid].slot_of(uop);
   if (event_model_ == EventModel::kCoalescedWheel &&
       delta < kEventWheelBuckets) {
@@ -382,6 +717,7 @@ void Simulator::schedule(Cycle cycle, EventKind kind, const DynUop& uop) {
       }
     }
     event_order_++;  // stamp consumed, mirroring the reference model
+    ++wheel_pending_;
     bucket.push_back(WheelRecord{.uid = uop.uid,
                                  .rob_slot = rob_slot,
                                  .tid = static_cast<std::int16_t>(uop.tid),
@@ -478,6 +814,9 @@ void Simulator::start_load_access(DynUop& uop) {
   const auto check = mob_->check_load(uop.mob_slot);
   switch (check) {
     case memory::LoadCheck::kWait:
+      // A first-time block changes the list content; a re-block during
+      // the retry pass is netted out there by the size check.
+      if (!in_blocked_retry_) ++blocked_epoch_;
       blocked_loads_.push_back(
           {uop.tid, robs_[uop.tid].slot_of(uop), uop.uid});
       return;
@@ -502,11 +841,16 @@ void Simulator::retry_blocked_loads() {
   if (blocked_loads_.empty()) return;
   std::vector<BlockedLoad> pending;
   pending.swap(blocked_loads_);
+  in_blocked_retry_ = true;
   for (const BlockedLoad& bl : pending) {
     DynUop& uop = robs_[bl.tid].at_slot(bl.rob_slot);
     if (uop.uid != bl.uid) continue;  // squashed meanwhile
     start_load_access(uop);           // re-blocks if still ambiguous
   }
+  in_blocked_retry_ = false;
+  // The rebuild preserves order and only removes, so an unchanged size
+  // means the list is element-wise identical to pending: no epoch bump.
+  if (blocked_loads_.size() != pending.size()) ++blocked_epoch_;
 }
 
 void Simulator::writeback_stage() {
@@ -537,7 +881,36 @@ void Simulator::drain_events() {
     const WheelRecord r = bucket[i];
     dispatch_event(r.kind, static_cast<ThreadId>(r.tid), r.rob_slot, r.uid);
   }
+  // Follow-ups scheduled during the drain landed in other buckets (and
+  // already incremented the counter); this bucket's records all retire.
+  wheel_pending_ -= bucket.size();
   bucket.clear();
+}
+
+Cycle Simulator::next_event_cycle() {
+  // Valid-hint fast path: schedule() min-updates the hint and events are
+  // only removed by the drain at their exact due cycle, so a hint still
+  // in the future IS the exact earliest pending cycle (see the invariant
+  // note at the member).
+  if (next_event_hint_ > now_) return next_event_hint_;
+  Cycle best = std::numeric_limits<Cycle>::max();
+  if (!event_overflow_.empty()) best = event_overflow_.top().cycle;
+  if (wheel_pending_ > 0) {
+    // Every live wheel record is due within [now_, now_ + buckets): records
+    // are drained at their due cycle, so none can be a full revolution
+    // stale. Scan forward to the first non-empty bucket, stopping early if
+    // the heap already wins.
+    for (Cycle c = now_; c < now_ + static_cast<Cycle>(kEventWheelBuckets);
+         ++c) {
+      if (c >= best) break;
+      if (!event_wheel_[c & (kEventWheelBuckets - 1)].empty()) {
+        best = c;
+        break;
+      }
+    }
+  }
+  next_event_hint_ = best;
+  return best;
 }
 
 void Simulator::dispatch_event(EventKind kind, ThreadId tid, int rob_slot,
@@ -756,11 +1129,71 @@ void Simulator::rename_stage() {
   if (renamed_any) ++stats_.rename_cycles;
 }
 
+// Rename-plan memoization (SimConfig::rename_memo). The copy-plan *shape*
+// — which clusters need copies and each copy's {arch, source cluster} — is
+// a pure function of (src0, src1, the sources' replica masks) alone, so
+// the memo is keyed on exactly that tuple and shared by every thread and
+// pc: hot registers dominate the synthetic traces' geometric operand
+// distribution, which makes this small domain re-occur constantly even
+// though (pc, srcs) pairs rarely repeat. Direct-mapped with the full key
+// checked exactly: a collision or a changed replica mask is a miss that
+// refills the slot. Physical register numbers are re-read live (phys ids
+// recycle under the same mask), so no invalidation is ever needed.
+const Simulator::PlanMemoEntry* Simulator::plan_memo_lookup(
+    const frontend::FetchedUop& fu,
+    const frontend::ReplicaSet* const srcs[2]) {
+  if (plan_memo_.empty()) plan_memo_.resize(kPlanMemoEntries);
+  const std::uint8_t mask0 = srcs[0] != nullptr ? srcs[0]->mask : 0;
+  const std::uint8_t mask1 = srcs[1] != nullptr ? srcs[1]->mask : 0;
+  const std::uint32_t h =
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(fu.op.src0)) *
+       0x9e37u) ^
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(fu.op.src1)) *
+       0x85ebu) ^
+      (static_cast<std::uint32_t>(mask0) << 8) ^ mask1;
+  PlanMemoEntry& e = plan_memo_[h & (kPlanMemoEntries - 1)];
+  if (e.src0 == fu.op.src0 && e.src1 == fu.op.src1 && e.mask0 == mask0 &&
+      e.mask1 == mask1) {
+    return &e;
+  }
+  // Miss: rebuild the entry by replaying plan_for_cluster's plan_source
+  // logic (same skip conditions, same dedup, same any_cluster choice) for
+  // every cluster. The forced-cluster dispatch argument is deliberately
+  // not in the key: the plan shape is derived for all clusters at once
+  // and never depends on which one the caller targets.
+  e = PlanMemoEntry{};
+  e.src0 = static_cast<std::int16_t>(fu.op.src0);
+  e.src1 = static_cast<std::int16_t>(fu.op.src1);
+  e.mask0 = mask0;
+  e.mask1 = mask1;
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    int n = 0;
+    const auto add = [&](int arch, std::uint8_t mask) {
+      if (arch < 0) return;                 // absent source
+      if (mask == 0) return;                // !anywhere()
+      if ((mask >> c) & 1u) return;         // present(cluster)
+      for (int i = 0; i < n; ++i) {
+        if (e.copies[c][i].arch == arch) return;  // one copy per arch reg
+      }
+      e.copies[c][n].arch = static_cast<std::int16_t>(arch);
+      // any_cluster() == lowest set bit of the presence mask.
+      e.copies[c][n].from = static_cast<std::int8_t>(std::countr_zero(mask));
+      ++n;
+    };
+    add(fu.op.src0, mask0);
+    add(fu.op.src1, mask1);
+    e.num_copies[c] = static_cast<std::uint8_t>(n);
+    if (n > 0) e.copy_needed_mask |= static_cast<std::uint8_t>(1u << c);
+  }
+  return &e;
+}
+
 template <int NC>
 bool Simulator::plan_for_cluster(ThreadId tid, const frontend::FetchedUop& fu,
                                  const frontend::ReplicaSet* const srcs[2],
                                  ClusterId cluster, RenamePlan& plan,
-                                 bool& iq_failure, bool& rf_failure) {
+                                 bool& iq_failure, bool& rf_failure,
+                                 const PlanMemoEntry* memo) {
   const int num_clusters = bound_or<NC>(config_.num_clusters);
   plan = RenamePlan{};
   plan.cluster = cluster;
@@ -769,20 +1202,34 @@ bool Simulator::plan_for_cluster(ThreadId tid, const frontend::FetchedUop& fu,
   iq_need[cluster] += 1;
   int rf_need[kNumRegClasses] = {};
 
-  auto plan_source = [&](int arch, const frontend::ReplicaSet* rs) {
-    if (rs == nullptr) return;
-    if (!rs->anywhere() || rs->present(cluster)) return;
-    for (int i = 0; i < plan.num_copies; ++i) {
-      if (plan.copies[i].arch == arch) return;  // one copy per arch reg
+  if (memo != nullptr) {
+    // Replay the cached skeleton; only the physical register ids are read
+    // live (the exact-mask key guarantees rs->phys[sk.from] >= 0).
+    for (int i = 0; i < memo->num_copies[cluster]; ++i) {
+      const PlanMemoEntry::CopySkeleton& sk = memo->copies[cluster][i];
+      const frontend::ReplicaSet& rs =
+          sk.arch == fu.op.src0 ? *srcs[0] : *srcs[1];
+      plan.copies[plan.num_copies++] = RenamePlan::CopyPlan{
+          sk.arch, sk.from, rs.phys[sk.from]};
+      ++iq_need[sk.from];
+      ++rf_need[static_cast<int>(arch_reg_class(sk.arch))];
     }
-    const ClusterId from = rs->any_cluster();
-    plan.copies[plan.num_copies++] =
-        RenamePlan::CopyPlan{arch, from, rs->phys[from]};
-    ++iq_need[from];
-    ++rf_need[static_cast<int>(arch_reg_class(arch))];
-  };
-  plan_source(fu.op.src0, srcs[0]);
-  plan_source(fu.op.src1, srcs[1]);
+  } else {
+    auto plan_source = [&](int arch, const frontend::ReplicaSet* rs) {
+      if (rs == nullptr) return;
+      if (!rs->anywhere() || rs->present(cluster)) return;
+      for (int i = 0; i < plan.num_copies; ++i) {
+        if (plan.copies[i].arch == arch) return;  // one copy per arch reg
+      }
+      const ClusterId from = rs->any_cluster();
+      plan.copies[plan.num_copies++] =
+          RenamePlan::CopyPlan{arch, from, rs->phys[from]};
+      ++iq_need[from];
+      ++rf_need[static_cast<int>(arch_reg_class(arch))];
+    };
+    plan_source(fu.op.src0, srcs[0]);
+    plan_source(fu.op.src1, srcs[1]);
+  }
 
   if (fu.op.has_dst()) {
     ++rf_need[static_cast<int>(arch_reg_class(fu.op.dst))];
@@ -909,12 +1356,26 @@ int Simulator::try_rename_front(ThreadId tid, ClusterId forced) {
            (srcs[1] != nullptr && srcs[1]->anywhere() &&
             !srcs[1]->present(c));
   };
+  // Memoized copy-plan shape (SimConfig::rename_memo), consulted lazily:
+  // the lookup runs only when some cluster's plan actually needs copies —
+  // the no-copy fast path (the overwhelming majority of renames) must not
+  // pay a table touch it cannot profit from. One lookup serves every
+  // cluster planned for this µop. nullptr when the feature is off; the
+  // entry's exact key makes the replay bit-identical to the loop it
+  // replaces — tests/skip_ahead_test.cc diffs the modes.
+  const PlanMemoEntry* memo = nullptr;
+  bool memo_resolved = false;
   const auto plan_cluster = [&](ClusterId c, RenamePlan& plan,
                                 bool& iq_failure, bool& rf_failure) {
-    return needs_copies(c)
-               ? plan_for_cluster<NC>(tid, fu, srcs, c, plan, iq_failure,
-                                      rf_failure)
-               : plan_no_copies(tid, fu, c, plan, iq_failure, rf_failure);
+    if (!needs_copies(c)) {
+      return plan_no_copies(tid, fu, c, plan, iq_failure, rf_failure);
+    }
+    if (!memo_resolved) {
+      memo_resolved = true;
+      if (config_.rename_memo) memo = plan_memo_lookup(fu, srcs);
+    }
+    return plan_for_cluster<NC>(tid, fu, srcs, c, plan, iq_failure,
+                                rf_failure, memo);
   };
 
   ClusterId preferred;

@@ -64,6 +64,17 @@ class Simulator {
     return events_coalesced_;
   }
 
+  /// Quiescent-cycle skip-ahead telemetry (SimConfig::skip_ahead). These
+  /// live on the Simulator, NOT in SimStats: stats must stay bit-identical
+  /// between the skipping and the oracle run, so the skip bookkeeping
+  /// cannot be part of the compared record.
+  [[nodiscard]] std::uint64_t cycles_skipped() const noexcept {
+    return cycles_skipped_;
+  }
+  [[nodiscard]] std::uint64_t skip_episodes() const noexcept {
+    return skip_episodes_;
+  }
+
   /// Routes every hot policy query through the sealed per-kind switch
   /// (default) or the virtual interface (the differential-test oracle).
   /// Both modes must produce identical decisions — see
@@ -169,6 +180,78 @@ class Simulator {
   void dispatch_event(EventKind kind, ThreadId tid, int rob_slot,
                       std::uint64_t uid);
 
+  /// Earliest cycle >= now_ with a pending event (wheel bucket or overflow
+  /// heap), or Cycle max when none are pending. Stale records of squashed
+  /// µops count — they only make the answer conservatively early. O(1)
+  /// when next_event_hint_ is valid, else O(wheel distance to the first
+  /// non-empty bucket).
+  [[nodiscard]] Cycle next_event_cycle();
+
+  // --- Quiescent-cycle skip-ahead (SimConfig::skip_ahead) ---
+  /// Everything a quiescent cycle is allowed to touch, captured before the
+  /// probe cycle and diffed after it. A probe whose delta fits the allowed
+  /// shape proves the machine is frozen; the delta is then replicated in
+  /// closed form for every skipped cycle.
+  struct BlockedLoad {
+    ThreadId tid;
+    int rob_slot;
+    std::uint64_t uid;
+  };
+  struct SkipSnapshot {
+    SimStats stats;
+    frontend::FetchStats fetch;
+    steer::SteeringStats steer;
+    memory::MobStats mob;
+    std::uint64_t blocked_epoch = 0;
+    std::uint64_t event_order = 0;
+    std::uint64_t events_coalesced = 0;
+    std::uint64_t select_fingerprint = 0;
+    Cycle last_commit_cycle = 0;
+    bool rf_blocked[kMaxThreads][kNumRegClasses] = {};
+  };
+  /// Cheap structural test: could this cycle possibly be quiescent? False
+  /// on any ready IQ entry, committable ROB head, or fetchable thread.
+  /// Blocked loads do NOT disqualify: while the MOB is frozen (no events,
+  /// no rename/commit) every retry re-blocks identically, and the probe
+  /// verifies exactly that.
+  [[nodiscard]] bool maybe_quiescent();
+  /// Skip horizon: first cycle at which the frozen state may change
+  /// (next event, fetch-stall expiry, interval-policy boundary, watchdog
+  /// trip, run end) — skipped cycles are strictly before it.
+  [[nodiscard]] Cycle skip_horizon(Cycle end);
+  void capture_snapshot(SkipSnapshot& snap) const;
+  /// The allowed per-cycle movement of one probed quiescent cycle; all
+  /// phases of a tie-rotation orbit must produce the same one.
+  struct ProbeDelta {
+    std::uint64_t rename_blocked_cycles = 0;
+    std::uint64_t rename_block_iq = 0;
+    std::uint64_t rename_block_rf = 0;
+    std::uint64_t rename_block_rob = 0;
+    std::uint64_t rename_block_mob = 0;
+    std::uint64_t iq_pref_stall_events = 0;
+    std::uint64_t mob_full_stalls = 0;
+    std::uint64_t mob_waits = 0;
+    std::uint64_t steer_decisions = 0;
+    std::uint64_t steer_balance_overrides = 0;
+    std::uint64_t steer_dependence_free = 0;
+    bool operator==(const ProbeDelta&) const = default;
+  };
+  /// Probes up to num_threads cycles looking for a closed selection-cursor
+  /// orbit with identical per-cycle deltas, then replicates to `horizon`.
+  /// Returns false when a probe revealed real activity (feeds the
+  /// exponential attempt backoff in run()).
+  bool probe_and_replicate(Cycle horizon);
+  /// True when the probe's delta over `snap` has the replicable quiescent
+  /// shape (only per-cycle stall counters moved); the selection-cursor
+  /// fingerprint is judged separately by probe_and_replicate's orbit scan.
+  [[nodiscard]] bool probe_delta_replicable(const SkipSnapshot& snap) const;
+  [[nodiscard]] ProbeDelta delta_since(const SkipSnapshot& snap) const;
+  /// Applies the probe delta for the cycles up to `horizon` and jumps now_.
+  void replicate_skip(const ProbeDelta& d, Cycle horizon);
+  /// Advances the rename-selection cursor by k frozen-view select calls.
+  void replay_select_cursor(std::uint64_t k);
+  void check_watchdog() const;
+
   // --- Pipeline stages ---
   // The per-cycle stages and rename helpers are templated on the machine
   // shape: step() dispatches once per cycle to the <2, 2> instantiation
@@ -210,6 +293,34 @@ class Simulator {
     CopyPlan copies[2];
     bool off_preferred_iq = false;  // failed preferred cluster for IQ reasons
   };
+  /// Rename-plan memoization (SimConfig::rename_memo): caches the
+  /// steering-independent *shape* of a µop's copy plan — which clusters
+  /// need copies and the {arch, source-cluster} skeleton of each — keyed by
+  /// exactly the inputs the shape is a pure function of: the source arch
+  /// registers and their replica presence masks. The µop's pc is
+  /// deliberately NOT in the key: the derivation never reads it, and the
+  /// (src0, src1, mask0, mask1) domain is small and heavily skewed (hot
+  /// registers dominate), so one shared direct-mapped table hits where a
+  /// per-pc table would thrash. Pure function of the key, so the cache
+  /// needs no invalidation on squash or epoch and is safely shared across
+  /// threads; a colliding key simply refills the slot. Physical register
+  /// numbers, capacity checks and policy limits are never cached — those
+  /// stay live.
+  struct PlanMemoEntry {
+    std::int16_t src0 = -2;  // sentinel: never matches a real µop
+    std::int16_t src1 = -2;
+    std::uint8_t mask0 = 0;  // replica presence masks at memoization time
+    std::uint8_t mask1 = 0;
+    std::uint8_t copy_needed_mask = 0;  // bit c: >=1 copy needed in cluster c
+    std::uint8_t num_copies[kMaxClusters] = {};
+    struct CopySkeleton {
+      std::int16_t arch = -1;
+      std::int8_t from = -1;
+    };
+    CopySkeleton copies[kMaxClusters][2] = {};
+  };
+  static constexpr std::size_t kPlanMemoEntries = 512;  // power of two
+
   /// Attempts to rename+dispatch the front µop of `tid`; returns consumed
   /// rename bandwidth (1 + copies) or 0 when blocked. `forced` is the
   /// policy's forced cluster, hoisted per rename burst (it is a function of
@@ -218,14 +329,23 @@ class Simulator {
   int try_rename_front(ThreadId tid, ClusterId forced);
   /// `srcs[i]` is the prefetched replica set of fu.op.src{0,1} (nullptr for
   /// absent sources) — looked up once per µop and shared by the steering
-  /// vote and every per-cluster plan.
+  /// vote and every per-cluster plan. `memo` (nullable) is the matching
+  /// memo entry: when set, the copy skeleton is replayed from it instead of
+  /// being re-derived from the replica sets (phys numbers still live).
   template <int NC>
   [[nodiscard]] bool plan_for_cluster(ThreadId tid,
                                       const frontend::FetchedUop& fu,
                                       const frontend::ReplicaSet* const
                                           srcs[2],
                                       ClusterId cluster, RenamePlan& plan,
-                                      bool& iq_failure, bool& rf_failure);
+                                      bool& iq_failure, bool& rf_failure,
+                                      const PlanMemoEntry* memo = nullptr);
+  /// Memo lookup/fill for the front µop; returns the entry whose key
+  /// matches exactly (filling its slot on a miss). Only called when
+  /// config_.rename_memo is on.
+  const PlanMemoEntry* plan_memo_lookup(const frontend::FetchedUop& fu,
+                                        const frontend::ReplicaSet* const
+                                            srcs[2]);
   /// Fast path of plan_for_cluster for the common case where every source
   /// already has a replica in `cluster` (no copies): same checks, same
   /// policy-query order, same failure flags — minus the copy bookkeeping.
@@ -295,12 +415,27 @@ class Simulator {
   std::vector<std::vector<WheelRecord>> event_wheel_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>>
       event_overflow_;
-  struct BlockedLoad {
-    ThreadId tid;
-    int rob_slot;
-    std::uint64_t uid;
-  };
+  /// Records currently in wheel buckets (pushes minus drains). Lets
+  /// next_event_cycle() skip the bucket scan entirely when the wheel is
+  /// empty and stop at the first hit otherwise.
+  std::size_t wheel_pending_ = 0;
+  /// Lower bound on the earliest pending event cycle; values <= now_ mean
+  /// "unknown". While valid (> now_), schedule() min-updates it, and
+  /// events are only ever removed by the drain at their exact due cycle —
+  /// so a valid hint IS the exact earliest pending cycle (a pending event
+  /// below it would have pushed it down; its own minimizer can only have
+  /// been drained once now_ reached it). A stale hint is left stale by
+  /// schedule() and refreshed by the scan in next_event_cycle().
+  Cycle next_event_hint_ = 0;
   std::vector<BlockedLoad> blocked_loads_;
+  /// Bumped on every content change of blocked_loads_: a first-time
+  /// block, and a retry pass that dropped any element (equal size implies
+  /// element-wise identity — the rebuild preserves order and only
+  /// removes). Lets the skip probe compare the list in O(1).
+  std::uint64_t blocked_epoch_ = 0;
+  /// True while retry_blocked_loads() rebuilds the list; re-blocks during
+  /// the pass are netted out by its size check instead of bumping.
+  bool in_blocked_retry_ = false;
 
   // Shadow trace profiles (wrong-path synthesis needs stable pointers).
   std::vector<std::unique_ptr<trace::TraceProfile>> owned_profiles_;
@@ -314,6 +449,22 @@ class Simulator {
   ThreadId commit_rr_ = 0;
   Cycle last_commit_cycle_ = 0;
   CommitHook commit_hook_;
+
+  // Skip-ahead telemetry (intentionally outside SimStats; see accessors).
+  std::uint64_t cycles_skipped_ = 0;
+  std::uint64_t skip_episodes_ = 0;
+
+  /// Exponential backoff after failed probes: no attempt before
+  /// skip_retry_at_. Attempting less often never changes results —
+  /// skipping is semantically the identity — it only bounds the snapshot
+  /// cost on workloads that look idle for a cycle while work is in flight.
+  Cycle skip_retry_at_ = 0;
+  Cycle skip_backoff_ = 0;
+
+  /// Plan-shape memo (SimConfig::rename_memo); allocated lazily on first
+  /// use so disabled runs pay nothing. Shared across threads: the plan is
+  /// a pure function of the key, so cross-thread hits are sound.
+  std::vector<PlanMemoEntry> plan_memo_;
 
   SimStats stats_;
 };

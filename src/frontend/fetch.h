@@ -188,6 +188,10 @@ class FetchEngine {
   /// Blocks fetch for a thread until `until` (e.g. I-TLB walks, refill).
   void stall_until(ThreadId tid, Cycle until);
   [[nodiscard]] bool stalled(ThreadId tid, Cycle now) const;
+  /// First cycle the thread may fetch again (skip-ahead horizon input).
+  [[nodiscard]] Cycle stalled_until(ThreadId tid) const {
+    return threads_[static_cast<std::size_t>(tid)].stall_until;
+  }
 
   /// True while the thread is fetching down a mispredicted path.
   [[nodiscard]] bool on_wrong_path(ThreadId tid) const;

@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <atomic>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -12,6 +13,18 @@
 #include "harness/tape_registry.h"
 
 namespace clusmt::harness {
+
+namespace {
+std::atomic<std::uint64_t> g_cycles_skipped{0};
+std::atomic<std::uint64_t> g_skip_episodes{0};
+}  // namespace
+
+std::uint64_t total_cycles_skipped() noexcept {
+  return g_cycles_skipped.load(std::memory_order_relaxed);
+}
+std::uint64_t total_skip_episodes() noexcept {
+  return g_skip_episodes.load(std::memory_order_relaxed);
+}
 
 RunResult simulate_workload(const core::SimConfig& config,
                             const trace::WorkloadSpec& spec, Cycle cycles,
@@ -38,6 +51,10 @@ RunResult simulate_workload(const core::SimConfig& config,
     sim.reset_stats();
   }
   sim.run(cycles);
+  // reset_stats() above also cleared the skip tallies, so this is the
+  // measured phase only.
+  g_cycles_skipped.fetch_add(sim.cycles_skipped(), std::memory_order_relaxed);
+  g_skip_episodes.fetch_add(sim.skip_episodes(), std::memory_order_relaxed);
 
   RunResult result;
   result.workload = spec.name;

@@ -41,6 +41,15 @@ struct RunResult {
                                           const trace::WorkloadSpec& spec,
                                           Cycle cycles, Cycle warmup);
 
+/// Process-wide skip-ahead activity (core quiescent-cycle fast path),
+/// accumulated by simulate_workload over the *measured* phase of every run
+/// this process simulated. Deliberately outside SimStats — skipping is a
+/// model-speed fact, not a machine fact, and SimStats must stay bit-equal
+/// with the feature off. Thread-safe monotone tallies (no reset), read as
+/// deltas like the RunCache counters.
+[[nodiscard]] std::uint64_t total_cycles_skipped() noexcept;
+[[nodiscard]] std::uint64_t total_skip_episodes() noexcept;
+
 class Runner {
  public:
   /// `cycles`: measured cycles per run; `warmup`: cycles simulated before

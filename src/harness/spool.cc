@@ -93,6 +93,9 @@ void write_config(ByteWriter& w, const core::SimConfig& c) {
   w.f64(c.policy_config.unready_gate_fraction);
 
   w.u64(c.watchdog_cycles);
+
+  w.u32(static_cast<std::uint32_t>(c.skip_ahead));
+  w.u32(static_cast<std::uint32_t>(c.rename_memo));
 }
 
 void read_config(ByteReader& r, core::SimConfig& c) {
@@ -160,6 +163,9 @@ void read_config(ByteReader& r, core::SimConfig& c) {
   c.policy_config.unready_gate_fraction = r.f64();
 
   c.watchdog_cycles = r.u64();
+
+  c.skip_ahead = r.u32() != 0;
+  c.rename_memo = r.u32() != 0;
 }
 
 void write_trace(ByteWriter& w, const trace::TraceSpec& t) {

@@ -59,7 +59,8 @@ namespace clusmt::harness {
 /// core::SimConfig or trace::TraceProfile, a string re-ordered). Workers
 /// then treat stale-format specs as unreadable instead of simulating a
 /// half-decoded machine.
-inline constexpr std::uint32_t kSpoolFormatVersion = 2;  // v2: ClusterShape
+inline constexpr std::uint32_t kSpoolFormatVersion =
+    3;  // v3: skip_ahead/rename_memo knobs (v2: ClusterShape)
 
 /// One spooled cell: everything a foreign process needs to reproduce the
 /// simulation, plus the key its result files under.

@@ -39,6 +39,8 @@ std::vector<ConfigPoint> SweepSpec::expand_points() const {
     while (!done) {
       ConfigPoint point;
       point.config = base;
+      point.config.skip_ahead = skip_ahead;
+      point.config.rename_memo = rename_memo;
       std::vector<std::string> parts;
       parts.reserve(axes.size());
       for (std::size_t a = 0; a < axes.size(); ++a) {
@@ -58,7 +60,11 @@ std::vector<ConfigPoint> SweepSpec::expand_points() const {
       }
     }
   }
-  out.insert(out.end(), points.begin(), points.end());
+  for (ConfigPoint point : points) {
+    point.config.skip_ahead = skip_ahead;
+    point.config.rename_memo = rename_memo;
+    out.push_back(std::move(point));
+  }
   return out;
 }
 
@@ -106,6 +112,8 @@ SweepResult run_sweep(const SweepSpec& spec) {
   const std::uint64_t disk_hits_before = cache.disk_hits();
   const std::uint64_t corrupt_before = run_store_corrupt_reads();
   TapeRegistry& tapes = TapeRegistry::instance();
+  const std::uint64_t skipped_before = total_cycles_skipped();
+  const std::uint64_t episodes_before = total_skip_episodes();
   const std::uint64_t tape_hits_before = tapes.hits();
   const std::uint64_t tape_recordings_before = tapes.recordings();
   const std::uint64_t tape_live_before = tapes.live_sources();
@@ -203,20 +211,24 @@ SweepResult run_sweep(const SweepSpec& spec) {
   out.tape_hits = tapes.hits() - tape_hits_before;
   out.tape_recordings = tapes.recordings() - tape_recordings_before;
   out.tape_live = tapes.live_sources() - tape_live_before;
+  out.cycles_skipped = total_cycles_skipped() - skipped_before;
+  out.skip_episodes = total_skip_episodes() - episodes_before;
   out.corrupt_records = run_store_corrupt_reads() - corrupt_before;
   if (spec.progress) {
     std::fprintf(
         stderr,
         "[sweep] %zu points x %zu workloads: %llu simulated, %llu cached, "
         "%llu loaded from disk; tapes: %llu replayed, %llu recorded, "
-        "%llu live",
+        "%llu live; skipped %llu cycles in %llu jumps",
         num_points, num_workloads,
         static_cast<unsigned long long>(out.cache_misses),
         static_cast<unsigned long long>(out.cache_hits),
         static_cast<unsigned long long>(out.cache_disk_hits),
         static_cast<unsigned long long>(out.tape_hits),
         static_cast<unsigned long long>(out.tape_recordings),
-        static_cast<unsigned long long>(out.tape_live));
+        static_cast<unsigned long long>(out.tape_live),
+        static_cast<unsigned long long>(out.cycles_skipped),
+        static_cast<unsigned long long>(out.skip_episodes));
     if (out.corrupt_records > 0) {
       std::fprintf(stderr, "; %llu corrupt records ignored",
                    static_cast<unsigned long long>(out.corrupt_records));

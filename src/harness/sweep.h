@@ -75,6 +75,15 @@ struct SweepSpec {
   Cycle cycles = 0;
   Cycle warmup = 0;
 
+  /// Model fast-path oracle switches (SimConfig::{skip_ahead,
+  /// rename_memo}), stamped onto every expanded point — base-derived and
+  /// explicit alike — *before* axis mutators run, so the bench-wide
+  /// --no-skip-ahead/--no-rename-memo flags flip the whole grid while an
+  /// axis can still override per point. Results are bit-identical either
+  /// way; the flags exist to rerun a grid against the per-cycle oracle.
+  bool skip_ahead = true;
+  bool rename_memo = true;
+
   /// Also run single-thread baselines (shared across points through the
   /// cache) and fill RunResult::fairness for every cell.
   bool with_fairness = false;
@@ -121,6 +130,13 @@ struct SweepResult {
   std::uint64_t tape_hits = 0;
   std::uint64_t tape_recordings = 0;
   std::uint64_t tape_live = 0;
+
+  /// Quiescent-cycle skip-ahead activity of the cells this process
+  /// actually simulated (delta protocol again; cached cells contribute
+  /// nothing). `cycles_skipped` of the simulated cycles were replicated in
+  /// closed form across `skip_episodes` jumps.
+  std::uint64_t cycles_skipped = 0;
+  std::uint64_t skip_episodes = 0;
 
   /// Store records found on disk during this sweep but rejected by
   /// validation (truncation, bit rot, stale format) — each silently cost a

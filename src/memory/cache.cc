@@ -22,6 +22,7 @@ SetAssocCache::SetAssocCache(std::uint64_t size_bytes, int assoc,
   line_shift_ = std::countr_zero(static_cast<std::uint64_t>(line_bytes));
   tags_.resize(lines);
   rank_.resize(lines);
+  mru_way_.resize(num_sets_);
 }
 
 std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const noexcept {
@@ -41,9 +42,20 @@ constexpr int kTagShift = 2;
 bool SetAssocCache::access(std::uint64_t addr, bool is_write) {
   ++stats_.accesses;
   const std::uint64_t tag = tag_of(addr);
-  const std::uint64_t base = set_of(addr) * static_cast<std::uint64_t>(assoc_);
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t base = set * static_cast<std::uint64_t>(assoc_);
   std::uint64_t* tags = &tags_[base];
   std::uint8_t* rank = &rank_[base];
+
+  // MRU front check: a repeat hit on the most recently touched way is
+  // already at the top rank, so the promotion sweep below would be a
+  // no-op — answer with one compare and no rank traffic.
+  const int mru = mru_way_[set];
+  if ((tags[mru] & kValid) && (tags[mru] >> kTagShift) == tag) {
+    if (is_write) tags[mru] |= kDirty;
+    ++stats_.hits;
+    return true;
+  }
 
   // Promotes `w` to MRU: every way more recent than it steps down one
   // rank. This keeps the set's valid ways in exactly the recency order a
@@ -54,6 +66,7 @@ bool SetAssocCache::access(std::uint64_t addr, bool is_write) {
       if (rank[v] > r) --rank[v];
     }
     rank[w] = static_cast<std::uint8_t>(assoc_ - 1);
+    mru_way_[set] = static_cast<std::uint8_t>(w);
   };
 
   // Victim: the last invalid way of the scan if any, else the valid way
@@ -98,6 +111,7 @@ bool SetAssocCache::probe(std::uint64_t addr) const {
 void SetAssocCache::flush() {
   std::fill(tags_.begin(), tags_.end(), 0);
   std::fill(rank_.begin(), rank_.end(), std::uint8_t{0});
+  std::fill(mru_way_.begin(), mru_way_.end(), std::uint8_t{0});
 }
 
 }  // namespace clusmt::memory

@@ -70,6 +70,13 @@ class SetAssocCache {
   // miss/eviction sequences are unchanged.
   std::vector<std::uint64_t> tags_;  // (tag << 2) | dirty << 1 | valid
   std::vector<std::uint8_t> rank_;   // per-set LRU ranks
+  // Way most recently touched in each set. Temporal locality makes
+  // back-to-back accesses to the same line the dominant pattern, so
+  // access() checks this way first: a hit there is already at max rank and
+  // needs no promotion sweep — one tag compare, zero rank writes. Purely a
+  // cached derivative of rank_ (the way holding rank assoc-1), so hit/miss
+  // and eviction sequences are bit-identical with the scan path.
+  std::vector<std::uint8_t> mru_way_;
   CacheStats stats_;
 };
 

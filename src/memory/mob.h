@@ -50,6 +50,12 @@ class MemOrderBuffer {
   [[nodiscard]] bool full() const noexcept { return occupancy_ == capacity_; }
   [[nodiscard]] const MobStats& stats() const noexcept { return stats_; }
   void note_full_stall() noexcept { ++stats_.full_stalls; }
+  /// Bulk form for quiescent-cycle skip-ahead: the skipped cycles would
+  /// each have recorded the same number of MOB-full rename stalls.
+  void note_full_stalls(std::uint64_t n) noexcept { stats_.full_stalls += n; }
+  /// Bulk-credits `n` load-wait checks, as if check_load had returned
+  /// kWait `n` times (quiescent skip-ahead replicating blocked retries).
+  void note_waits(std::uint64_t n) noexcept { stats_.waits += n; }
   void reset_stats() noexcept { stats_ = MobStats{}; }
 
   /// Occupied entries of a thread, oldest first (for tests/inspection).

@@ -97,6 +97,13 @@ class HillClimbPolicy final : public ResourceAssignmentPolicy {
 
   void begin_cycle(const PipelineView& view) override;
 
+  /// Epoch boundaries score trials and reshuffle shares; a skip must stop
+  /// there so the boundary's begin_cycle runs on a live view. Within an
+  /// epoch begin_cycle is a no-op, so the default quiesce replay is free.
+  [[nodiscard]] Cycle quiesce_horizon(Cycle now) const override {
+    return started_ ? epoch_start_ + config_.hillclimb_epoch : now;
+  }
+
   [[nodiscard]] bool allow_iq_dispatch(const PipelineView& view, ThreadId tid,
                                        ClusterId c, int count,
                                        int total_count) override;
@@ -158,6 +165,12 @@ class UnreadyGatePolicy final : public ResourceAssignmentPolicy {
       const PipelineView& view, std::uint32_t candidates) override;
   [[nodiscard]] ThreadId select_rename_thread(
       const PipelineView& view, std::uint32_t candidates) override;
+
+  /// Skip-ahead validity: this scheme replaces Icount's cursor with its
+  /// own round-robin tie-break, so the fingerprint must cover it.
+  [[nodiscard]] std::uint64_t select_state_fingerprint() const override {
+    return static_cast<std::uint64_t>(rr_tiebreak_);
+  }
 
   [[nodiscard]] int gate_threshold(const PipelineView& view) const;
 

@@ -1,5 +1,7 @@
 #include "policy/policy.h"
 
+#include <limits>
+
 #include "policy/adaptive.h"
 #include "policy/partition.h"
 #include "policy/regfile_policy.h"
@@ -29,6 +31,20 @@ ThreadId ResourceAssignmentPolicy::icount_select(const PipelineView& view,
 ThreadId ResourceAssignmentPolicy::select_rename_thread(
     const PipelineView& view, std::uint32_t candidates) {
   return icount_select(view, candidates);
+}
+
+void ResourceAssignmentPolicy::quiesce(const PipelineView& view, Cycle from,
+                                       Cycle to) {
+  // Literal replay: the machine state is frozen, so only `now` moves.
+  PipelineView v = view;
+  for (Cycle c = from; c < to; ++c) {
+    v.now = c;
+    begin_cycle(v);
+  }
+}
+
+Cycle ResourceAssignmentPolicy::quiesce_horizon(Cycle /*now*/) const {
+  return std::numeric_limits<Cycle>::max();
 }
 
 std::unique_ptr<ResourceAssignmentPolicy> make_policy(

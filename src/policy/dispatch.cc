@@ -22,4 +22,19 @@ void PolicyDispatch::on_flush_done(ThreadId tid) {
   impl_->on_flush_done(tid);
 }
 
+// Skip-ahead hooks fire once per skip episode (thousands of cycles), so
+// they take the virtual route in both dispatch modes — parity is trivial.
+
+void PolicyDispatch::quiesce(const PipelineView& view, Cycle from, Cycle to) {
+  impl_->quiesce(view, from, to);
+}
+
+Cycle PolicyDispatch::quiesce_horizon(Cycle now) const {
+  return impl_->quiesce_horizon(now);
+}
+
+std::uint64_t PolicyDispatch::select_state_fingerprint() const {
+  return impl_->select_state_fingerprint();
+}
+
 }  // namespace clusmt::policy

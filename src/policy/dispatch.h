@@ -200,10 +200,14 @@ class PolicyDispatch {
     }
   }
 
-  // --- Cold paths: per-memory-event, forwarded virtually (dispatch.cc) ---
+  // --- Cold paths: per-memory-event or per-skip-episode, forwarded
+  // virtually (dispatch.cc) ---
   void on_l2_miss(ThreadId tid, std::uint64_t load_seq, Cycle now);
   void on_l2_resolved(ThreadId tid, std::uint64_t load_seq, Cycle now);
   void on_flush_done(ThreadId tid);
+  void quiesce(const PipelineView& view, Cycle from, Cycle to);
+  [[nodiscard]] Cycle quiesce_horizon(Cycle now) const;
+  [[nodiscard]] std::uint64_t select_state_fingerprint() const;
 
  private:
   template <typename Concrete>

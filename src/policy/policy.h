@@ -128,6 +128,32 @@ class ResourceAssignmentPolicy {
   }
   virtual void on_flush_done(ThreadId tid) { (void)tid; }
 
+  // --- Quiescent-cycle skip-ahead support (core/simulator.cc) ---
+  // When the core proves cycles [from, to) would change nothing but
+  // monotone stall counters, it skips them and calls quiesce() once in
+  // their place. The contract: quiesce(view, from, to) must leave the
+  // policy in exactly the state `to - from` begin_cycle calls over the
+  // frozen view would have — the default replays them literally; policies
+  // with a closed form (CDPRF) override. These fire per skip episode, not
+  // per µop, so they stay on the virtual cold path (no dispatch.h case).
+
+  /// Replays the per-cycle bookkeeping for the skipped cycles [from, to).
+  virtual void quiesce(const PipelineView& view, Cycle from, Cycle to);
+
+  /// Earliest cycle the policy's decisions could change while the machine
+  /// is otherwise frozen; skips never cross it. Interval policies return
+  /// their next epoch boundary (the boundary cycle itself must execute
+  /// normally so rollover sees a live view).
+  [[nodiscard]] virtual Cycle quiesce_horizon(Cycle now) const;
+
+  /// Fingerprint of the rename-selection cursor state. A skip is only
+  /// valid when one probed cycle leaves this unchanged (the cursor is at a
+  /// fixpoint); Icount's tie-break cursor alternates on ties, which this
+  /// catches. Policies with their own cursor (UnreadyGate) override.
+  [[nodiscard]] virtual std::uint64_t select_state_fingerprint() const {
+    return static_cast<std::uint64_t>(rr_tiebreak_);
+  }
+
  protected:
   /// Shared Icount implementation [1]: fewest µops between rename and
   /// issue; ties rotate round-robin for fairness.

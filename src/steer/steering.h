@@ -77,6 +77,15 @@ class Steering final {
   [[nodiscard]] SteeringKind kind() const noexcept { return kind_; }
   [[nodiscard]] const SteeringStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = SteeringStats{}; }
+  /// Replays `times` repetitions of one cycle's stat delta (quiescent-cycle
+  /// skip-ahead: each skipped cycle would have made identical decisions).
+  /// The round-robin cursor is deliberately untouched — the core refuses to
+  /// skip when a kRoundRobin cycle made any decision.
+  void add_stats(const SteeringStats& delta, std::uint64_t times) noexcept {
+    stats_.decisions += delta.decisions * times;
+    stats_.balance_overrides += delta.balance_overrides * times;
+    stats_.dependence_free += delta.dependence_free * times;
+  }
 
  private:
   [[nodiscard]] ClusterId least_loaded(
